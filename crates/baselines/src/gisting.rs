@@ -1,0 +1,132 @@
+//! Gisting — compressing context spans into pooled "gist" rows
+//! (Appendix B, Figure 18 right).
+//!
+//! Gisting [Mu et al. 2023] retrains an LLM so that long prompts can be
+//! summarised into a handful of gist tokens. Retraining is out of scope for
+//! any reproduction, so we model the *interface*: spans of `span` KV rows
+//! are mean-pooled into one gist row, shrinking the cache by `span`× while
+//! blurring positional detail — which is exactly the quality/size trade-off
+//! the paper sweeps by varying the gisting compression ratio.
+
+use cachegen_llm::KvCache;
+use cachegen_tensor::Tensor;
+
+/// Result of gist pooling.
+#[derive(Clone, Debug)]
+pub struct GistResult {
+    /// The pooled cache (`ceil(tokens / span)` rows).
+    pub cache: KvCache,
+    /// Pooling span (compression ratio).
+    pub span: usize,
+    /// Original token count.
+    pub original_tokens: usize,
+}
+
+impl GistResult {
+    /// Wire bytes at a given precision.
+    pub fn wire_bytes(&self, bits_per_element: f64) -> u64 {
+        self.cache.size_bytes(bits_per_element)
+    }
+
+    /// Achieved compression ratio (original / gist rows).
+    pub fn ratio(&self) -> f64 {
+        self.original_tokens as f64 / self.cache.tokens() as f64
+    }
+}
+
+/// Mean-pools each span of `span` consecutive KV rows into one gist row.
+pub fn pool(cache: &KvCache, span: usize) -> GistResult {
+    assert!(span >= 1, "span must be ≥ 1");
+    let (layers, tokens, channels) = (cache.layers(), cache.tokens(), cache.channels());
+    let out_tokens = tokens.div_ceil(span);
+    let mut k = Tensor::zeros(&[layers, out_tokens, channels]);
+    let mut v = Tensor::zeros(&[layers, out_tokens, channels]);
+    for l in 0..layers {
+        let ks = cache.k().slab(l);
+        let vs = cache.v().slab(l);
+        for g in 0..out_tokens {
+            let start = g * span;
+            let end = (start + span).min(tokens);
+            let count = (end - start) as f32;
+            for c in 0..channels {
+                let mut ksum = 0.0f32;
+                let mut vsum = 0.0f32;
+                for t in start..end {
+                    ksum += ks[t * channels + c];
+                    vsum += vs[t * channels + c];
+                }
+                k.slab_mut(l)[g * channels + c] = ksum / count;
+                v.slab_mut(l)[g * channels + c] = vsum / count;
+            }
+        }
+    }
+    GistResult {
+        cache: KvCache::from_tensors(k, v),
+        span,
+        original_tokens: tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegen_llm::{SimModelConfig, SimTransformer};
+
+    fn cache() -> KvCache {
+        let m = SimTransformer::new(SimModelConfig::tiny(29));
+        m.prefill(&(0..30).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn span_one_is_identity() {
+        let c = cache();
+        let g = pool(&c, 1);
+        assert_eq!(g.cache, c);
+        assert!((g.ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooling_shrinks_by_span() {
+        let c = cache();
+        let g = pool(&c, 5);
+        assert_eq!(g.cache.tokens(), 6);
+        assert!((g.ratio() - 5.0).abs() < 1e-9);
+        assert!(g.wire_bytes(16.0) * 4 < c.size_bytes(16.0));
+    }
+
+    #[test]
+    fn uneven_span_handles_tail() {
+        let c = cache();
+        let g = pool(&c, 7); // 30 / 7 → 5 gist rows (last covers 2 tokens)
+        assert_eq!(g.cache.tokens(), 5);
+    }
+
+    #[test]
+    fn gist_rows_are_means() {
+        let c = cache();
+        let g = pool(&c, 3);
+        let mean = (c.k_at(0, 0, 0) + c.k_at(0, 1, 0) + c.k_at(0, 2, 0)) / 3.0;
+        assert!((g.cache.k_at(0, 0, 0) - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coarser_gisting_is_lossier() {
+        // Compare against the full cache truncated to the pooled length is
+        // not meaningful; instead check pooled rows diverge more from the
+        // span's first row as the span grows.
+        let c = cache();
+        let d2 = pool(&c, 2);
+        let d6 = pool(&c, 6);
+        let err = |g: &GistResult| {
+            let mut e = 0.0f32;
+            for t in 0..g.cache.tokens() {
+                let src = (t * g.span).min(c.tokens() - 1);
+                for ch in 0..c.channels() {
+                    e += (g.cache.k_at(0, t, ch) - c.k_at(0, src, ch)).abs();
+                }
+            }
+            e / g.cache.tokens() as f32
+        };
+        assert!(err(&d6) > err(&d2));
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benches: codec encode/decode throughput and the arithmetic
+//! coder's raw symbol rate (the §7.5 decoding-overhead microbenchmarks).
+
+use cachegen_codec::ac::{Decoder, Encoder};
+use cachegen_codec::symbol_model::FreqTable;
+use cachegen_codec::{CodecConfig, CodecProfile, KvCodec};
+use cachegen_llm::{SimModelConfig, SimTransformer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_ac(c: &mut Criterion) {
+    let table = FreqTable::from_counts(&vec![10u32; 256]);
+    let symbols: Vec<usize> = (0..100_000).map(|i| (i * 31) % 256).collect();
+    let mut enc = Encoder::new();
+    for &s in &symbols {
+        enc.encode(&table, s);
+    }
+    let bytes = enc.finish();
+
+    let mut g = c.benchmark_group("arithmetic_coding");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.bench_function("encode_100k_symbols", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new();
+            for &s in &symbols {
+                enc.encode(&table, s);
+            }
+            enc.finish()
+        })
+    });
+    g.bench_function("decode_100k_symbols", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new(&bytes);
+            let mut acc = 0usize;
+            for _ in 0..symbols.len() {
+                acc ^= dec.decode(&table);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_kv_codec(c: &mut Criterion) {
+    let model = SimTransformer::new(SimModelConfig::llama7b_sim(42));
+    let ctx: Vec<usize> = (0..200).map(|i| (i * 7) % 512).collect();
+    let cache = model.prefill(&ctx);
+    let cfg = CodecConfig::default();
+    let profile = CodecProfile::build(&cfg, &[&cache]);
+    let codec = KvCodec::new(cfg, profile);
+    let enc = codec.encode(&cache);
+
+    let mut g = c.benchmark_group("kv_codec");
+    g.throughput(Throughput::Elements(cache.num_elements() as u64));
+    g.bench_function("encode", |b| b.iter(|| codec.encode(&cache)));
+    g.bench_function("decode_serial", |b| b.iter(|| codec.decode(&enc)));
+    g.bench_function("decode_parallel", |b| b.iter(|| codec.decode_parallel(&enc)));
+    g.finish();
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    // The compute CacheGen avoids: prefill grows superlinearly (Figure 14b).
+    let model = SimTransformer::new(SimModelConfig::llama7b_sim(42));
+    let mut g = c.benchmark_group("prefill");
+    g.sample_size(10);
+    for &len in &[50usize, 100, 200] {
+        let ctx: Vec<usize> = (0..len).map(|i| (i * 7) % 512).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(len), &ctx, |b, ctx| {
+            b.iter(|| model.prefill(ctx))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ac, bench_kv_codec, bench_prefill);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the paper's tables and figures as text output.
+//!
+//! ```text
+//! cargo run -p cachegen-bench --release --bin figures -- all
+//! cargo run -p cachegen-bench --release --bin figures -- table1 fig8 fig13
+//! ```
+
+use cachegen_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <experiment>... | all");
+        eprintln!("experiments: {}", experiments::ALL.join(" "));
+        std::process::exit(if args.is_empty() { 1 } else { 0 });
+    }
+    let list: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in &list {
+        if !experiments::ALL.contains(name) {
+            eprintln!("unknown experiment '{name}'; valid: {}", experiments::ALL.join(" "));
+            std::process::exit(1);
+        }
+    }
+    for name in list {
+        experiments::run(name);
+    }
+}

@@ -1,0 +1,27 @@
+//! Appendix E: the storage-vs-recompute dollar economics.
+
+use crate::harness::section;
+use cachegen_kvstore::CostModel;
+
+/// Appendix E: monthly storage cost vs per-request recompute cost and the
+/// break-even reuse rate.
+pub fn app_e() {
+    section("Appendix E: cost of storing KV cache vs recomputing");
+    // The paper's worked example: an 8.5K-token Llama-13B context whose
+    // CacheGen versions take ~5 GB.
+    let stored_bytes = 5_000_000_000u64;
+    let context_tokens = 8_500u64;
+    for (name, model) in [
+        ("paper rates", CostModel::paper_default()),
+        ("AWS S3 standard", CostModel::s3_standard()),
+    ] {
+        let storage = model.monthly_storage_usd(stored_bytes);
+        let recompute = model.recompute_usd(context_tokens);
+        let breakeven = model.breakeven_requests_per_month(stored_bytes, context_tokens);
+        println!(
+            "{name:<18} storage ${storage:.3}/month, recompute ${recompute:.5}/request, \
+             break-even {breakeven} requests/month"
+        );
+    }
+    println!("(paper: $0.05/month storage, ≥$0.00085/recompute, worthwhile above ~150 reuses)");
+}

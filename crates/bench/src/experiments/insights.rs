@@ -1,0 +1,124 @@
+//! Table 2 and the §5.1 insight figures (3, 4, 5).
+
+use crate::harness::{section, Bench, SIM_CONTEXT_TOKENS};
+use cachegen_codec::delta::consecutive_deltas;
+use cachegen_llm::{eval, KvCache, SimModelConfig, SimTransformer};
+use cachegen_tensor::stats;
+use cachegen_workloads::{paper_length_sample, workload_rng, Dataset, LengthStats};
+
+/// Table 2: dataset size and context-length statistics.
+pub fn table2() {
+    section("Table 2: datasets (paper-scale length statistics)");
+    println!(
+        "{:<12} {:>5} {:>8} {:>8} {:>8}   (paper: median/std)",
+        "Dataset", "Size", "Med.", "Std", "P95"
+    );
+    for d in Dataset::all() {
+        let lens = paper_length_sample(d, 42, d.size());
+        let s = LengthStats::from_lengths(&lens);
+        let (tm, ts) = d.target_stats();
+        println!("{}   ({tm:.0}/{ts:.0})", s.table_row(d.name()));
+    }
+}
+
+fn longchat_cache(cfg: SimModelConfig, seed: u64) -> (SimTransformer, KvCache) {
+    let model = SimTransformer::new(cfg);
+    let mut rng = workload_rng(seed);
+    let sample = Dataset::LongChat.generate(&mut rng, model.config().vocab, SIM_CONTEXT_TOKENS);
+    let cache = model.prefill(&sample.tokens);
+    (model, cache)
+}
+
+/// Figure 3: distribution of original values vs consecutive-token deltas.
+pub fn fig3() {
+    section("Figure 3: original vs delta value distributions (token-wise locality)");
+    for cfg in [SimModelConfig::llama7b_sim(42), SimModelConfig::llama13b_sim(42)] {
+        let name = cfg.name.clone();
+        let (_, cache) = longchat_cache(cfg, 3);
+        let orig: Vec<f32> = cache.k().data().iter().map(|v| v.abs()).collect();
+        let deltas: Vec<f32> = consecutive_deltas(cache.k()).iter().map(|v| v.abs()).collect();
+        let var_ratio = stats::variance(cache.k().data()) / stats::variance(&consecutive_deltas(cache.k()));
+        println!("\n{name}: variance(original)/variance(delta) = {var_ratio:.2} (paper: 2.4-2.9)");
+        println!("{:>6} {:>12} {:>12}", "CDF", "|original|", "|delta|");
+        for q in [0.5f32, 0.75, 0.9, 0.99] {
+            println!(
+                "{:>5.0}% {:>12.4} {:>12.4}",
+                q * 100.0,
+                stats::quantile(&orig, q),
+                stats::quantile(&deltas, q)
+            );
+        }
+    }
+}
+
+/// Figure 4: response accuracy when rounding loss hits one layer group.
+pub fn fig4() {
+    section("Figure 4: layer-wise sensitivity to loss");
+    for cfg in [SimModelConfig::llama7b_sim(42), SimModelConfig::llama13b_sim(42)] {
+        let name = cfg.name.clone();
+        let vocab = cfg.vocab;
+        let (model, cache) = longchat_cache(cfg, 4);
+        let n_layers = cache.layers();
+        let prompts: Vec<Vec<usize>> =
+            (0..24).map(|p| vec![(p * 19) % vocab, (p * 7 + 3) % vocab]).collect();
+        let n_groups = 6.min(n_layers);
+        let per = n_layers.div_ceil(n_groups);
+        println!("\n{name} ({n_layers} layers, loss applied per group of {per}):");
+        println!("{:>12} {:>10}", "layers", "accuracy");
+        for g in 0..n_groups {
+            let (lo, hi) = (g * per, ((g + 1) * per).min(n_layers));
+            if lo >= hi {
+                continue;
+            }
+            let mut k = cache.k().clone();
+            let mut v = cache.v().clone();
+            for t in [&mut k, &mut v] {
+                for l in lo..hi {
+                    for x in t.slab_mut(l) {
+                        *x = (*x / 0.4).round() * 0.4;
+                    }
+                }
+            }
+            let lossy = KvCache::from_tensors(k, v);
+            let acc = eval::first_token_accuracy(&model, &cache, &lossy, &prompts);
+            println!("{:>10}-{:<2} {:>9.2}", lo, hi - 1, acc);
+        }
+    }
+}
+
+/// Figure 5: entropy (bits/element) under different grouping strategies.
+pub fn fig5() {
+    section("Figure 5: entropy by grouping strategy");
+    for cfg in [SimModelConfig::llama7b_sim(42), SimModelConfig::llama13b_sim(42)] {
+        let name = cfg.name.clone();
+        let (_, cache) = longchat_cache(cfg, 5);
+        let t = cache.k();
+        let (layers, tokens, channels) = (cache.layers(), cache.tokens(), cache.channels());
+        let values = t.data();
+        let mut by_token = Vec::with_capacity(values.len());
+        let mut by_channel = Vec::with_capacity(values.len());
+        let mut by_layer = Vec::with_capacity(values.len());
+        let mut by_cl = Vec::with_capacity(values.len());
+        for l in 0..layers {
+            for tok in 0..tokens {
+                for c in 0..channels {
+                    by_layer.push(l);
+                    by_token.push(tok);
+                    by_channel.push(c);
+                    by_cl.push(l * channels + c);
+                }
+            }
+        }
+        let bin = 0.25;
+        println!("\n{name} (bits per element, bin {bin}):");
+        println!("  no grouping      {:.3}", stats::quantized_entropy(values, bin));
+        println!("  by token         {:.3}", stats::grouped_entropy(values, &by_token, bin));
+        println!("  by channel       {:.3}", stats::grouped_entropy(values, &by_channel, bin));
+        println!("  by layer         {:.3}", stats::grouped_entropy(values, &by_layer, bin));
+        println!("  by channel+layer {:.3}", stats::grouped_entropy(values, &by_cl, bin));
+    }
+}
+
+// Bench import used by sibling modules re-exporting through here.
+#[allow(unused_imports)]
+use Bench as _;

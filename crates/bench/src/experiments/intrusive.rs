@@ -1,0 +1,163 @@
+//! Figure 18: CacheGen vs more intrusive methods (Appendix B).
+
+use crate::harness::{section, Bench, SIM_CONTEXTS_PER_CELL};
+use cachegen_baselines::{gisting, scissorhands};
+use cachegen_llm::{eval, ModelSpec, SimModelConfig, SimTransformer};
+use cachegen_workloads::{workload_rng, Dataset};
+
+/// Figure 18: smaller models (left), token selection (middle), gisting
+/// (right) — all vs CacheGen's size/quality frontier.
+pub fn fig18() {
+    smaller_model();
+    token_selection();
+    gist();
+}
+
+/// Left panel: replacing the model with a smaller one (WikiText
+/// perplexity vs KV size).
+fn smaller_model() {
+    section("Figure 18 left: smaller model vs CacheGen (perplexity, lower better)");
+    let bench = Bench::new(
+        SimModelConfig::llama7b_sim(42),
+        Dataset::WikiText,
+        18,
+        SIM_CONTEXTS_PER_CELL,
+    );
+    let big_spec = ModelSpec::llama_7b();
+    let small_spec = ModelSpec::llama_3b();
+    let small = SimTransformer::new(SimModelConfig::llama3b_sim(42));
+    let tokens = 9_400u64;
+
+    println!("{:<26} {:>10} {:>12}", "operating point", "MB", "perplexity");
+    // CacheGen on the big model at each level.
+    for level in [0usize, 2, 4] {
+        let r = bench.level_report(level);
+        println!(
+            "{:<26} {:>10.0} {:>12.2}",
+            format!("CacheGen level {level}"),
+            big_spec.kv_bytes(tokens, r.bits_per_element) as f64 / 1e6,
+            r.quality
+        );
+    }
+    // The smaller model: its KV is smaller, but it models the big model's
+    // text (the reference continuation) far worse.
+    let mut ppl = 0.0;
+    for s in &bench.samples {
+        let big_cache = bench.engine.calculate_kv(&s.tokens);
+        let cont = bench
+            .engine
+            .model()
+            .generate_with_kv(&big_cache, &s.prompt, crate::harness::PPL_HORIZON);
+        let small_cache = small.prefill(&s.tokens);
+        ppl += eval::perplexity(&small, &small_cache, &s.prompt, &cont);
+    }
+    ppl /= bench.samples.len() as f64;
+    for bits in [8.0f64, 4.0, 3.0] {
+        println!(
+            "{:<26} {:>10.0} {:>12.2}",
+            format!("Llama-3B @ {bits:.0}-bit"),
+            small_spec.kv_bytes(tokens, bits) as f64 / 1e6,
+            ppl
+        );
+    }
+}
+
+/// Middle panel: Scissorhands*-style token selection (F1 vs size).
+fn token_selection() {
+    section("Figure 18 middle: token selection (Scissorhands*) vs CacheGen (F1)");
+    let bench = Bench::new(
+        SimModelConfig::llama7b_sim(42),
+        Dataset::TriviaQa,
+        19,
+        SIM_CONTEXTS_PER_CELL,
+    );
+    let spec = ModelSpec::llama_7b();
+    let tokens = 9_400u64;
+    println!("{:<26} {:>10} {:>8}", "operating point", "MB", "F1");
+    for level in [0usize, 2, 4] {
+        let r = bench.level_report(level);
+        println!(
+            "{:<26} {:>10.0} {:>8.2}",
+            format!("CacheGen level {level}"),
+            spec.kv_bytes(tokens, r.bits_per_element) as f64 / 1e6,
+            r.quality
+        );
+    }
+    let model = bench.engine.model();
+    for keep in [0.7f64, 0.5, 0.3] {
+        let mut f1 = 0.0;
+        let mut bits = 0.0;
+        for s in &bench.samples {
+            let cache = bench.engine.calculate_kv(&s.tokens);
+            let pruned = scissorhands::prune(model, &s.tokens, keep);
+            let a = model.generate_with_kv(&cache, &s.prompt, crate::harness::F1_HORIZON);
+            let b = model.generate_with_kv_at(
+                &pruned.cache,
+                s.tokens.len(),
+                &s.prompt,
+                crate::harness::F1_HORIZON,
+            );
+            f1 += eval::token_f1(&b, &a);
+            bits += pruned.wire_bytes(8.0) as f64 * 8.0 / cache.num_elements() as f64;
+        }
+        let n = bench.samples.len() as f64;
+        println!(
+            "{:<26} {:>10.0} {:>8.2}",
+            format!("Scissorhands* keep {keep:.1}"),
+            spec.kv_bytes(tokens, bits / n) as f64 / 1e6,
+            f1 / n
+        );
+    }
+}
+
+/// Right panel: gisting (accuracy vs size).
+fn gist() {
+    section("Figure 18 right: gisting vs CacheGen (accuracy)");
+    let bench = Bench::new(
+        SimModelConfig::llama7b_sim(42),
+        Dataset::LongChat,
+        20,
+        SIM_CONTEXTS_PER_CELL,
+    );
+    let spec = ModelSpec::llama_7b();
+    let tokens = 512u64; // the public gisting model caps at 512 tokens (App. B)
+    println!("{:<26} {:>10} {:>10}", "operating point", "MB", "accuracy");
+    for level in [0usize, 2, 4] {
+        let r = bench.level_report(level);
+        println!(
+            "{:<26} {:>10.1} {:>10.2}",
+            format!("CacheGen level {level}"),
+            spec.kv_bytes(tokens, r.bits_per_element) as f64 / 1e6,
+            r.quality
+        );
+    }
+    let model = bench.engine.model();
+    let mut rng = workload_rng(77);
+    let _ = &mut rng;
+    for span in [2usize, 4, 8] {
+        let mut acc = 0.0;
+        let mut bits = 0.0;
+        for s in &bench.samples {
+            let cache = bench.engine.calculate_kv(&s.tokens);
+            let g = gisting::pool(&cache, span);
+            let prompts = bench.probe_prompts(model.config().vocab);
+            let hits = prompts
+                .iter()
+                .filter(|p| {
+                    let a = model.generate_with_kv(&cache, p, 1);
+                    let b = model.generate_with_kv_at(&g.cache, s.tokens.len(), p, 1);
+                    a == b
+                })
+                .count();
+            acc += hits as f64 / prompts.len() as f64;
+            bits += g.wire_bytes(16.0) as f64 * 8.0 / cache.num_elements() as f64;
+        }
+        let n = bench.samples.len() as f64;
+        println!(
+            "{:<26} {:>10.1} {:>10.2}",
+            format!("Gisting span {span}"),
+            spec.kv_bytes(tokens, bits / n) as f64 / 1e6,
+            acc / n
+        );
+    }
+}

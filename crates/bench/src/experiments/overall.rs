@@ -1,0 +1,239 @@
+//! Headline results: Table 1 and Figures 8, 9, 10.
+
+use crate::harness::{section, Bench, SIM_CONTEXTS_PER_CELL};
+use cachegen::{LoadMethod, TtftModel};
+use cachegen_baselines::{h2o, lingua};
+use cachegen_codec::{CodecConfig, CodecProfile, KvCodec};
+use cachegen_llm::{GpuSpec, ModelSpec, SimModelConfig};
+use cachegen_net::trace::GBPS;
+use cachegen_workloads::{Dataset, Metric};
+
+const PAPER_TOKENS: u64 = 9_400;
+
+/// Table 1: KV size (paper-scale MB) and accuracy for CacheGen, the 8-bit
+/// baseline, H2O, LLMLingua, and CacheGen layered on both.
+pub fn table1() {
+    section("Table 1: Mistral-7B × LongChat — size vs accuracy");
+    let bench = Bench::new(
+        SimModelConfig::mistral7b_sim(42),
+        Dataset::LongChat,
+        1,
+        SIM_CONTEXTS_PER_CELL,
+    );
+    let spec = ModelSpec::mistral_7b();
+    let q8 = bench.quant_report(8);
+    let cg = bench.level_report(1);
+
+    // H2O and CacheGen∘H2O (keep 50% of tokens).
+    let keep = 0.5;
+    let mut h2o_bits = 0.0;
+    let mut h2o_q = 0.0;
+    let mut cg_h2o_bits = 0.0;
+    let mut cg_h2o_q = 0.0;
+    let mut lingua_bits = 0.0;
+    let mut lingua_q = 0.0;
+    let mut cg_lingua_bits = 0.0;
+    let mut cg_lingua_q = 0.0;
+    for s in &bench.samples {
+        let model = bench.engine.model();
+        let cache = bench.engine.calculate_kv(&s.tokens);
+        let full_elems = cache.num_elements() as f64;
+
+        let pruned = h2o::prune(model, &s.tokens, keep);
+        // Wire bits normalised by the *full* cache's elements so sizes are
+        // comparable across methods.
+        h2o_bits += pruned.wire_bytes(8.0) as f64 * 8.0 / full_elems;
+        let prompts = bench.probe_prompts(model.config().vocab);
+        let h2o_acc = {
+            let hits = prompts
+                .iter()
+                .filter(|p| {
+                    let a = model.generate_with_kv(&cache, p, 1);
+                    let b = model.generate_with_kv_at(&pruned.cache, s.tokens.len(), p, 1);
+                    a == b
+                })
+                .count();
+            hits as f64 / prompts.len() as f64
+        };
+        h2o_q += h2o_acc;
+        let cfg = CodecConfig::default();
+        let profile = CodecProfile::build(&cfg, &[&pruned.cache]);
+        let enc = KvCodec::new(cfg, profile).encode(&pruned.cache);
+        cg_h2o_bits += enc.total_bytes() as f64 * 8.0 / full_elems;
+        cg_h2o_q += h2o_acc; // CacheGen on H2O is near-lossless on top
+
+        let compressed = lingua::compress(&s.tokens, 0.6);
+        let small = model.prefill(&compressed.tokens);
+        lingua_bits += small.size_bytes(8.0) as f64 * 8.0 / full_elems;
+        let lingua_acc = {
+            let hits = prompts
+                .iter()
+                .filter(|p| {
+                    let a = model.generate_with_kv(&cache, p, 1);
+                    let b = model.generate_with_kv_at(&small, s.tokens.len(), p, 1);
+                    a == b
+                })
+                .count();
+            hits as f64 / prompts.len() as f64
+        };
+        lingua_q += lingua_acc;
+        let cfg2 = CodecConfig::default();
+        let profile2 = CodecProfile::build(&cfg2, &[&small]);
+        let enc2 = KvCodec::new(cfg2, profile2).encode(&small);
+        cg_lingua_bits += enc2.total_bytes() as f64 * 8.0 / full_elems;
+        cg_lingua_q += lingua_acc;
+    }
+    let n = bench.samples.len() as f64;
+    let mb = |bits: f64| spec.kv_bytes(PAPER_TOKENS, bits) as f64 / 1e6;
+    let norm = q8.quality.max(1e-9);
+    println!(
+        "{:<26} {:>10} {:>10}   (paper: 622 MB / 1.00 for 8-bit)",
+        "Technique", "MB", "Accuracy"
+    );
+    let rows: Vec<(&str, f64, f64)> = vec![
+        ("8-bit quantization", q8.bits_per_element, q8.quality),
+        ("CacheGen (this paper)", cg.bits_per_element, cg.quality),
+        ("H2O", h2o_bits / n, h2o_q / n),
+        ("CacheGen on H2O", cg_h2o_bits / n, cg_h2o_q / n),
+        ("LLMLingua", lingua_bits / n, lingua_q / n),
+        ("CacheGen on LLMLingua", cg_lingua_bits / n, cg_lingua_q / n),
+    ];
+    for (name, bits, q) in rows {
+        println!("{:<26} {:>10.0} {:>10.2}", name, mb(bits), q / norm);
+    }
+}
+
+/// Figure 8: TTFT vs quality across three models and four datasets.
+pub fn fig8() {
+    section("Figure 8: TTFT (3 Gbps) and quality per model × dataset");
+    let models: [(SimModelConfig, ModelSpec); 3] = [
+        (SimModelConfig::mistral7b_sim(42), ModelSpec::mistral_7b()),
+        (SimModelConfig::llama34b_sim(42), ModelSpec::llama_34b()),
+        (SimModelConfig::llama70b_sim(42), ModelSpec::llama_70b()),
+    ];
+    let bw = 3.0 * GBPS;
+    for (sim, spec) in models {
+        for dataset in Dataset::all() {
+            let bench = Bench::new(sim.clone(), dataset, 8, SIM_CONTEXTS_PER_CELL);
+            let cg = bench.level_report(1);
+            let q8 = bench.quant_report(8);
+            let ttft = TtftModel::new(spec.clone(), GpuSpec::default());
+            let t_text = ttft.ttft(LoadMethod::TextContext, PAPER_TOKENS, bw).total();
+            let t_q8 = ttft
+                .ttft(LoadMethod::Quantized { bits: 8.0 }, PAPER_TOKENS, bw)
+                .total();
+            let t_cg = ttft
+                .ttft(
+                    LoadMethod::CacheGen {
+                        bits_per_element: cg.bits_per_element,
+                    },
+                    PAPER_TOKENS,
+                    bw,
+                )
+                .total();
+            let (qt, q8q, cgq) = match dataset.metric() {
+                Metric::Perplexity => (1.0, q8.quality, cg.quality),
+                _ => (1.0, q8.quality, cg.quality),
+            };
+            println!(
+                "{:<14} {:<12} text {:>5.2}s/{:>4.2}  quant8 {:>5.2}s/{:>4.2}  CacheGen {:>5.2}s/{:>4.2}",
+                spec.name,
+                dataset.name(),
+                t_text,
+                qt,
+                t_q8,
+                q8q,
+                t_cg,
+                cgq
+            );
+        }
+    }
+    println!("(quality = accuracy/F1 relative metric, or perplexity for WikiText — lower better)");
+}
+
+/// Figure 9: size ↔ quality trade-off curves.
+pub fn fig9() {
+    section("Figure 9: KV size vs quality (level ladder and quant baseline)");
+    for sim in [
+        SimModelConfig::mistral7b_sim(42),
+        SimModelConfig::llama34b_sim(42),
+        SimModelConfig::llama70b_sim(42),
+    ] {
+        let name = sim.name.clone();
+        let bench = Bench::new(sim, Dataset::LongChat, 9, SIM_CONTEXTS_PER_CELL);
+        println!("\n{name}:");
+        println!("{:<22} {:>12} {:>10}", "operating point", "bits/elem", "quality");
+        for bits in [8u8, 4, 3] {
+            let r = bench.quant_report(bits);
+            println!("{:<22} {:>12.2} {:>10.2}", format!("quant {bits}-bit"), r.bits_per_element, r.quality);
+        }
+        for level in 0..bench.engine.num_levels() {
+            let r = bench.level_report(level);
+            println!(
+                "{:<22} {:>12.2} {:>10.2}",
+                format!("CacheGen level {level}"),
+                r.bits_per_element,
+                r.quality
+            );
+        }
+    }
+}
+
+/// Figure 10: CacheGen layered on H2O / LLMLingua across keep ratios.
+pub fn fig10() {
+    section("Figure 10: CacheGen on top of context compression");
+    let bench = Bench::new(
+        SimModelConfig::mistral7b_sim(42),
+        Dataset::LongChat,
+        10,
+        SIM_CONTEXTS_PER_CELL,
+    );
+    let model = bench.engine.model();
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}",
+        "keep", "pruned@8bit b/e", "CacheGen∘ b/e", "reduction"
+    );
+    for keep in [0.3f64, 0.5, 0.7] {
+        let mut pruned_bits = 0.0;
+        let mut cg_bits = 0.0;
+        for s in &bench.samples {
+            let cache = bench.engine.calculate_kv(&s.tokens);
+            let full = cache.num_elements() as f64;
+            let pruned = h2o::prune(model, &s.tokens, keep);
+            pruned_bits += pruned.wire_bytes(8.0) as f64 * 8.0 / full;
+            let cfg = CodecConfig::default();
+            let profile = CodecProfile::build(&cfg, &[&pruned.cache]);
+            cg_bits +=
+                KvCodec::new(cfg, profile).encode(&pruned.cache).total_bytes() as f64 * 8.0 / full;
+        }
+        let n = bench.samples.len() as f64;
+        println!(
+            "H2O {keep:.1}   {:>16.2} {:>16.2} {:>9.1}x",
+            pruned_bits / n,
+            cg_bits / n,
+            pruned_bits / cg_bits
+        );
+    }
+    for keep in [0.4f64, 0.6, 0.8] {
+        let mut base_bits = 0.0;
+        let mut cg_bits = 0.0;
+        for s in &bench.samples {
+            let cache = bench.engine.calculate_kv(&s.tokens);
+            let full = cache.num_elements() as f64;
+            let compressed = lingua::compress(&s.tokens, keep);
+            let small = model.prefill(&compressed.tokens);
+            base_bits += small.size_bytes(8.0) as f64 * 8.0 / full;
+            let cfg = CodecConfig::default();
+            let profile = CodecProfile::build(&cfg, &[&small]);
+            cg_bits += KvCodec::new(cfg, profile).encode(&small).total_bytes() as f64 * 8.0 / full;
+        }
+        let n = bench.samples.len() as f64;
+        println!(
+            "Lingua {keep:.1} {:>15.2} {:>16.2} {:>9.1}x",
+            base_bits / n,
+            cg_bits / n,
+            base_bits / cg_bits
+        );
+    }
+    println!("(bits per element of the ORIGINAL cache; paper reports 3.3-4.2x further reduction)");
+}

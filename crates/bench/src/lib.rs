@@ -1,0 +1,20 @@
+//! Shared harness for regenerating every table and figure of the paper.
+//!
+//! The `figures` binary (`cargo run -p cachegen-bench --release --bin
+//! figures -- <experiment>|all`) drives the functions in this crate; the
+//! Criterion benches under `benches/` reuse the same builders for
+//! throughput measurements and ablations.
+//!
+//! Two measurement scales, per DESIGN.md §2:
+//! * **functional** — quality numbers (accuracy / F1 / perplexity) and
+//!   compression ratios are *measured* by running the simulator codec;
+//! * **analytic** — GB sizes and second-scale TTFTs apply those measured
+//!   ratios to the real models' dimensions ([`cachegen_llm::ModelSpec`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Bench, QualityReport};

@@ -1,0 +1,261 @@
+//! Integer arithmetic coding (Witten–Neal–Cleary, 32-bit precision).
+//!
+//! This is the lossless entropy-coding stage of CacheGen's encoder (§5.2
+//! "Arithmetic coding"): symbols drawn from low-entropy distributions are
+//! coded in fractionally fewer bits than fixed-width encodings. The coder is
+//! *static*: the symbol distribution is supplied per symbol by the caller
+//! (CacheGen profiles one distribution per (layer, channel) offline, §5.2),
+//! and the decoder must be driven with exactly the same sequence of
+//! distributions.
+//!
+//! The implementation is the textbook integer algorithm with 32-bit state
+//! carried in `u64`s, E1/E2 scaling (emit matching leading bits) and E3
+//! underflow handling (pending bits).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::symbol_model::FreqTable;
+
+const PRECISION: u32 = 32;
+const WHOLE: u64 = 1 << PRECISION;
+const HALF: u64 = WHOLE / 2;
+const QUARTER: u64 = WHOLE / 4;
+
+/// Streaming arithmetic encoder.
+pub struct Encoder {
+    low: u64,
+    high: u64,
+    pending: u64,
+    out: BitWriter,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Creates a fresh encoder.
+    pub fn new() -> Self {
+        Encoder {
+            low: 0,
+            high: WHOLE - 1,
+            pending: 0,
+            out: BitWriter::new(),
+        }
+    }
+
+    fn emit(&mut self, bit: bool) {
+        self.out.push(bit);
+        while self.pending > 0 {
+            self.out.push(!bit);
+            self.pending -= 1;
+        }
+    }
+
+    /// Encodes one alphabet index under the given frequency table.
+    pub fn encode(&mut self, table: &FreqTable, index: usize) {
+        let (cum_lo, cum_hi) = table.range(index);
+        let total = table.total();
+        debug_assert!(cum_hi > cum_lo, "symbol {index} has zero frequency");
+        let span = self.high - self.low + 1;
+        self.high = self.low + span * cum_hi / total - 1;
+        self.low += span * cum_lo / total;
+        loop {
+            if self.high < HALF {
+                self.emit(false);
+            } else if self.low >= HALF {
+                self.emit(true);
+                self.low -= HALF;
+                self.high -= HALF;
+            } else if self.low >= QUARTER && self.high < HALF + QUARTER {
+                self.pending += 1;
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+        }
+    }
+
+    /// Flushes the final interval and returns the bitstream bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        // Disambiguate the final interval with one more bit (+ pending).
+        self.pending += 1;
+        if self.low < QUARTER {
+            self.emit(false);
+        } else {
+            self.emit(true);
+        }
+        self.out.finish()
+    }
+}
+
+/// Streaming arithmetic decoder. Must be fed the same sequence of frequency
+/// tables the encoder used.
+pub struct Decoder<'a> {
+    low: u64,
+    high: u64,
+    value: u64,
+    input: BitReader<'a>,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over an encoded byte stream.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        let mut input = BitReader::new(bytes);
+        let mut value = 0u64;
+        for _ in 0..PRECISION {
+            value = (value << 1) | (input.next() as u64);
+        }
+        Decoder {
+            low: 0,
+            high: WHOLE - 1,
+            value,
+            input,
+        }
+    }
+
+    /// Decodes one alphabet index under the given frequency table.
+    pub fn decode(&mut self, table: &FreqTable) -> usize {
+        let total = table.total();
+        let span = self.high - self.low + 1;
+        // scaled value in [0, total)
+        let scaled = ((self.value - self.low + 1) * total - 1) / span;
+        let index = table.find(scaled);
+        let (cum_lo, cum_hi) = table.range(index);
+        self.high = self.low + span * cum_hi / total - 1;
+        self.low += span * cum_lo / total;
+        loop {
+            if self.high < HALF {
+                // nothing
+            } else if self.low >= HALF {
+                self.low -= HALF;
+                self.high -= HALF;
+                self.value -= HALF;
+            } else if self.low >= QUARTER && self.high < HALF + QUARTER {
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+                self.value -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+            self.value = (self.value << 1) | (self.input.next() as u64);
+        }
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol_model::FreqTable;
+    use rand::Rng;
+
+    fn round_trip(symbols: &[usize], table: &FreqTable) -> Vec<usize> {
+        let mut enc = Encoder::new();
+        for &s in symbols {
+            enc.encode(table, s);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        (0..symbols.len()).map(|_| dec.decode(table)).collect()
+    }
+
+    #[test]
+    fn round_trip_uniform_alphabet() {
+        let table = FreqTable::uniform(8);
+        let symbols: Vec<usize> = (0..1000).map(|i| (i * 31) % 8).collect();
+        assert_eq!(round_trip(&symbols, &table), symbols);
+    }
+
+    #[test]
+    fn round_trip_skewed_alphabet() {
+        let table = FreqTable::from_counts(&[1000, 10, 5, 1]);
+        let symbols = vec![0, 0, 0, 1, 0, 2, 0, 0, 3, 0, 0, 0, 1, 0];
+        assert_eq!(round_trip(&symbols, &table), symbols);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses_below_fixed_width() {
+        // 97% of symbols are 0; entropy ≈ 0.24 bits ≪ 2-bit fixed width.
+        let table = FreqTable::from_counts(&[970, 10, 10, 10]);
+        let mut rng = cachegen_tensor::rng::seeded(11);
+        let symbols: Vec<usize> = (0..10_000)
+            .map(|_| {
+                let r: f32 = rng.gen();
+                if r < 0.97 {
+                    0
+                } else {
+                    1 + (rng.gen::<u32>() % 3) as usize
+                }
+            })
+            .collect();
+        let mut enc = Encoder::new();
+        for &s in &symbols {
+            enc.encode(&table, s);
+        }
+        let bytes = enc.finish();
+        let bits_per_symbol = bytes.len() as f64 * 8.0 / symbols.len() as f64;
+        assert!(
+            bits_per_symbol < 0.5,
+            "expected <0.5 bits/symbol, got {bits_per_symbol:.3}"
+        );
+        // And it still decodes exactly.
+        let mut dec = Decoder::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.decode(&table), s);
+        }
+    }
+
+    #[test]
+    fn per_symbol_context_switching() {
+        // Alternate between two different tables — the decoder must follow.
+        let t0 = FreqTable::from_counts(&[10, 1, 1, 1]);
+        let t1 = FreqTable::from_counts(&[1, 1, 1, 10]);
+        let symbols: Vec<usize> = (0..500).map(|i| if i % 2 == 0 { 0 } else { 3 }).collect();
+        let mut enc = Encoder::new();
+        for (i, &s) in symbols.iter().enumerate() {
+            enc.encode(if i % 2 == 0 { &t0 } else { &t1 }, s);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        for (i, &s) in symbols.iter().enumerate() {
+            assert_eq!(dec.decode(if i % 2 == 0 { &t0 } else { &t1 }), s);
+        }
+        // Each symbol is the most likely one under its table, so the whole
+        // stream should be well under 1 bit/symbol.
+        assert!(bytes.len() * 8 < symbols.len());
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        let table = FreqTable::uniform(256);
+        assert_eq!(round_trip(&[42], &table), vec![42]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = Encoder::new();
+        let bytes = enc.finish();
+        assert!(bytes.len() <= 1);
+    }
+
+    #[test]
+    fn random_streams_round_trip() {
+        let mut rng = cachegen_tensor::rng::seeded(99);
+        for trial in 0..20 {
+            let alpha = 2 + (trial % 16);
+            let counts: Vec<u32> = (0..alpha).map(|_| 1 + rng.gen::<u32>() % 100).collect();
+            let table = FreqTable::from_counts(&counts);
+            let n = 1 + (rng.gen::<usize>() % 2000);
+            let symbols: Vec<usize> =
+                (0..n).map(|_| rng.gen::<usize>() % alpha).collect();
+            assert_eq!(round_trip(&symbols, &table), symbols, "trial {trial}");
+        }
+    }
+}

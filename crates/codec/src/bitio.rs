@@ -1,0 +1,134 @@
+//! Bit-level I/O over byte buffers, used by the arithmetic coder.
+//!
+//! Bits are written MSB-first within each byte. The writer pads the final
+//! partial byte with zeros; the reader returns zeros past the end of input
+//! (the arithmetic decoder relies on this to drain its final symbols, a
+//! standard convention).
+
+/// Writes individual bits into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    current: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        self.current = (self.current << 1) | (bit as u8);
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.buf.push(self.current);
+            self.current = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Finishes the stream, zero-padding to a byte boundary.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.current <<= 8 - self.nbits;
+            self.buf.push(self.current);
+        }
+        self.buf
+    }
+}
+
+/// Reads bits from a byte slice, yielding `false` past the end.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads the next bit (`false` once input is exhausted).
+    pub fn next(&mut self) -> bool {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            self.pos += 1;
+            return false;
+        }
+        let bit = 7 - (self.pos % 8) as u32;
+        self.pos += 1;
+        (self.buf[byte] >> bit) & 1 == 1
+    }
+
+    /// Number of bits consumed (including synthetic trailing zeros).
+    pub fn bits_read(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_bits() {
+        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.push(b);
+        }
+        assert_eq!(w.bit_len(), 10);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.next(), b);
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        // 1000_0001
+        w.push(true);
+        for _ in 0..6 {
+            w.push(false);
+        }
+        w.push(true);
+        assert_eq!(w.finish(), vec![0b1000_0001]);
+    }
+
+    #[test]
+    fn reader_yields_zeros_past_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        for _ in 0..8 {
+            assert!(r.next());
+        }
+        for _ in 0..16 {
+            assert!(!r.next());
+        }
+    }
+
+    #[test]
+    fn empty_writer_produces_empty_buffer() {
+        assert!(BitWriter::new().finish().is_empty());
+    }
+
+    #[test]
+    fn partial_byte_zero_padded() {
+        let mut w = BitWriter::new();
+        w.push(true);
+        w.push(true);
+        assert_eq!(w.finish(), vec![0b1100_0000]);
+    }
+}

@@ -1,0 +1,680 @@
+//! The end-to-end KV-cache encoder/decoder.
+//!
+//! Encoding a chunk (§5.2):
+//! 1. split each layer's token axis into anchor groups ([`crate::delta`]);
+//! 2. quantize anchor rows at high precision (8-bit-equivalent bin) and
+//!    delta rows with the layer group's bin ([`cachegen_quant`]);
+//! 3. arithmetic-code the symbols with per-(layer, channel) distributions
+//!    from an offline [`CodecProfile`] ([`crate::ac`]).
+//!
+//! Each layer produces an independent bitstream for K and one for V, so
+//! decoding parallelises across layers (the CPU stand-in for the paper's
+//! per-token CUDA threads, §6). Deltas are taken against the *reconstructed*
+//! (quantized) anchor, so anchor quantization error does not leak into
+//! member tokens — total error per element is bounded by half the applicable
+//! quantization step.
+
+use crate::ac::{Decoder, Encoder};
+use crate::delta::GroupLayout;
+use crate::profile::CodecProfile;
+use crate::symbol_model::ModelGranularity;
+use crate::{index_to_symbol, symbol_to_index};
+use cachegen_llm::KvCache;
+use cachegen_quant::{BinQuantizer, LayerGroupBins};
+use cachegen_tensor::Tensor;
+
+/// Configuration of the CacheGen codec (one *encoding level* — the streamer
+/// holds several, produced by scaling `bins`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CodecConfig {
+    /// Tokens per anchor group (§5.2 default: 10).
+    pub group_size: usize,
+    /// Per-layer-group delta quantization bins (§C.2 default: 0.5/1.0/1.5).
+    pub bins: LayerGroupBins,
+    /// Anchor-token bin in scale units; 1/16 ≈ 8-bit precision over ±8σ
+    /// (256 symbols before the alphabet clamp binds).
+    pub anchor_bin: f32,
+    /// Symbol-distribution grouping (paper: per channel-layer).
+    pub granularity: ModelGranularity,
+    /// If false, skip the delta transform and code raw quantized values
+    /// (the "Quant + AC" ablation arm of Figure 15).
+    pub delta_encoding: bool,
+    /// Floor applied to profiled scales, guards near-constant channels.
+    pub scale_floor: f32,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig {
+            group_size: crate::delta::DEFAULT_GROUP_SIZE,
+            bins: LayerGroupBins::paper_default(),
+            anchor_bin: 1.0 / 16.0,
+            granularity: ModelGranularity::PerChannelLayer,
+            delta_encoding: true,
+            scale_floor: 1e-4,
+        }
+    }
+}
+
+impl CodecConfig {
+    /// This config with all delta bins scaled by `factor` (a different
+    /// encoding level: `factor > 1` = smaller streams, lower quality).
+    pub fn with_bin_factor(&self, factor: f32) -> Self {
+        CodecConfig {
+            bins: self.bins.scaled(factor),
+            ..self.clone()
+        }
+    }
+}
+
+/// Which of the two per-(layer, channel) distributions a symbol belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymKind {
+    /// Anchor-token symbol (fine quantization, own distribution).
+    Anchor,
+    /// Delta symbol (layer-group bin, own distribution).
+    Delta,
+}
+
+/// An encoded KV cache (one chunk at one encoding level): the KV bitstream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncodedKv {
+    /// Transformer layers covered.
+    pub layers: usize,
+    /// Tokens covered.
+    pub tokens: usize,
+    /// Channels per token per layer.
+    pub channels: usize,
+    /// Anchor group size used.
+    pub group_size: usize,
+    /// Whether delta encoding was applied.
+    pub delta_encoding: bool,
+    /// Per-layer bitstreams for the K tensor.
+    pub k_streams: Vec<Vec<u8>>,
+    /// Per-layer bitstreams for the V tensor.
+    pub v_streams: Vec<Vec<u8>>,
+    /// Per-(layer, channel) scales shipped with the stream, `[kind][layer]
+    /// [channel]` with kinds ordered K-anchor, K-delta, V-anchor, V-delta.
+    /// Vectorwise quantization derives scales from the tensor itself
+    /// (LLM.int8 style, §5.2), so they are per-context wire data — unlike
+    /// the AC probability tables, which are profiled offline per model.
+    pub scales: [Vec<Vec<f32>>; 4],
+}
+
+impl EncodedKv {
+    /// Wire size in bytes: payload, per-(layer, channel) scales at fp16,
+    /// container framing (16-byte header and a 4-byte length per stream).
+    pub fn total_bytes(&self) -> u64 {
+        let payload: usize = self
+            .k_streams
+            .iter()
+            .chain(&self.v_streams)
+            .map(Vec::len)
+            .sum();
+        let scale_count: usize = self.scales.iter().flatten().map(Vec::len).sum();
+        (payload + 2 * scale_count + 16 + 4 * (self.k_streams.len() + self.v_streams.len()))
+            as u64
+    }
+
+    /// Serialises to a flat byte buffer (the unit the network simulator
+    /// transfers).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes() as usize);
+        out.extend_from_slice(b"CGKV");
+        out.push(1); // version
+        out.push(self.delta_encoding as u8);
+        out.extend_from_slice(&(self.layers as u16).to_le_bytes());
+        out.extend_from_slice(&(self.tokens as u32).to_le_bytes());
+        out.extend_from_slice(&(self.channels as u16).to_le_bytes());
+        out.extend_from_slice(&(self.group_size as u16).to_le_bytes());
+        for set in &self.scales {
+            for layer in set {
+                for &s in layer {
+                    out.extend_from_slice(&scale_to_wire(s).to_le_bytes());
+                }
+            }
+        }
+        for stream in self.k_streams.iter().chain(&self.v_streams) {
+            out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+            out.extend_from_slice(stream);
+        }
+        out
+    }
+
+    /// Parses a buffer produced by [`EncodedKv::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if *pos + n > bytes.len() {
+                return Err(format!("truncated at offset {pos}", pos = *pos));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != b"CGKV" {
+            return Err("bad magic".into());
+        }
+        let version = take(&mut pos, 1)?[0];
+        if version != 1 {
+            return Err(format!("unsupported version {version}"));
+        }
+        let delta_encoding = take(&mut pos, 1)?[0] != 0;
+        let layers = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let tokens = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let channels = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let group_size = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let mut scales: [Vec<Vec<f32>>; 4] = Default::default();
+        for set in &mut scales {
+            for _ in 0..layers {
+                let mut row = Vec::with_capacity(channels);
+                for _ in 0..channels {
+                    let w = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+                    row.push(wire_to_scale(w));
+                }
+                set.push(row);
+            }
+        }
+        let mut streams = Vec::with_capacity(2 * layers);
+        for _ in 0..2 * layers {
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            streams.push(take(&mut pos, len)?.to_vec());
+        }
+        let v_streams = streams.split_off(layers);
+        Ok(EncodedKv {
+            layers,
+            tokens,
+            channels,
+            group_size,
+            delta_encoding,
+            k_streams: streams,
+            v_streams,
+            scales,
+        })
+    }
+}
+
+/// Truncates an f32 scale to bf16 for the wire (upper 16 bits; ≤0.4%
+/// relative error). The encoder quantizes *through* this representation so
+/// the decoder reconstructs with identical steps.
+pub fn scale_to_wire(s: f32) -> u16 {
+    (s.to_bits() >> 16) as u16
+}
+
+/// Inverse of [`scale_to_wire`].
+pub fn wire_to_scale(w: u16) -> f32 {
+    f32::from_bits((w as u32) << 16)
+}
+
+/// The CacheGen codec: a config plus a per-model profile.
+pub struct KvCodec {
+    config: CodecConfig,
+    profile: CodecProfile,
+}
+
+/// Walks one layer slab in the canonical symbol order, quantizing as it
+/// goes and invoking `emit(kind, channel, symbol)` per symbol. Shared by
+/// profiling (counting) and encoding (AC) so their orders can never drift.
+#[allow(clippy::too_many_arguments)] // one call site each in profile/encode
+pub(crate) fn walk_layer_symbols<F>(
+    slab: &[f32],
+    channels: usize,
+    layout: GroupLayout,
+    delta_encoding: bool,
+    anchor_q: BinQuantizer,
+    delta_q: BinQuantizer,
+    anchor_scales: &[f32],
+    delta_scales: &[f32],
+    mut emit: F,
+) where
+    F: FnMut(SymKind, usize, i32),
+{
+    if delta_encoding {
+        let mut recon_anchor = vec![0.0f32; channels];
+        for (anchor, members) in layout.groups() {
+            let arow = &slab[anchor * channels..(anchor + 1) * channels];
+            for c in 0..channels {
+                let step = anchor_q.step(anchor_scales[c]);
+                let sym =
+                    clamp_symbol((arow[c] / step).round() as i64);
+                emit(SymKind::Anchor, c, sym);
+                recon_anchor[c] = sym as f32 * step;
+            }
+            for t in members {
+                let row = &slab[t * channels..(t + 1) * channels];
+                for c in 0..channels {
+                    let step = delta_q.step(delta_scales[c]);
+                    let d = row[c] - recon_anchor[c];
+                    let sym = clamp_symbol((d / step).round() as i64);
+                    emit(SymKind::Delta, c, sym);
+                }
+            }
+        }
+    } else {
+        // Ablation arm: raw values, delta distribution/bins.
+        for t in 0..layout.tokens {
+            let row = &slab[t * channels..(t + 1) * channels];
+            for c in 0..channels {
+                let step = delta_q.step(delta_scales[c]);
+                let sym = clamp_symbol((row[c] / step).round() as i64);
+                emit(SymKind::Delta, c, sym);
+            }
+        }
+    }
+}
+
+fn clamp_symbol(s: i64) -> i32 {
+    // Round-trip through the alphabet clamp so encoder-side reconstruction
+    // matches what the decoder will produce.
+    index_to_symbol(symbol_to_index(s.clamp(i32::MIN as i64, i32::MAX as i64) as i32))
+}
+
+impl KvCodec {
+    /// Creates a codec. The profile must have been built for the same model
+    /// dimensions and a compatible config.
+    pub fn new(config: CodecConfig, profile: CodecProfile) -> Self {
+        assert_eq!(
+            profile.granularity(),
+            config.granularity,
+            "profile granularity does not match config"
+        );
+        KvCodec { config, profile }
+    }
+
+    /// The codec's configuration.
+    pub fn config(&self) -> &CodecConfig {
+        &self.config
+    }
+
+    /// The codec's profile.
+    pub fn profile(&self) -> &CodecProfile {
+        &self.profile
+    }
+
+    fn quantizers(&self, layer: usize, n_layers: usize) -> (BinQuantizer, BinQuantizer) {
+        (
+            BinQuantizer::new(self.config.anchor_bin),
+            BinQuantizer::new(self.config.bins.bin_for_layer(layer, n_layers)),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn encode_layer(
+        &self,
+        slab: &[f32],
+        layer: usize,
+        n_layers: usize,
+        is_k: bool,
+        anchor_scales: &[f32],
+        delta_scales: &[f32],
+    ) -> Vec<u8> {
+        let channels = self.profile.channels();
+        let tokens = slab.len() / channels;
+        let layout = GroupLayout::new(self.config.group_size, tokens);
+        let (anchor_q, delta_q) = self.quantizers(layer, n_layers);
+        let mut enc = Encoder::new();
+        walk_layer_symbols(
+            slab,
+            channels,
+            layout,
+            self.config.delta_encoding,
+            anchor_q,
+            delta_q,
+            anchor_scales,
+            delta_scales,
+            |kind, c, sym| {
+                let table = self.profile.table(kind, is_k, layer, c);
+                enc.encode(table, symbol_to_index(sym));
+            },
+        );
+        enc.finish()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_layer(
+        &self,
+        stream: &[u8],
+        layer: usize,
+        n_layers: usize,
+        tokens: usize,
+        is_k: bool,
+        delta_encoding: bool,
+        group_size: usize,
+        anchor_scales: &[f32],
+        delta_scales: &[f32],
+    ) -> Vec<f32> {
+        let channels = self.profile.channels();
+        let layout = GroupLayout::new(group_size, tokens);
+        let (anchor_q, delta_q) = self.quantizers(layer, n_layers);
+        let mut dec = Decoder::new(stream);
+        let mut out = vec![0.0f32; tokens * channels];
+        if delta_encoding {
+            let mut recon_anchor = vec![0.0f32; channels];
+            for (anchor, members) in layout.groups() {
+                for c in 0..channels {
+                    let table = self.profile.table(SymKind::Anchor, is_k, layer, c);
+                    let sym = index_to_symbol(dec.decode(table));
+                    let step = anchor_q.step(anchor_scales[c]);
+                    recon_anchor[c] = sym as f32 * step;
+                    out[anchor * channels + c] = recon_anchor[c];
+                }
+                for t in members {
+                    for c in 0..channels {
+                        let table = self.profile.table(SymKind::Delta, is_k, layer, c);
+                        let sym = index_to_symbol(dec.decode(table));
+                        let step = delta_q.step(delta_scales[c]);
+                        out[t * channels + c] = recon_anchor[c] + sym as f32 * step;
+                    }
+                }
+            }
+        } else {
+            for t in 0..tokens {
+                for c in 0..channels {
+                    let table = self.profile.table(SymKind::Delta, is_k, layer, c);
+                    let sym = index_to_symbol(dec.decode(table));
+                    let step = delta_q.step(delta_scales[c]);
+                    out[t * channels + c] = sym as f32 * step;
+                }
+            }
+        }
+        out
+    }
+
+    /// Encodes a KV cache (one context chunk) into a KV bitstream.
+    ///
+    /// Vectorwise scales are computed from the cache itself (LLM.int8
+    /// style), rounded through the bf16 wire representation, and shipped in
+    /// the stream header; only the AC symbol distributions come from the
+    /// offline profile.
+    pub fn encode(&self, cache: &KvCache) -> EncodedKv {
+        assert_eq!(cache.channels(), self.profile.channels(), "channel mismatch");
+        assert_eq!(cache.layers(), self.profile.layers(), "layer mismatch");
+        let n_layers = cache.layers();
+        let wire_round = |scales: Vec<Vec<f32>>| -> Vec<Vec<f32>> {
+            scales
+                .into_iter()
+                .map(|row| row.into_iter().map(|s| wire_to_scale(scale_to_wire(s))).collect())
+                .collect()
+        };
+        let (ka, kd) = crate::profile::single_cache_scales(cache, true, &self.config);
+        let (va, vd) = crate::profile::single_cache_scales(cache, false, &self.config);
+        let scales = [wire_round(ka), wire_round(kd), wire_round(va), wire_round(vd)];
+        let k_streams = (0..n_layers)
+            .map(|l| {
+                self.encode_layer(cache.k().slab(l), l, n_layers, true, &scales[0][l], &scales[1][l])
+            })
+            .collect();
+        let v_streams = (0..n_layers)
+            .map(|l| {
+                self.encode_layer(cache.v().slab(l), l, n_layers, false, &scales[2][l], &scales[3][l])
+            })
+            .collect();
+        EncodedKv {
+            layers: n_layers,
+            tokens: cache.tokens(),
+            channels: cache.channels(),
+            group_size: self.config.group_size,
+            delta_encoding: self.config.delta_encoding,
+            k_streams,
+            v_streams,
+            scales,
+        }
+    }
+
+    /// Decodes a KV bitstream back into a (quantized) KV cache.
+    pub fn decode(&self, enc: &EncodedKv) -> KvCache {
+        self.decode_impl(enc, false)
+    }
+
+    /// Decodes with per-layer parallelism (the CPU analogue of the paper's
+    /// GPU decode kernels). Bit-identical to [`KvCodec::decode`].
+    pub fn decode_parallel(&self, enc: &EncodedKv) -> KvCache {
+        self.decode_impl(enc, true)
+    }
+
+    fn decode_impl(&self, enc: &EncodedKv, parallel: bool) -> KvCache {
+        let (layers, tokens, channels) = (enc.layers, enc.tokens, enc.channels);
+        let decode_one = |l: usize, is_k: bool| -> Vec<f32> {
+            let (stream, anchor_scales, delta_scales) = if is_k {
+                (&enc.k_streams[l], &enc.scales[0][l], &enc.scales[1][l])
+            } else {
+                (&enc.v_streams[l], &enc.scales[2][l], &enc.scales[3][l])
+            };
+            self.decode_layer(
+                stream,
+                l,
+                layers,
+                tokens,
+                is_k,
+                enc.delta_encoding,
+                enc.group_size,
+                anchor_scales,
+                delta_scales,
+            )
+        };
+        let mut k = Tensor::zeros(&[layers, tokens, channels]);
+        let mut v = Tensor::zeros(&[layers, tokens, channels]);
+        if parallel {
+            let mut k_out: Vec<Vec<f32>> = Vec::new();
+            let mut v_out: Vec<Vec<f32>> = Vec::new();
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..layers)
+                    .map(|l| s.spawn(move |_| (decode_one(l, true), decode_one(l, false))))
+                    .collect();
+                for h in handles {
+                    let (kl, vl) = h.join().expect("decode thread panicked");
+                    k_out.push(kl);
+                    v_out.push(vl);
+                }
+            })
+            .expect("decode scope failed");
+            for l in 0..layers {
+                k.slab_mut(l).copy_from_slice(&k_out[l]);
+                v.slab_mut(l).copy_from_slice(&v_out[l]);
+            }
+        } else {
+            for l in 0..layers {
+                k.slab_mut(l).copy_from_slice(&decode_one(l, true));
+                v.slab_mut(l).copy_from_slice(&decode_one(l, false));
+            }
+        }
+        KvCache::from_tensors(k, v)
+    }
+
+    /// Convenience: encode + decode in one step, returning the degraded
+    /// cache the LLM would consume plus the wire size.
+    pub fn round_trip(&self, cache: &KvCache) -> (KvCache, u64) {
+        let enc = self.encode(cache);
+        let bytes = enc.total_bytes();
+        (self.decode(&enc), bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CodecProfile;
+    use cachegen_llm::{SimModelConfig, SimTransformer};
+
+    fn setup() -> (SimTransformer, KvCache, KvCodec) {
+        let m = SimTransformer::new(SimModelConfig::tiny(21));
+        let ctx: Vec<usize> = (0..40).map(|i| (i * 17) % 64).collect();
+        let cache = m.prefill(&ctx);
+        let cfg = CodecConfig::default();
+        let profile = CodecProfile::build(&cfg, &[&cache]);
+        (m, cache, KvCodec::new(cfg, profile))
+    }
+
+    #[test]
+    fn decode_matches_quantized_encode() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let dec1 = codec.decode(&enc);
+        let dec2 = codec.decode(&enc);
+        assert_eq!(dec1, dec2, "decode must be deterministic");
+        // Re-encoding the decoded cache recomputes vectorwise scales from
+        // the (slightly different) decoded values, so it is not a bit-exact
+        // fixed point — but the second round's loss must not exceed the
+        // first round's.
+        let enc2 = codec.encode(&dec1);
+        let dec3 = codec.decode(&enc2);
+        assert!(
+            dec1.mse(&dec3) <= cache.mse(&dec1) + 1e-6,
+            "second-round loss {} exceeds first-round loss {}",
+            dec1.mse(&dec3),
+            cache.mse(&dec1)
+        );
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_bins() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let dec = codec.decode(&enc);
+        let n_layers = cache.layers();
+        let group = codec.config().group_size;
+        for l in 0..n_layers {
+            let delta_bin = codec.config().bins.bin_for_layer(l, n_layers);
+            let anchor_bin = codec.config().anchor_bin;
+            for (is_k, orig) in [(true, cache.k()), (false, cache.v())] {
+                let d_scales: &[f32] = if is_k { &enc.scales[1][l] } else { &enc.scales[3][l] };
+                let a_scales: &[f32] = if is_k { &enc.scales[0][l] } else { &enc.scales[2][l] };
+                let got = if is_k { dec.k() } else { dec.v() };
+                for t in 0..cache.tokens() {
+                    let is_anchor = t % group == 0;
+                    for c in 0..cache.channels() {
+                        let x = orig.get(&[l, t, c]);
+                        let e = (x - got.get(&[l, t, c])).abs();
+                        // Anchors: half the anchor step. Members: half the
+                        // delta step (deltas reference the *reconstructed*
+                        // anchor, so anchor error does not compound). Both
+                        // get a clamp allowance for values whose symbol
+                        // exceeds ±127 alphabet slots.
+                        let step = if is_anchor {
+                            anchor_bin * a_scales[c]
+                        } else {
+                            delta_bin * d_scales[c]
+                        };
+                        let clamp_excess = (x.abs() - 127.0 * step).max(0.0);
+                        let bound = 0.5 * step + clamp_excess + 1e-4;
+                        assert!(
+                            e <= bound,
+                            "layer {l} tok {t} ch {c} (anchor={is_anchor}): err {e} > bound {bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_decode_is_identical() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        assert_eq!(codec.decode(&enc), codec.decode_parallel(&enc));
+    }
+
+    #[test]
+    fn compresses_below_8bit_baseline() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let bits_per_elem = enc.total_bytes() as f64 * 8.0 / cache.num_elements() as f64;
+        assert!(
+            bits_per_elem < 8.0,
+            "CacheGen should beat 8 bits/element, got {bits_per_elem:.2}"
+        );
+    }
+
+    #[test]
+    fn coarser_level_is_smaller() {
+        let (_, cache, _) = setup();
+        let base = CodecConfig::default();
+        let sizes: Vec<u64> = [0.5f32, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&f| {
+                let cfg = base.with_bin_factor(f);
+                let profile = CodecProfile::build(&cfg, &[&cache]);
+                KvCodec::new(cfg, profile).encode(&cache).total_bytes()
+            })
+            .collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] > w[1]),
+            "sizes should fall as bins grow: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn coarser_level_is_lossier() {
+        let (_, cache, _) = setup();
+        let base = CodecConfig::default();
+        let errs: Vec<f32> = [1.0f32, 4.0]
+            .iter()
+            .map(|&f| {
+                let cfg = base.with_bin_factor(f);
+                let profile = CodecProfile::build(&cfg, &[&cache]);
+                let (dec, _) = KvCodec::new(cfg, profile).round_trip(&cache);
+                cache.mse(&dec)
+            })
+            .collect();
+        assert!(errs[1] > errs[0], "mse should grow with bins: {errs:?}");
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes.len() as u64, enc.total_bytes());
+        let back = EncodedKv::from_bytes(&bytes).expect("parse");
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn container_rejects_garbage() {
+        assert!(EncodedKv::from_bytes(b"nope").is_err());
+        assert!(EncodedKv::from_bytes(b"CGKV").is_err());
+        let (_, cache, codec) = setup();
+        let mut bytes = codec.encode(&cache).to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        assert!(EncodedKv::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn chunked_encoding_concats_to_whole() {
+        // §5.3: chunks encoded independently, decoded, then concatenated,
+        // reconstruct the whole context. Each chunk derives its own
+        // vectorwise scales, so the merge is not bit-identical to whole-
+        // cache encoding — but its loss must be of the same order.
+        let (_, cache, codec) = setup();
+        let whole = codec.round_trip(&cache).0;
+        let g = codec.config().group_size; // 10; 40 tokens = 4 groups
+        let c1 = cache.slice_tokens(0, 2 * g);
+        let c2 = cache.slice_tokens(2 * g, cache.tokens());
+        let d1 = codec.round_trip(&c1).0;
+        let d2 = codec.round_trip(&c2).0;
+        let merged = KvCache::concat_tokens(&[d1, d2]);
+        assert_eq!(merged.tokens(), cache.tokens());
+        let whole_mse = cache.mse(&whole);
+        let merged_mse = cache.mse(&merged);
+        assert!(
+            merged_mse <= 2.0 * whole_mse + 1e-6,
+            "chunked loss {merged_mse} vs whole loss {whole_mse}"
+        );
+    }
+
+    #[test]
+    fn no_delta_ablation_round_trips() {
+        let m = SimTransformer::new(SimModelConfig::tiny(33));
+        let cache = m.prefill(&(0..25).collect::<Vec<_>>());
+        let cfg = CodecConfig {
+            delta_encoding: false,
+            ..CodecConfig::default()
+        };
+        let profile = CodecProfile::build(&cfg, &[&cache]);
+        let codec = KvCodec::new(cfg, profile);
+        let (dec, bytes) = codec.round_trip(&cache);
+        assert!(bytes > 0);
+        // Still a valid lossy reconstruction.
+        assert!(cache.mse(&dec) < 1.0);
+    }
+}

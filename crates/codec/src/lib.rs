@@ -1,0 +1,80 @@
+//! CacheGen's KV-cache codec: delta encoding + layer-wise quantization +
+//! arithmetic coding (§5.2 of the paper).
+//!
+//! The pipeline, per context chunk:
+//!
+//! ```text
+//!   KV cache ──► token groups (anchor + deltas) ──► bin quantization
+//!            ──► integer symbols ──► arithmetic coding with per-(layer,
+//!                channel) symbol distributions ──► KV bitstream
+//! ```
+//!
+//! * [`bitio`] — bit-level writer/reader over byte buffers.
+//! * [`ac`] — a 32-bit integer arithmetic coder (Witten–Neal–Cleary), the
+//!   entropy-coding stage. Lossless by construction.
+//! * [`symbol_model`] — frequency tables at four context granularities
+//!   (global / per-layer / per-channel / per-channel-layer) for the
+//!   Figure 15 ablation; the paper's choice is per-channel-layer.
+//! * [`delta`] — anchor-group delta transform (group size 10, §5.2).
+//! * [`profile`] — offline per-model profiling of scales and symbol
+//!   distributions (one profile per LLM, reused across contexts, §5.2).
+//! * [`encoder`] — the end-to-end encoder/decoder over [`KvCache`]s,
+//!   including parallel per-layer decode (stand-in for the paper's
+//!   per-token CUDA threads) and the multi-level encoding used by the
+//!   streamer (§5.3).
+//!
+//! The only lossy stage is quantization: `decode(encode(kv))` equals the
+//! quantized cache exactly, which the property tests in this crate verify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ac;
+pub mod bitio;
+pub mod delta;
+pub mod encoder;
+pub mod layered;
+pub mod profile;
+pub mod symbol_model;
+
+pub use encoder::{CodecConfig, EncodedKv, KvCodec};
+pub use profile::CodecProfile;
+pub use symbol_model::ModelGranularity;
+
+/// Symbols are clamped into `[-SYMBOL_CLAMP, SYMBOL_CLAMP]` before entropy
+/// coding so the alphabet is a fixed 256 entries. With std-normalised values
+/// and bins ≥ 0.25 the clamp is ≥ 32σ out, so it essentially never binds;
+/// when it does, the error is bounded by the clamped magnitude.
+pub const SYMBOL_CLAMP: i32 = 127;
+
+/// Alphabet size for the arithmetic coder (symbols −128..=127 → 0..=255).
+pub const ALPHABET: usize = 256;
+
+/// Maps a (possibly out-of-range) quantized symbol to an alphabet index.
+pub fn symbol_to_index(s: i32) -> usize {
+    (s.clamp(-(SYMBOL_CLAMP + 1), SYMBOL_CLAMP) + SYMBOL_CLAMP + 1) as usize
+}
+
+/// Inverse of [`symbol_to_index`].
+pub fn index_to_symbol(i: usize) -> i32 {
+    debug_assert!(i < ALPHABET);
+    i as i32 - (SYMBOL_CLAMP + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_index_round_trip() {
+        for s in -128..=127 {
+            assert_eq!(index_to_symbol(symbol_to_index(s)), s);
+        }
+    }
+
+    #[test]
+    fn out_of_range_symbols_clamp() {
+        assert_eq!(index_to_symbol(symbol_to_index(1_000)), 127);
+        assert_eq!(index_to_symbol(symbol_to_index(-1_000)), -128);
+    }
+}

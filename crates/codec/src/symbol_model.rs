@@ -1,0 +1,309 @@
+//! Static symbol-frequency models for the arithmetic coder.
+//!
+//! §5.2: "our KV encoder offline profiles a separate probability distribution
+//! for each channel-layer combination of delta tensors and another for anchor
+//! tensors produced by an LLM, and uses the same distributions for all KV
+//! caches produced by the same LLM." §7.5 reports that channel-layer grouping
+//! shrinks bitstreams by up to 53% versus one global distribution — the
+//! [`ModelGranularity`] enum exposes the intermediate strategies so the
+//! Figure 15 ablation can be regenerated.
+
+use crate::{symbol_to_index, ALPHABET};
+
+/// A cumulative frequency table over a fixed alphabet.
+///
+/// Frequencies are stored as a cumulative array `cum[0..=n]` with
+/// `cum[i+1] > cum[i]` guaranteed (every symbol gets at least one count —
+/// Laplace smoothing — so unseen symbols remain encodable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FreqTable {
+    cum: Vec<u64>,
+}
+
+impl FreqTable {
+    /// Builds a table from raw per-symbol counts.
+    ///
+    /// Observed counts are weighted 64× against a +1 Laplace floor so that
+    /// unseen symbols stay encodable without flattening the distribution
+    /// (a 1:1 floor over a 256-symbol alphabet would dominate small
+    /// profiles and destroy the compression gain). Totals are rescaled to
+    /// stay below the coder's 2³⁰ precision bound.
+    pub fn from_counts(counts: &[u32]) -> Self {
+        assert!(!counts.is_empty(), "empty alphabet");
+        const DATA_WEIGHT: u64 = 64;
+        const MAX_TOTAL: u64 = 1 << 24;
+        let raw_total: u64 = counts
+            .iter()
+            .map(|&c| u64::from(c) * DATA_WEIGHT + 1)
+            .sum();
+        // Proportional downscale if the weighted total would overflow the
+        // coder's precision budget; every symbol keeps at least one count.
+        let scale_num = MAX_TOTAL.min(raw_total);
+        let mut cum = Vec::with_capacity(counts.len() + 1);
+        cum.push(0u64);
+        let mut acc = 0u64;
+        for &c in counts {
+            let weighted = u64::from(c) * DATA_WEIGHT + 1;
+            let scaled = if raw_total > MAX_TOTAL {
+                (weighted * scale_num / raw_total).max(1)
+            } else {
+                weighted
+            };
+            acc += scaled;
+            cum.push(acc);
+        }
+        let table = FreqTable { cum };
+        assert!(
+            table.total() < (1 << 30),
+            "total frequency must stay below 2^30 for coder precision"
+        );
+        table
+    }
+
+    /// Uniform table over `n` symbols.
+    pub fn uniform(n: usize) -> Self {
+        FreqTable::from_counts(&vec![1u32; n])
+    }
+
+    /// Alphabet size.
+    pub fn len(&self) -> usize {
+        self.cum.len() - 1
+    }
+
+    /// Whether the alphabet is empty (never true for constructed tables).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total frequency mass.
+    pub fn total(&self) -> u64 {
+        *self.cum.last().unwrap()
+    }
+
+    /// Cumulative range `[lo, hi)` of a symbol index.
+    pub fn range(&self, index: usize) -> (u64, u64) {
+        (self.cum[index], self.cum[index + 1])
+    }
+
+    /// Finds the symbol whose cumulative range contains `scaled`
+    /// (binary search; used by the decoder).
+    pub fn find(&self, scaled: u64) -> usize {
+        debug_assert!(scaled < self.total());
+        // partition_point returns the first i with cum[i] > scaled; the
+        // containing symbol is i-1.
+        self.cum.partition_point(|&c| c <= scaled) - 1
+    }
+
+    /// Empirical entropy of the table's distribution, bits/symbol.
+    pub fn entropy_bits(&self) -> f64 {
+        let total = self.total() as f64;
+        (0..self.len())
+            .map(|i| {
+                let (lo, hi) = self.range(i);
+                let p = (hi - lo) as f64 / total;
+                if p > 0.0 {
+                    -p * p.log2()
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+}
+
+/// How symbol distributions are grouped when profiling (Figure 15 ablation;
+/// the paper's design is [`ModelGranularity::PerChannelLayer`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelGranularity {
+    /// One distribution for the whole model (the strawman of §7.5).
+    Global,
+    /// One distribution per layer.
+    PerLayer,
+    /// One distribution per channel (shared across layers).
+    PerChannel,
+    /// One distribution per (layer, channel) pair — CacheGen's choice.
+    PerChannelLayer,
+}
+
+/// A set of frequency tables indexed by (layer, channel) at a chosen
+/// granularity.
+#[derive(Clone, Debug)]
+pub struct SymbolModelSet {
+    granularity: ModelGranularity,
+    layers: usize,
+    channels: usize,
+    tables: Vec<FreqTable>,
+}
+
+impl SymbolModelSet {
+    /// Builds a model set by counting symbols. `observe` must call the
+    /// provided closure once per (layer, channel, symbol) occurrence.
+    pub fn build<F>(
+        granularity: ModelGranularity,
+        layers: usize,
+        channels: usize,
+        observe: F,
+    ) -> Self
+    where
+        F: FnOnce(&mut dyn FnMut(usize, usize, i32)),
+    {
+        let ntables = match granularity {
+            ModelGranularity::Global => 1,
+            ModelGranularity::PerLayer => layers,
+            ModelGranularity::PerChannel => channels,
+            ModelGranularity::PerChannelLayer => layers * channels,
+        };
+        let mut counts = vec![vec![0u32; ALPHABET]; ntables];
+        {
+            let mut record = |layer: usize, channel: usize, symbol: i32| {
+                let t = table_index(granularity, layers, channels, layer, channel);
+                let idx = symbol_to_index(symbol);
+                counts[t][idx] = counts[t][idx].saturating_add(1);
+            };
+            observe(&mut record);
+        }
+        let tables = counts
+            .iter()
+            .map(|c| FreqTable::from_counts(c))
+            .collect();
+        SymbolModelSet {
+            granularity,
+            layers,
+            channels,
+            tables,
+        }
+    }
+
+    /// The table to use for a given (layer, channel).
+    pub fn table(&self, layer: usize, channel: usize) -> &FreqTable {
+        &self.tables[table_index(
+            self.granularity,
+            self.layers,
+            self.channels,
+            layer,
+            channel,
+        )]
+    }
+
+    /// The profiling granularity.
+    pub fn granularity(&self) -> ModelGranularity {
+        self.granularity
+    }
+
+    /// Number of distinct tables held.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Mean entropy across tables, bits/symbol (weighted equally; used by
+    /// diagnostics).
+    pub fn mean_entropy_bits(&self) -> f64 {
+        self.tables.iter().map(|t| t.entropy_bits()).sum::<f64>() / self.tables.len() as f64
+    }
+}
+
+fn table_index(
+    g: ModelGranularity,
+    _layers: usize,
+    channels: usize,
+    layer: usize,
+    channel: usize,
+) -> usize {
+    match g {
+        ModelGranularity::Global => 0,
+        ModelGranularity::PerLayer => layer,
+        ModelGranularity::PerChannel => channel,
+        ModelGranularity::PerChannelLayer => layer * channels + channel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_ranges_partition_total() {
+        // Counts weight 64× with a +1 floor: [3,0,5] → [193, 1, 321].
+        let t = FreqTable::from_counts(&[3, 0, 5]);
+        assert_eq!(t.total(), 515);
+        assert_eq!(t.range(0), (0, 193));
+        assert_eq!(t.range(1), (193, 194));
+        assert_eq!(t.range(2), (194, 515));
+    }
+
+    #[test]
+    fn find_inverts_range() {
+        let t = FreqTable::from_counts(&[2, 3, 1, 10]);
+        for i in 0..t.len() {
+            let (lo, hi) = t.range(i);
+            for s in lo..hi {
+                assert_eq!(t.find(s), i);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_entropy() {
+        let t = FreqTable::uniform(8);
+        assert!((t.entropy_bits() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_lowers_entropy() {
+        let skewed = FreqTable::from_counts(&[100, 1, 1, 1]);
+        let uniform = FreqTable::uniform(4);
+        assert!(skewed.entropy_bits() < uniform.entropy_bits());
+    }
+
+    #[test]
+    fn model_set_granularities() {
+        let build = |g| {
+            SymbolModelSet::build(g, 3, 4, |rec| {
+                for l in 0..3 {
+                    for c in 0..4 {
+                        // Symbol depends on layer only.
+                        rec(l, c, l as i32);
+                    }
+                }
+            })
+        };
+        assert_eq!(build(ModelGranularity::Global).num_tables(), 1);
+        assert_eq!(build(ModelGranularity::PerLayer).num_tables(), 3);
+        assert_eq!(build(ModelGranularity::PerChannel).num_tables(), 4);
+        assert_eq!(build(ModelGranularity::PerChannelLayer).num_tables(), 12);
+    }
+
+    #[test]
+    fn finer_granularity_never_increases_entropy() {
+        // Symbols correlate with the layer, so per-layer tables are sharper.
+        let observe = |rec: &mut dyn FnMut(usize, usize, i32)| {
+            for rep in 0..50 {
+                for l in 0..4usize {
+                    for c in 0..4usize {
+                        let sym = (l as i32) * 2 + ((rep + c) % 2) as i32;
+                        rec(l, c, sym);
+                    }
+                }
+            }
+        };
+        let global = SymbolModelSet::build(ModelGranularity::Global, 4, 4, observe);
+        let per_layer = SymbolModelSet::build(ModelGranularity::PerLayer, 4, 4, observe);
+        assert!(per_layer.mean_entropy_bits() < global.mean_entropy_bits());
+    }
+
+    #[test]
+    fn table_lookup_routes_correctly() {
+        let set = SymbolModelSet::build(ModelGranularity::PerChannelLayer, 2, 2, |rec| {
+            rec(0, 0, -5);
+            rec(1, 1, 5);
+        });
+        // Table (0,0) saw symbol −5 once (weighted 64× + 1 floor = 65);
+        // table (1,0) never did (floor only = 1).
+        let idx_neg = symbol_to_index(-5);
+        let (lo, hi) = set.table(0, 0).range(idx_neg);
+        assert_eq!(hi - lo, 65);
+        let (lo2, hi2) = set.table(1, 0).range(idx_neg);
+        assert_eq!(hi2 - lo2, 1);
+        assert!(lo2 < set.table(1, 0).total());
+    }
+}

@@ -1,0 +1,341 @@
+//! The CacheGen engine: §6's interfaces over the simulator substrate.
+//!
+//! The paper integrates with LLM frameworks through two calls —
+//! `calculate_kv(context) -> KVCache` and `generate_with_kv(KVCache) ->
+//! text` — and manages storage through `store_kv` / `get_kv`.
+//! [`CacheGenEngine`] implements all four against the functional
+//! transformer, holding one codec per encoding level (profiles are built
+//! offline from sample contexts, §5.2).
+
+use cachegen_codec::{CodecConfig, CodecProfile, EncodedKv, KvCodec};
+use cachegen_kvstore::{ContextId, FetchedChunk, KvStore, StoredChunk};
+use cachegen_llm::{KvCache, SimModelConfig, SimTransformer};
+use cachegen_streamer::{ChunkPlan, ChunkSizes, LevelLadder};
+
+/// Engine-wide configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Base codec configuration (level factors scale its bins).
+    pub codec: CodecConfig,
+    /// Encoding-level ladder (finest first).
+    pub ladder: LevelLadder,
+    /// Chunk length in tokens for streaming (§5.3; scaled down for the
+    /// functional substrate — the paper default of 1 500 assumes 9K-token
+    /// contexts).
+    pub chunk_tokens: usize,
+    /// Bytes per token when a chunk is shipped as text.
+    pub text_bytes_per_token: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            codec: CodecConfig::default(),
+            ladder: LevelLadder::paper_default(),
+            chunk_tokens: 30,
+            text_bytes_per_token: 4,
+        }
+    }
+}
+
+/// The CacheGen serving engine.
+pub struct CacheGenEngine {
+    model: SimTransformer,
+    config: EngineConfig,
+    codecs: Vec<KvCodec>,
+    store: KvStore,
+}
+
+impl CacheGenEngine {
+    /// Builds an engine: instantiates the model and profiles every encoding
+    /// level's codec from the given sample contexts (offline, once per
+    /// model — §5.2).
+    pub fn build(
+        model_cfg: SimModelConfig,
+        config: EngineConfig,
+        profile_contexts: &[Vec<usize>],
+    ) -> Self {
+        assert!(
+            !profile_contexts.is_empty(),
+            "need at least one profiling context"
+        );
+        let model = SimTransformer::new(model_cfg);
+        let samples: Vec<KvCache> = profile_contexts
+            .iter()
+            .map(|ctx| model.prefill(ctx))
+            .collect();
+        let sample_refs: Vec<&KvCache> = samples.iter().collect();
+        let codecs = config
+            .ladder
+            .factors()
+            .iter()
+            .map(|&f| {
+                let cfg = config.codec.with_bin_factor(f);
+                let profile = CodecProfile::build(&cfg, &sample_refs);
+                KvCodec::new(cfg, profile)
+            })
+            .collect();
+        CacheGenEngine {
+            model,
+            config,
+            codecs,
+            store: KvStore::new(),
+        }
+    }
+
+    /// The underlying simulator model.
+    pub fn model(&self) -> &SimTransformer {
+        &self.model
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of encoding levels.
+    pub fn num_levels(&self) -> usize {
+        self.codecs.len()
+    }
+
+    /// The codec of one level (0 = finest).
+    pub fn codec(&self, level: usize) -> &KvCodec {
+        &self.codecs[level]
+    }
+
+    /// §6 `calculate_kv`: prefills a context, returning its KV cache.
+    pub fn calculate_kv(&self, context: &[usize]) -> KvCache {
+        self.model.prefill(context)
+    }
+
+    /// Encodes a cache (or chunk) at one level.
+    pub fn encode_at_level(&self, cache: &KvCache, level: usize) -> EncodedKv {
+        self.codecs[level].encode(cache)
+    }
+
+    /// Decodes an encoded chunk, assuming it was produced at the default
+    /// medium level. CacheGen ships the encoding level out of band (the
+    /// streaming adapter chose it), so when the level is known prefer
+    /// [`CacheGenEngine::decode_at_level`] — decoding with a mismatched
+    /// level mis-scales values (it stays total, but quality suffers).
+    pub fn decode(&self, enc: &EncodedKv) -> KvCache {
+        self.decode_at_level(enc, self.default_level())
+    }
+
+    /// Decodes an encoded chunk produced by [`Self::encode_at_level`] with
+    /// the same `level`.
+    pub fn decode_at_level(&self, enc: &EncodedKv, level: usize) -> KvCache {
+        self.codecs[level].decode_parallel(enc)
+    }
+
+    /// The default medium level used before any throughput estimate (§5.3).
+    pub fn default_level(&self) -> usize {
+        self.config.ladder.default_medium()
+    }
+
+    /// Splits a cache into streaming chunks of `chunk_tokens` (§5.3),
+    /// respecting group alignment (chunk length is a multiple of the anchor
+    /// group size whenever possible).
+    pub fn chunk_caches(&self, cache: &KvCache) -> Vec<KvCache> {
+        let counts =
+            ChunkPlan::chunk_token_counts(cache.tokens(), self.config.chunk_tokens);
+        let mut out = Vec::with_capacity(counts.len());
+        let mut start = 0;
+        for n in counts {
+            out.push(cache.slice_tokens(start, start + n));
+            start += n;
+        }
+        out
+    }
+
+    /// Offline encoding of a whole context at every level: returns the
+    /// per-chunk encoded versions (`encoded[chunk][level]`) and the
+    /// [`ChunkPlan`] the streaming adapter consults.
+    pub fn encode_context(&self, cache: &KvCache) -> (Vec<Vec<EncodedKv>>, ChunkPlan) {
+        let chunks = self.chunk_caches(cache);
+        let mut encoded = Vec::with_capacity(chunks.len());
+        let mut sizes = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            let versions: Vec<EncodedKv> = (0..self.num_levels())
+                .map(|l| self.encode_at_level(chunk, l))
+                .collect();
+            let mut level_bytes: Vec<u64> =
+                versions.iter().map(EncodedKv::total_bytes).collect();
+            // Guard the (rare, tiny-chunk) case where entropy-coding noise
+            // makes a coarser level marginally larger: enforce monotone
+            // sizes so the plan invariant holds.
+            for i in 1..level_bytes.len() {
+                level_bytes[i] = level_bytes[i].min(level_bytes[i - 1]);
+            }
+            sizes.push(ChunkSizes::new(
+                chunk.tokens(),
+                level_bytes,
+                chunk.tokens() as u64 * self.config.text_bytes_per_token,
+            ));
+            encoded.push(versions);
+        }
+        (encoded, ChunkPlan::new(sizes))
+    }
+
+    /// §6 `store_kv`: encodes every chunk at every level and stores the
+    /// bitstreams (plus text fallbacks) on the storage server.
+    pub fn store_kv(&self, id: ContextId, context: &[usize]) -> ChunkPlan {
+        let cache = self.calculate_kv(context);
+        let (encoded, plan) = self.encode_context(&cache);
+        let counts = ChunkPlan::chunk_token_counts(context.len(), self.config.chunk_tokens);
+        let mut stored = Vec::with_capacity(encoded.len());
+        let mut start = 0usize;
+        for (versions, tokens) in encoded.into_iter().zip(counts) {
+            let text: Vec<u8> = context[start..start + tokens]
+                .iter()
+                .flat_map(|&t| (t as u32).to_le_bytes())
+                .collect();
+            start += tokens;
+            stored.push(StoredChunk {
+                tokens,
+                versions: versions
+                    .iter()
+                    .map(|e| bytes::Bytes::from(e.to_bytes()))
+                    .collect(),
+                text: bytes::Bytes::from(text),
+            });
+        }
+        self.store.store_kv(id, stored);
+        plan
+    }
+
+    /// §6 `get_kv`: fetches one chunk's bitstream at a level.
+    pub fn get_kv(&self, id: ContextId, chunk: usize, level: usize) -> Option<FetchedChunk> {
+        self.store.get_kv(id, chunk, level)
+    }
+
+    /// Whether a context's KV is already stored (the LangChain integration
+    /// checks this before deciding between `generate_with_kv` and
+    /// `calculate_kv`, §6).
+    pub fn has_context(&self, id: ContextId) -> bool {
+        self.store.contains(id)
+    }
+
+    /// The storage server (for accounting and eviction).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// §6 `generate_with_kv`: greedy generation from a (possibly lossy)
+    /// cache, skipping context prefill.
+    pub fn generate_with_kv(
+        &self,
+        cache: &KvCache,
+        prompt: &[usize],
+        steps: usize,
+    ) -> Vec<usize> {
+        self.model.generate_with_kv(cache, prompt, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CacheGenEngine {
+        let profile_ctx: Vec<usize> = (0..60).map(|i| (i * 7) % 64).collect();
+        CacheGenEngine::build(
+            SimModelConfig::tiny(42),
+            EngineConfig::default(),
+            &[profile_ctx],
+        )
+    }
+
+    #[test]
+    fn build_creates_one_codec_per_level() {
+        let e = engine();
+        assert_eq!(e.num_levels(), 5);
+        assert_eq!(e.default_level(), 2);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_at_each_level() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..50).map(|i| (i * 3) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let mut last_err = -1.0f32;
+        for level in 0..e.num_levels() {
+            let enc = e.encode_at_level(&cache, level);
+            let dec = e.decode_at_level(&enc, level);
+            assert_eq!(dec.tokens(), cache.tokens());
+            let err = cache.mse(&dec);
+            assert!(
+                err >= last_err * 0.5,
+                "error should broadly grow with level: {err} after {last_err}"
+            );
+            last_err = err;
+        }
+    }
+
+    #[test]
+    fn encode_context_plan_is_consistent() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..95).map(|i| (i * 11) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let (encoded, plan) = e.encode_context(&cache);
+        assert_eq!(plan.num_chunks(), encoded.len());
+        assert_eq!(plan.num_chunks(), 4); // 95 tokens / 30 = 4 chunks
+        assert_eq!(plan.total_tokens(), 95);
+        for (i, versions) in encoded.iter().enumerate() {
+            assert_eq!(versions.len(), e.num_levels());
+            // Plan sizes are the (monotone-clamped) encoded sizes.
+            assert!(plan.chunk(i).level_bytes[0] >= plan.chunk(i).level_bytes[4]);
+        }
+    }
+
+    #[test]
+    fn store_and_get_kv() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..60).map(|i| (i * 13) % 64).collect();
+        assert!(!e.has_context(99));
+        let plan = e.store_kv(99, &ctx);
+        assert!(e.has_context(99));
+        assert_eq!(plan.num_chunks(), 2);
+        let fetched = e.get_kv(99, 0, 1).expect("stored chunk");
+        // The stored bytes parse back into a decodable bitstream.
+        let bytes = match fetched {
+            FetchedChunk::Encoded(b) => b,
+            _ => panic!("expected encoded"),
+        };
+        let enc = cachegen_codec::EncodedKv::from_bytes(&bytes).expect("parse");
+        let dec = e.decode_at_level(&enc, 1);
+        assert_eq!(dec.tokens(), 30);
+    }
+
+    #[test]
+    fn generation_from_decoded_cache_tracks_reference() {
+        // First-token accuracy across many prompts — the robust proxy
+        // (long-horizon greedy matching is chaotic on a 64-vocab model).
+        let e = engine();
+        let ctx: Vec<usize> = (0..60).map(|i| (i * 5) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let prompts: Vec<Vec<usize>> =
+            (0..20).map(|p| vec![(p * 3) % 64, (p * 7 + 1) % 64]).collect();
+        let acc_at = |level: usize| {
+            let enc = e.encode_at_level(&cache, level);
+            let dec = e.decode_at_level(&enc, level);
+            cachegen_llm::eval::first_token_accuracy(e.model(), &cache, &dec, &prompts)
+        };
+        let finest = acc_at(0);
+        let coarsest = acc_at(e.num_levels() - 1);
+        assert!(finest >= 0.6, "finest level accuracy {finest}");
+        assert!(finest >= coarsest, "finest {finest} < coarsest {coarsest}");
+    }
+
+    #[test]
+    fn chunked_caches_cover_context() {
+        let e = engine();
+        let cache = e.calculate_kv(&(0..64).collect::<Vec<_>>());
+        let chunks = e.chunk_caches(&cache);
+        assert_eq!(chunks.len(), 3);
+        let total: usize = chunks.iter().map(|c| c.tokens()).sum();
+        assert_eq!(total, 64);
+        let merged = KvCache::concat_tokens(&chunks);
+        assert_eq!(merged, cache);
+    }
+}

@@ -1,0 +1,225 @@
+//! End-to-end functional context loading: encode → stream → decode.
+//!
+//! This glues the engine, the streaming adapter and the network simulator
+//! into the full CacheGen data path of Figure 2c: the context's KV
+//! bitstreams are fetched chunk-by-chunk over a (varying) link, each chunk
+//! at the encoding level the adapter chose, then decoded and concatenated
+//! into the lossy KV cache the LLM consumes. Text-fallback chunks
+//! contribute *exact* KV (the LLM recomputes them — we take the slice of
+//! the reference cache; the idealisation that preceding lossy chunks do not
+//! perturb the recomputed chunk is documented in DESIGN.md).
+
+use crate::engine::CacheGenEngine;
+use cachegen_llm::KvCache;
+use cachegen_net::Link;
+use cachegen_streamer::{simulate_stream, AdaptPolicy, StreamConfig, StreamOutcome, StreamParams};
+
+/// Parameters for a context-loading run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadParams {
+    /// SLO on context-loading time, seconds.
+    pub slo: Option<f64>,
+    /// Adapter policy.
+    pub policy: AdaptPolicy,
+    /// Prior throughput knowledge for the first chunk, bits/s.
+    pub prior_throughput_bps: Option<f64>,
+    /// Concurrent requests sharing the link/GPU.
+    pub concurrent_requests: usize,
+    /// GPU decode throughput for compressed bitstreams, bytes/s.
+    pub decode_bytes_per_sec: f64,
+    /// GPU prefill-recompute speed for text chunks, seconds per token.
+    pub recompute_sec_per_token: f64,
+}
+
+impl Default for LoadParams {
+    fn default() -> Self {
+        LoadParams {
+            slo: None,
+            policy: AdaptPolicy::Adaptive,
+            prior_throughput_bps: None,
+            concurrent_requests: 1,
+            decode_bytes_per_sec: 8.0e9,
+            recompute_sec_per_token: 1e-3,
+        }
+    }
+}
+
+/// Result of loading a context over a link.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The reassembled (lossy) KV cache ready for `generate_with_kv`.
+    pub cache: KvCache,
+    /// The streaming timeline (per-chunk configs, finish time, SLO).
+    pub stream: StreamOutcome,
+}
+
+/// Loads a context's KV cache over `link` using the engine's offline
+/// encodings. `reference` must be the full-precision cache of the same
+/// context (produced by `calculate_kv`), used for chunk geometry and for
+/// the text-fallback chunks' exact KV.
+pub fn load_context(
+    engine: &CacheGenEngine,
+    reference: &KvCache,
+    link: &mut Link,
+    params: &LoadParams,
+) -> LoadOutcome {
+    let (encoded, plan) = engine.encode_context(reference);
+    let decode_rate = params.decode_bytes_per_sec;
+    let recompute = params.recompute_sec_per_token;
+    let decode_seconds = move |bytes: u64| bytes as f64 / decode_rate;
+    let recompute_seconds = move |tokens: usize| tokens as f64 * recompute;
+    let stream_params = StreamParams {
+        slo: params.slo,
+        policy: params.policy,
+        prior_throughput_bps: params.prior_throughput_bps,
+        concurrent_requests: params.concurrent_requests,
+        ladder: &engine.config().ladder,
+        decode_seconds: &decode_seconds,
+        recompute_seconds: &recompute_seconds,
+    };
+    let stream = simulate_stream(&plan, link, &stream_params);
+
+    // Reassemble the cache chunk by chunk at the configurations chosen.
+    let mut chunks = Vec::with_capacity(stream.chunks.len());
+    let mut start = 0usize;
+    for outcome in &stream.chunks {
+        let tokens = plan.chunk(outcome.index).tokens;
+        let chunk = match outcome.config {
+            StreamConfig::Level(l) => {
+                engine.decode_at_level(&encoded[outcome.index][l], l)
+            }
+            StreamConfig::Text => reference.slice_tokens(start, start + tokens),
+        };
+        start += tokens;
+        chunks.push(chunk);
+    }
+    LoadOutcome {
+        cache: KvCache::concat_tokens(&chunks),
+        stream,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use cachegen_llm::SimModelConfig;
+    use cachegen_net::trace::{BandwidthTrace, GBPS};
+
+    fn engine() -> CacheGenEngine {
+        let profile_ctx: Vec<usize> = (0..60).map(|i| (i * 7) % 64).collect();
+        CacheGenEngine::build(SimModelConfig::tiny(42), EngineConfig::default(), &[profile_ctx])
+    }
+
+    #[test]
+    fn load_reassembles_full_token_axis() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..90).map(|i| (i * 3) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0);
+        let out = load_context(&e, &cache, &mut link, &LoadParams::default());
+        assert_eq!(out.cache.tokens(), 90);
+        assert_eq!(out.cache.layers(), cache.layers());
+        assert!(out.stream.finish > 0.0);
+    }
+
+    #[test]
+    fn no_slo_streams_finest_level() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..60).map(|i| (i * 5) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0);
+        let mut p = LoadParams::default();
+        p.prior_throughput_bps = Some(GBPS);
+        let out = load_context(&e, &cache, &mut link, &p);
+        assert!(out
+            .stream
+            .chunks
+            .iter()
+            .all(|c| c.config == StreamConfig::Level(0)));
+        // Finest level is a close reconstruction.
+        assert!(cache.mse(&out.cache) < 0.05, "mse {}", cache.mse(&out.cache));
+    }
+
+    #[test]
+    fn tight_slo_on_slow_link_downshifts_and_degrades() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..90).map(|i| (i * 7) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        // Size of finest level for sizing the link: make the link slow
+        // enough that level 0 misses a 1 s SLO but coarser levels fit.
+        let (_, plan) = e.encode_context(&cache);
+        let finest = plan.total_bytes_at_level(0);
+        let bw = finest as f64 * 8.0 / 2.0; // level 0 would take 2 s
+        let mut link = Link::new(BandwidthTrace::constant(bw), 0.0);
+        let mut p = LoadParams::default();
+        p.slo = Some(1.0);
+        p.prior_throughput_bps = Some(bw);
+        p.recompute_sec_per_token = 0.05; // recompute too slow to win
+        let out = load_context(&e, &cache, &mut link, &p);
+        assert!(
+            out.stream
+                .chunks
+                .iter()
+                .any(|c| c.config != StreamConfig::Level(0)),
+            "adapter should downshift: {:?}",
+            out.stream.chunks.iter().map(|c| c.config).collect::<Vec<_>>()
+        );
+        // The adapter plans to the deadline; allow boundary rounding (the
+        // level whose expected finish equals the SLO exactly may land a
+        // few percent past it once decode tails are added).
+        assert!(
+            out.stream.finish <= 1.05,
+            "finish {} should be at or near the 1 s SLO",
+            out.stream.finish
+        );
+        // And far below what the fixed finest level would have taken (2 s).
+        assert!(out.stream.finish < 1.5);
+    }
+
+    #[test]
+    fn text_fallback_yields_exact_chunks() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..60).map(|i| (i * 11) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        // Starved link: everything goes to text; the result equals the
+        // reference exactly.
+        let mut link = Link::new(BandwidthTrace::constant(1e4), 0.0);
+        let mut p = LoadParams::default();
+        p.slo = Some(5.0);
+        p.prior_throughput_bps = Some(1e4);
+        p.recompute_sec_per_token = 1e-3;
+        let out = load_context(&e, &cache, &mut link, &p);
+        assert!(out
+            .stream
+            .chunks
+            .iter()
+            .all(|c| c.config == StreamConfig::Text));
+        assert_eq!(out.cache, cache);
+    }
+
+    #[test]
+    fn generation_quality_degrades_gracefully_with_bandwidth() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..90).map(|i| (i * 13) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let reference = e.generate_with_kv(&cache, &[2, 4], 8);
+        let run = |bw: f64, slo: f64| {
+            let mut link = Link::new(BandwidthTrace::constant(bw), 0.0);
+            let mut p = LoadParams::default();
+            p.slo = Some(slo);
+            p.prior_throughput_bps = Some(bw);
+            p.recompute_sec_per_token = 0.5; // force KV path
+            let out = load_context(&e, &cache, &mut link, &p);
+            let got = e.generate_with_kv(&out.cache, &[2, 4], 8);
+            cachegen_llm::eval::sequence_match_rate(&reference, &got)
+        };
+        let (_, plan) = e.encode_context(&cache);
+        let finest = plan.total_bytes_at_level(0) as f64 * 8.0;
+        // Plenty of bandwidth → finest level → high match.
+        let hi = run(finest / 0.2, 1.0);
+        // Tight: only the coarsest fits → lower or equal match.
+        let lo = run(plan.total_bytes_at_level(4) as f64 * 8.0 / 0.8, 1.0);
+        assert!(hi >= lo, "hi {hi} < lo {lo}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Analytic time-to-first-token model at real-model scale.
+//!
+//! TTFT = context-loading delay + prompt prefill (§7.1 "System metrics").
+//! The loading delay depends on the method (Figure 2):
+//!
+//! * **text context** — tiny transfer, full context prefill on the GPU;
+//! * **default quantization** — ship the quantized KV tensors, no decode;
+//! * **CacheGen** — ship the KV bitstream (measured bits/element from the
+//!   functional codec), GPU decode pipelined with transmission (§6).
+//!
+//! Figures 8, 11, 12 and 19 sweep this model across bandwidths, context
+//! lengths, GPU shares and models.
+
+use cachegen_llm::{GpuSpec, ModelSpec};
+
+/// How the context is loaded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoadMethod {
+    /// Send raw text; the LLM prefills the whole context.
+    TextContext,
+    /// Send uniformly-quantized KV tensors at `bits` per element.
+    Quantized {
+        /// Bits per element (3/4/8 in the paper).
+        bits: f64,
+    },
+    /// Send CacheGen bitstreams at a measured `bits_per_element`.
+    CacheGen {
+        /// Bits per element achieved by the codec (measured functionally;
+        /// ~1.5–2.5 in our reproduction, matching the paper's 3.5–4.3×
+        /// reduction vs the 8-bit baseline).
+        bits_per_element: f64,
+    },
+}
+
+/// A TTFT decomposition (Figure 14a's bars).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TtftBreakdown {
+    /// Network transfer seconds.
+    pub transfer: f64,
+    /// GPU decode seconds *not hidden* by pipelining.
+    pub decode: f64,
+    /// GPU prefill/compute seconds (context for text; prompt always).
+    pub compute: f64,
+}
+
+impl TtftBreakdown {
+    /// Total TTFT.
+    pub fn total(&self) -> f64 {
+        self.transfer + self.decode + self.compute
+    }
+}
+
+/// The analytic TTFT model.
+#[derive(Clone, Debug)]
+pub struct TtftModel {
+    /// Real-model dimensions.
+    pub model: ModelSpec,
+    /// GPU capability (and share under concurrency).
+    pub gpu: GpuSpec,
+    /// Prompt (new question) length in tokens.
+    pub prompt_tokens: u64,
+    /// Number of pipeline chunks for CacheGen decode overlap (§5.3/§6);
+    /// only the last chunk's decode is exposed.
+    pub pipeline_chunks: u64,
+}
+
+impl TtftModel {
+    /// A model with the paper's defaults (128-token prompts, 6 chunks for a
+    /// ~9K context at 1.5K-token chunks).
+    pub fn new(model: ModelSpec, gpu: GpuSpec) -> Self {
+        TtftModel {
+            model,
+            gpu,
+            prompt_tokens: 128,
+            pipeline_chunks: 6,
+        }
+    }
+
+    /// Wire bytes a method ships for a context of `tokens`.
+    pub fn wire_bytes(&self, method: LoadMethod, tokens: u64) -> u64 {
+        match method {
+            LoadMethod::TextContext => ModelSpec::text_bytes(tokens),
+            LoadMethod::Quantized { bits } => self.model.kv_bytes(tokens, bits),
+            LoadMethod::CacheGen { bits_per_element } => {
+                self.model.kv_bytes(tokens, bits_per_element)
+            }
+        }
+    }
+
+    /// TTFT breakdown for loading `tokens` of context at `bandwidth_bps`.
+    pub fn ttft(&self, method: LoadMethod, tokens: u64, bandwidth_bps: f64) -> TtftBreakdown {
+        assert!(bandwidth_bps > 0.0);
+        let bytes = self.wire_bytes(method, tokens);
+        let transfer = bytes as f64 * 8.0 / bandwidth_bps;
+        match method {
+            LoadMethod::TextContext => TtftBreakdown {
+                transfer,
+                decode: 0.0,
+                // The prompt is prefilled together with the context.
+                compute: self
+                    .gpu
+                    .prefill_seconds(&self.model, tokens + self.prompt_tokens),
+            },
+            LoadMethod::Quantized { .. } => TtftBreakdown {
+                transfer,
+                decode: 0.0,
+                compute: self.gpu.prefill_seconds(&self.model, self.prompt_tokens),
+            },
+            LoadMethod::CacheGen { .. } => {
+                let full_decode = self.gpu.decode_seconds(bytes);
+                // Decode of chunk i overlaps transfer of chunk i+1; only the
+                // tail (one chunk's decode, or the surplus if decode is the
+                // bottleneck) is exposed.
+                let exposed = if full_decode <= transfer {
+                    full_decode / self.pipeline_chunks as f64
+                } else {
+                    full_decode - transfer + transfer / self.pipeline_chunks as f64
+                };
+                TtftBreakdown {
+                    transfer,
+                    decode: exposed,
+                    compute: self.gpu.prefill_seconds(&self.model, self.prompt_tokens),
+                }
+            }
+        }
+    }
+
+    /// TTFT under `n` concurrent requests: the GPU is shared `n` ways
+    /// (Figure 12 left / Figure 19's y-axis). Per-request bandwidth stays
+    /// fixed — the storage service scales out, which is why the paper
+    /// observes CacheGen's *relative* gain growing with concurrency (the
+    /// text baseline's prefill is the GPU-bound term).
+    pub fn ttft_concurrent(
+        &self,
+        method: LoadMethod,
+        tokens: u64,
+        bandwidth_bps: f64,
+        n_requests: u64,
+    ) -> TtftBreakdown {
+        assert!(n_requests >= 1);
+        let shared = TtftModel {
+            gpu: GpuSpec {
+                share: self.gpu.share / n_requests as f64,
+                ..self.gpu.clone()
+            },
+            ..self.clone()
+        };
+        shared.ttft(method, tokens, bandwidth_bps)
+    }
+
+    /// The best (lowest-TTFT) method among text / 8-bit quantization for a
+    /// setting — the "best baseline" that Figure 19's heatmap normalises
+    /// against.
+    pub fn best_baseline_ttft(&self, tokens: u64, bandwidth_bps: f64, n_requests: u64) -> f64 {
+        let text = self
+            .ttft_concurrent(LoadMethod::TextContext, tokens, bandwidth_bps, n_requests)
+            .total();
+        let quant = self
+            .ttft_concurrent(
+                LoadMethod::Quantized { bits: 8.0 },
+                tokens,
+                bandwidth_bps,
+                n_requests,
+            )
+            .total();
+        text.min(quant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegen_net::trace::GBPS;
+
+    fn model() -> TtftModel {
+        TtftModel::new(ModelSpec::mistral_7b(), GpuSpec::default())
+    }
+
+    /// The paper's headline: at 3 Gbps and ~9K tokens, CacheGen beats both
+    /// the text baseline (3.1–4.7×) and the 8-bit quantization baseline
+    /// (1.67–1.81× for 8-bit; 3.2–3.7× vs the quality-matched baseline).
+    #[test]
+    fn headline_ttft_ordering_at_3gbps() {
+        let m = model();
+        let tokens = 9_400;
+        let bw = 3.0 * GBPS;
+        let text = m.ttft(LoadMethod::TextContext, tokens, bw).total();
+        let q8 = m
+            .ttft(LoadMethod::Quantized { bits: 8.0 }, tokens, bw)
+            .total();
+        let cg = m
+            .ttft(
+                LoadMethod::CacheGen {
+                    bits_per_element: 2.0,
+                },
+                tokens,
+                bw,
+            )
+            .total();
+        assert!(cg < q8 && cg < text, "cg {cg}, q8 {q8}, text {text}");
+        // Paper: 3.1–4.7× vs text, 1.67–1.81× vs 8-bit. Our GPU model is
+        // somewhat more pessimistic than vLLM and our decode accounting
+        // more optimistic than the real CUDA kernel, so we assert generous
+        // bands around those factors (shape, not absolute numbers).
+        let vs_text = text / cg;
+        let vs_q8 = q8 / cg;
+        assert!(
+            (2.5..12.0).contains(&vs_text),
+            "speedup vs text {vs_text:.2} out of expected band"
+        );
+        assert!(
+            (1.4..5.0).contains(&vs_q8),
+            "speedup vs 8-bit {vs_q8:.2} out of expected band"
+        );
+    }
+
+    #[test]
+    fn text_wins_at_very_high_bandwidth_is_not_required_but_gap_narrows() {
+        // Figure 11 right: above ~20 Gbps the KV methods' advantage shrinks.
+        let m = model();
+        let tokens = 16_000;
+        let gap = |bw: f64| {
+            let q8 = m
+                .ttft(LoadMethod::Quantized { bits: 8.0 }, tokens, bw)
+                .total();
+            let cg = m
+                .ttft(
+                    LoadMethod::CacheGen {
+                        bits_per_element: 2.0,
+                    },
+                    tokens,
+                    bw,
+                )
+                .total();
+            q8 - cg
+        };
+        assert!(gap(3.0 * GBPS) > 10.0 * gap(300.0 * GBPS));
+    }
+
+    #[test]
+    fn text_wins_for_short_contexts() {
+        // Figure 12 right: below ~1K tokens, prefill is cheap and text's
+        // tiny transfer wins.
+        let m = model();
+        let bw = 3.0 * GBPS;
+        let text = m.ttft(LoadMethod::TextContext, 100, bw).total();
+        let cg = m
+            .ttft(
+                LoadMethod::CacheGen {
+                    bits_per_element: 2.0,
+                },
+                100,
+                bw,
+            )
+            .total();
+        // At 100 tokens both are milliseconds; text should not lose badly,
+        // and the crossover must exist by 15K tokens.
+        let text15k = m.ttft(LoadMethod::TextContext, 15_000, bw).total();
+        let cg15k = m
+            .ttft(
+                LoadMethod::CacheGen {
+                    bits_per_element: 2.0,
+                },
+                15_000,
+                bw,
+            )
+            .total();
+        assert!(cg15k < text15k, "long contexts favour CacheGen");
+        assert!(text < 2.0 * cg.max(1e-3), "short contexts are close or favour text");
+    }
+
+    #[test]
+    fn concurrency_hurts_text_more() {
+        // Figure 12 left: with more concurrent requests (less GPU), the
+        // text baseline's prefill dominates and CacheGen's gain grows.
+        let m = model();
+        let tokens = 9_600;
+        let bw = 3.0 * GBPS;
+        let gain = |n: u64| {
+            let text = m
+                .ttft_concurrent(LoadMethod::TextContext, tokens, bw, n)
+                .total();
+            let cg = m
+                .ttft_concurrent(
+                    LoadMethod::CacheGen {
+                        bits_per_element: 2.0,
+                    },
+                    tokens,
+                    bw,
+                    n,
+                )
+                .total();
+            text / cg
+        };
+        assert!(gain(10) > gain(1), "gain at 10 reqs {} vs 1 req {}", gain(10), gain(1));
+    }
+
+    #[test]
+    fn decode_is_mostly_hidden() {
+        // Figure 14a: decode is a small slice of CacheGen's TTFT.
+        let m = model();
+        let b = m.ttft(
+            LoadMethod::CacheGen {
+                bits_per_element: 2.0,
+            },
+            9_400,
+            3.0 * GBPS,
+        );
+        assert!(b.decode < 0.2 * b.total(), "decode {} of {}", b.decode, b.total());
+    }
+
+    #[test]
+    fn wire_bytes_ordering() {
+        let m = model();
+        let t = 9_400;
+        let text = m.wire_bytes(LoadMethod::TextContext, t);
+        let cg = m.wire_bytes(
+            LoadMethod::CacheGen {
+                bits_per_element: 2.0,
+            },
+            t,
+        );
+        let q8 = m.wire_bytes(LoadMethod::Quantized { bits: 8.0 }, t);
+        let q3 = m.wire_bytes(LoadMethod::Quantized { bits: 3.0 }, t);
+        assert!(text < cg && cg < q3 && q3 < q8);
+        // Table 1 shape: CacheGen ≈ 8-bit / 4 at matched quality.
+        assert!((q8 as f64 / cg as f64 - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn best_baseline_picks_the_winner() {
+        let m = model();
+        // Long context, low bandwidth: 8-bit quant transfer is huge, text
+        // prefill is big — whichever is smaller must be returned.
+        let best = m.best_baseline_ttft(9_400, 3.0 * GBPS, 1);
+        let text = m
+            .ttft(LoadMethod::TextContext, 9_400, 3.0 * GBPS)
+            .total();
+        let q8 = m
+            .ttft(LoadMethod::Quantized { bits: 8.0 }, 9_400, 3.0 * GBPS)
+            .total();
+        assert_eq!(best, text.min(q8));
+    }
+}

@@ -1,0 +1,125 @@
+//! Deterministic network simulation for KV-cache streaming.
+//!
+//! The paper streams KV bitstreams over links whose bandwidth varies during
+//! a transfer (§5.3, Figure 7) and evaluates from 0.4 to 400 Gbps
+//! (Figure 11) plus randomly-sampled traces (Figure 13). This crate models
+//! that substrate as *virtual-time* discrete events — no sockets, no sleeps
+//! — so a full SLO sweep runs in milliseconds and every run is reproducible:
+//!
+//! * [`BandwidthTrace`] — piecewise-constant available bandwidth over time,
+//!   with constructors for constant rates, the Figure 7 demo trace, and
+//!   seeded random traces (0.1–10 Gbps per chunk, §7.4).
+//! * [`Link`] — a trace plus propagation delay and optional fault injection
+//!   (loss-induced throughput derating, jitter), in the spirit of the
+//!   smoltcp examples' `--drop-chance` options.
+//! * [`ThroughputEstimator`] — the streamer's bandwidth estimate: the
+//!   measured throughput of the previous chunk (§5.3), optionally smoothed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod trace;
+
+pub use link::{Link, TransferResult};
+pub use trace::BandwidthTrace;
+
+/// The streamer's bandwidth estimator (§5.3): "CacheGen estimates the
+/// bandwidth by measuring the throughput of the previous chunk. It assumes
+/// this throughput will remain constant for the remaining chunks."
+#[derive(Clone, Debug)]
+pub struct ThroughputEstimator {
+    /// Exponential smoothing factor: 1.0 = use only the last sample
+    /// (the paper's behaviour), smaller values average history.
+    alpha: f64,
+    estimate: Option<f64>,
+}
+
+impl ThroughputEstimator {
+    /// Paper-default estimator (last sample wins).
+    pub fn new() -> Self {
+        ThroughputEstimator {
+            alpha: 1.0,
+            estimate: None,
+        }
+    }
+
+    /// EWMA estimator with smoothing factor `alpha ∈ (0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        ThroughputEstimator {
+            alpha,
+            estimate: None,
+        }
+    }
+
+    /// Records a completed transfer.
+    pub fn observe(&mut self, bytes: u64, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let sample = bytes as f64 * 8.0 / seconds; // bits per second
+        self.estimate = Some(match self.estimate {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// Current estimate in bits/second, if any transfer has been observed.
+    pub fn bits_per_sec(&self) -> Option<f64> {
+        self.estimate
+    }
+
+    /// Seeds the estimator with prior knowledge (the paper uses prior
+    /// throughput knowledge for the first chunk when available, §5.3).
+    pub fn seed(&mut self, bits_per_sec: f64) {
+        self.estimate = Some(bits_per_sec);
+    }
+}
+
+impl Default for ThroughputEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_starts_empty() {
+        assert!(ThroughputEstimator::new().bits_per_sec().is_none());
+    }
+
+    #[test]
+    fn last_sample_estimator() {
+        let mut e = ThroughputEstimator::new();
+        e.observe(1_000_000, 1.0); // 8 Mbps
+        assert!((e.bits_per_sec().unwrap() - 8e6).abs() < 1.0);
+        e.observe(1_000_000, 2.0); // 4 Mbps replaces it
+        assert!((e.bits_per_sec().unwrap() - 4e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut e = ThroughputEstimator::with_alpha(0.5);
+        e.observe(1_000_000, 1.0); // 8 Mbps
+        e.observe(1_000_000, 2.0); // sample 4 Mbps → estimate 6 Mbps
+        assert!((e.bits_per_sec().unwrap() - 6e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_duration_ignored() {
+        let mut e = ThroughputEstimator::new();
+        e.observe(100, 0.0);
+        assert!(e.bits_per_sec().is_none());
+    }
+
+    #[test]
+    fn seeding() {
+        let mut e = ThroughputEstimator::new();
+        e.seed(2e9);
+        assert_eq!(e.bits_per_sec(), Some(2e9));
+    }
+}

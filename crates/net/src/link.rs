@@ -1,0 +1,171 @@
+//! A network link: bandwidth trace + propagation delay + fault injection.
+//!
+//! The link is what the KV streamer actually sends chunks over. Faults are
+//! modelled in the spirit of the smoltcp examples' `--drop-chance` fault
+//! injector: random loss forces retransmissions, which shows up as a
+//! derated effective throughput; jitter perturbs per-transfer goodput
+//! multiplicatively. Both are seeded and deterministic.
+
+use crate::trace::BandwidthTrace;
+use cachegen_tensor::rng::seeded;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Outcome of one transfer over a [`Link`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferResult {
+    /// Virtual time the transfer started.
+    pub start: f64,
+    /// Virtual time the last byte arrived.
+    pub finish: f64,
+    /// Bytes delivered.
+    pub bytes: u64,
+}
+
+impl TransferResult {
+    /// Transfer duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.finish - self.start
+    }
+
+    /// Measured goodput in bits/second (what the streamer's estimator sees).
+    pub fn throughput_bps(&self) -> f64 {
+        if self.seconds() <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes as f64 * 8.0 / self.seconds()
+        }
+    }
+}
+
+/// A simulated link.
+#[derive(Debug)]
+pub struct Link {
+    trace: BandwidthTrace,
+    /// One-way propagation delay added to every transfer, seconds.
+    propagation: f64,
+    /// Packet-loss probability in [0, 1); retransmissions derate goodput by
+    /// `1 / (1 - loss)`.
+    loss: f64,
+    /// Multiplicative jitter half-width (0.1 = ±10% per transfer).
+    jitter: f64,
+    rng: StdRng,
+}
+
+impl Link {
+    /// A clean link over a trace with a given propagation delay.
+    pub fn new(trace: BandwidthTrace, propagation: f64) -> Self {
+        assert!(propagation >= 0.0);
+        Link {
+            trace,
+            propagation,
+            loss: 0.0,
+            jitter: 0.0,
+            rng: seeded(0),
+        }
+    }
+
+    /// Adds fault injection. `loss ∈ [0, 1)`, `jitter ∈ [0, 1)`.
+    pub fn with_faults(mut self, loss: f64, jitter: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0,1)");
+        self.loss = loss;
+        self.jitter = jitter;
+        self.rng = seeded(seed);
+        self
+    }
+
+    /// The underlying bandwidth trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// One-way propagation delay.
+    pub fn propagation(&self) -> f64 {
+        self.propagation
+    }
+
+    /// Sends `bytes` starting at virtual time `start`; returns the
+    /// completion record. Loss inflates the effective byte count (models
+    /// retransmission); jitter perturbs it both ways.
+    pub fn send(&mut self, bytes: u64, start: f64) -> TransferResult {
+        let mut effective = bytes as f64;
+        if self.loss > 0.0 {
+            effective /= 1.0 - self.loss;
+        }
+        if self.jitter > 0.0 {
+            let j: f64 = self.rng.gen::<f64>() * 2.0 - 1.0; // [-1, 1)
+            effective *= 1.0 + j * self.jitter;
+        }
+        let wire_bytes = effective.ceil().max(0.0) as u64;
+        let dur = self.trace.transfer_seconds(wire_bytes, start) + self.propagation;
+        TransferResult {
+            start,
+            finish: start + dur,
+            bytes,
+        }
+    }
+
+    /// Pure lookahead used by planners: seconds a transfer of `bytes` at
+    /// `start` would take with no fault injection.
+    pub fn ideal_seconds(&self, bytes: u64, start: f64) -> f64 {
+        self.trace.transfer_seconds(bytes, start) + self.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::GBPS;
+
+    #[test]
+    fn clean_link_matches_trace() {
+        let mut link = Link::new(BandwidthTrace::constant(8e9), 0.0);
+        let r = link.send(1_000_000_000, 0.0);
+        assert!((r.seconds() - 1.0).abs() < 1e-9);
+        assert!((r.throughput_bps() - 8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn propagation_adds_latency() {
+        let mut link = Link::new(BandwidthTrace::constant(8e9), 0.05);
+        let r = link.send(8_000_000, 1.0); // 8 MB = 64 Mbit → 8 ms
+        assert!((r.seconds() - 0.058).abs() < 1e-9);
+        assert_eq!(r.start, 1.0);
+    }
+
+    #[test]
+    fn loss_derates_throughput() {
+        let clean = Link::new(BandwidthTrace::constant(GBPS), 0.0).send(10_000_000, 0.0);
+        let lossy = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .with_faults(0.2, 0.0, 7)
+            .send(10_000_000, 0.0);
+        assert!(lossy.seconds() > clean.seconds());
+        // 20% loss → 1.25× retransmission overhead.
+        assert!((lossy.seconds() / clean.seconds() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let base = Link::new(BandwidthTrace::constant(GBPS), 0.0).send(10_000_000, 0.0);
+        let mut a = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.0, 0.3, 9);
+        let mut b = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.0, 0.3, 9);
+        for _ in 0..10 {
+            let ra = a.send(10_000_000, 0.0);
+            let rb = b.send(10_000_000, 0.0);
+            assert_eq!(ra, rb, "same seed must give same jitter");
+            let ratio = ra.seconds() / base.seconds();
+            assert!((0.7..=1.3001).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn measured_throughput_feeds_estimator() {
+        let mut link = Link::new(BandwidthTrace::figure7(), 0.0);
+        // A chunk sent entirely inside the 0.2 Gbps valley measures 0.2 Gbps.
+        let r = link.send(25_000_000, 2.0); // 0.2 Gbit at 0.2 Gbps = 1 s
+        let mut est = crate::ThroughputEstimator::new();
+        est.observe(r.bytes, r.seconds());
+        assert!((est.bits_per_sec().unwrap() - 0.2 * GBPS).abs() / GBPS < 1e-6);
+    }
+}

@@ -1,0 +1,441 @@
+//! Algorithm 1 (the streaming adapter) and the virtual-time simulation.
+//!
+//! Per chunk, the adapter estimates throughput from the previous chunk's
+//! measured goodput (§5.3), computes the expected completion time of every
+//! streaming configuration for *all remaining chunks*, and picks the
+//! least-lossy configuration whose expected finish still meets the SLO —
+//! text (recompute, lossless) ranks best, then encoding levels finest to
+//! coarsest. If nothing fits, it sends the configuration that finishes
+//! soonest (minimising SLO violation).
+//!
+//! The simulation models the §6 pipeline: transmission of chunk *i+1*
+//! overlaps decoding of chunk *i* (decode runs on the GPU decode kernel),
+//! and text chunks occupy the GPU for a prefill-recompute instead. With
+//! `concurrent_requests = B`, per-chunk delays scale by B (§5.3's batched
+//! streaming: every chunk index is shared by all B requests).
+
+use crate::levels::{LevelLadder, StreamConfig};
+use crate::plan::ChunkPlan;
+use cachegen_net::{Link, ThroughputEstimator};
+
+/// How the streamer picks per-chunk configurations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdaptPolicy {
+    /// Full Algorithm 1 (the paper's CacheGen).
+    Adaptive,
+    /// Always stream at one fixed encoding level ("CacheGen w/o adaptation"
+    /// in Figures 7/13).
+    FixedLevel(usize),
+    /// Always send text and recompute (the "text context" baseline).
+    AlwaysText,
+}
+
+/// Inputs to the streaming simulation.
+pub struct StreamParams<'a> {
+    /// SLO on total context-loading time, seconds (None = no deadline:
+    /// adaptive policy then streams at the finest level).
+    pub slo: Option<f64>,
+    /// Configuration policy.
+    pub policy: AdaptPolicy,
+    /// Prior throughput knowledge for the first chunk, bits/second (§5.3).
+    pub prior_throughput_bps: Option<f64>,
+    /// Number of concurrent requests sharing the stream (B in §5.3).
+    pub concurrent_requests: usize,
+    /// Level ladder (for quality ordering / default medium level).
+    pub ladder: &'a LevelLadder,
+    /// GPU decode time for a compressed chunk of a given wire size.
+    pub decode_seconds: &'a dyn Fn(u64) -> f64,
+    /// GPU prefill-recompute time for a text chunk of a given token count.
+    pub recompute_seconds: &'a dyn Fn(usize) -> f64,
+}
+
+/// Outcome for one streamed chunk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChunkOutcome {
+    /// Chunk index.
+    pub index: usize,
+    /// Configuration chosen.
+    pub config: StreamConfig,
+    /// Bytes sent on the wire for this chunk (per request).
+    pub bytes: u64,
+    /// Virtual time the transfer started.
+    pub transfer_start: f64,
+    /// Virtual time the last byte arrived.
+    pub transfer_finish: f64,
+    /// Virtual time this chunk's KV was ready in GPU memory (after decode
+    /// or recompute).
+    pub ready: f64,
+}
+
+/// Outcome of streaming a whole context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamOutcome {
+    /// Per-chunk records, in send order.
+    pub chunks: Vec<ChunkOutcome>,
+    /// Virtual time when the full KV cache was ready (context-loading
+    /// delay; TTFT adds the prompt's own prefill on top).
+    pub finish: f64,
+    /// Total bytes sent per request.
+    pub bytes_sent: u64,
+    /// Whether the SLO (if any) was met.
+    pub slo_met: bool,
+}
+
+impl StreamOutcome {
+    /// Fraction of chunks sent at each configuration — a compact quality
+    /// proxy (text = lossless, finer levels = better).
+    pub fn config_histogram(&self, n_levels: usize) -> Vec<(StreamConfig, usize)> {
+        let mut counts: Vec<(StreamConfig, usize)> = StreamConfig::quality_order(n_levels)
+            .map(|c| (c, 0))
+            .collect();
+        for c in &self.chunks {
+            for entry in counts.iter_mut() {
+                if entry.0 == c.config {
+                    entry.1 += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Expected seconds to finish the remaining chunks (from `from`) at a
+/// candidate configuration, assuming `throughput_bps` holds (§5.3's
+/// expected-delay computation, scaled by the batch factor).
+fn expected_remaining_seconds(
+    plan: &ChunkPlan,
+    from: usize,
+    cfg: StreamConfig,
+    throughput_bps: f64,
+    params: &StreamParams<'_>,
+) -> f64 {
+    let batch = params.concurrent_requests as f64;
+    match cfg {
+        StreamConfig::Level(l) => {
+            let bytes = plan.remaining_bytes_at_level(from, l);
+            // Decode pipelines with transfer; only the final chunk's decode
+            // is exposed (§6), so budget for that tail.
+            let last = plan.num_chunks() - 1;
+            let tail = (params.decode_seconds)(plan.chunk(last).level_bytes[l]) * batch;
+            bytes as f64 * 8.0 / throughput_bps * batch + tail
+        }
+        StreamConfig::Text => {
+            let text_bytes: u64 = plan.chunks()[from..].iter().map(|c| c.text_bytes).sum();
+            let net = text_bytes as f64 * 8.0 / throughput_bps * batch;
+            let gpu = (params.recompute_seconds)(plan.remaining_tokens(from)) * batch;
+            net + gpu
+        }
+    }
+}
+
+fn choose_config(
+    plan: &ChunkPlan,
+    from: usize,
+    elapsed: f64,
+    estimator: &ThroughputEstimator,
+    params: &StreamParams<'_>,
+) -> StreamConfig {
+    match params.policy {
+        AdaptPolicy::FixedLevel(l) => return StreamConfig::Level(l.min(plan.num_levels() - 1)),
+        AdaptPolicy::AlwaysText => return StreamConfig::Text,
+        AdaptPolicy::Adaptive => {}
+    }
+    let throughput = estimator
+        .bits_per_sec()
+        .or(params.prior_throughput_bps);
+    let Some(throughput) = throughput else {
+        // No information at all: start at the default medium level (§5.3).
+        return StreamConfig::Level(params.ladder.default_medium().min(plan.num_levels() - 1));
+    };
+    let Some(slo) = params.slo else {
+        // No deadline: stream losslessly-adjacent (finest) level.
+        return StreamConfig::Level(0);
+    };
+    let remaining_time = slo - elapsed;
+    let text_expected =
+        expected_remaining_seconds(plan, from, StreamConfig::Text, throughput, params);
+    // Finest KV level whose expected finish meets the deadline.
+    let mut best_level: Option<(usize, f64)> = None;
+    let mut fastest: (f64, StreamConfig) = (text_expected, StreamConfig::Text);
+    for l in 0..plan.num_levels() {
+        let expected =
+            expected_remaining_seconds(plan, from, StreamConfig::Level(l), throughput, params);
+        if expected <= remaining_time && best_level.is_none() {
+            best_level = Some((l, expected));
+        }
+        if expected < fastest.0 {
+            fastest = (expected, StreamConfig::Level(l));
+        }
+    }
+    match best_level {
+        Some((l, level_expected)) => {
+            // Text (recompute) is lossless, but it burns GPU cycles the
+            // serving system needs elsewhere; prefer it only when it is
+            // strictly faster than the best feasible KV level (this is what
+            // makes short contexts revert to text, Figure 12 right, while
+            // long KV streams keep the GPU free, Figure 7).
+            if text_expected <= remaining_time && text_expected < level_expected {
+                StreamConfig::Text
+            } else {
+                StreamConfig::Level(l)
+            }
+        }
+        None if text_expected <= remaining_time => StreamConfig::Text,
+        // Nothing meets the deadline: minimise the violation.
+        None => fastest.1,
+    }
+}
+
+/// Streams a planned context over a link, returning the full timeline.
+pub fn simulate_stream(
+    plan: &ChunkPlan,
+    link: &mut Link,
+    params: &StreamParams<'_>,
+) -> StreamOutcome {
+    assert!(params.concurrent_requests >= 1, "need at least one request");
+    assert!(
+        plan.num_levels() <= params.ladder.len(),
+        "plan has more levels than the ladder"
+    );
+    let batch = params.concurrent_requests as u64;
+    let mut estimator = ThroughputEstimator::new();
+    let mut t = 0.0f64;
+    let mut decoder_free = 0.0f64; // GPU decode kernel availability
+    let mut gpu_free = 0.0f64; // GPU prefill availability (text chunks)
+    let mut chunks = Vec::with_capacity(plan.num_chunks());
+    let mut bytes_sent = 0u64;
+
+    for i in 0..plan.num_chunks() {
+        let cfg = choose_config(plan, i, t, &estimator, params);
+        let chunk = plan.chunk(i);
+        let bytes = chunk.bytes_for(cfg);
+        // All B requests share the link, so the wire carries B copies of
+        // this chunk index before the next (§5.3 batching).
+        let result = link.send(bytes * batch, t);
+        estimator.observe(result.bytes, result.seconds());
+        let ready = match cfg {
+            StreamConfig::Level(_) => {
+                // Decode pipelines with the next transfer but serialises on
+                // the decode kernel (§6).
+                let start = result.finish.max(decoder_free);
+                let done = start + (params.decode_seconds)(bytes) * batch as f64;
+                decoder_free = done;
+                done
+            }
+            StreamConfig::Text => {
+                let start = result.finish.max(gpu_free);
+                let done = start + (params.recompute_seconds)(chunk.tokens) * batch as f64;
+                gpu_free = done;
+                done
+            }
+        };
+        chunks.push(ChunkOutcome {
+            index: i,
+            config: cfg,
+            bytes,
+            transfer_start: t,
+            transfer_finish: result.finish,
+            ready,
+        });
+        bytes_sent += bytes;
+        t = result.finish;
+    }
+    let finish = chunks
+        .iter()
+        .map(|c| c.ready)
+        .fold(0.0f64, f64::max);
+    let slo_met = params.slo.map(|s| finish <= s).unwrap_or(true);
+    StreamOutcome {
+        chunks,
+        finish,
+        bytes_sent,
+        slo_met,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChunkSizes;
+    use cachegen_net::trace::{BandwidthTrace, GBPS};
+
+    /// 4 chunks × 250 MB at level 0, shrinking ~2× per level; 6 KB text.
+    fn gb_plan() -> ChunkPlan {
+        let chunk = |scale: u64| {
+            ChunkSizes::new(
+                1500,
+                vec![250_000_000 / scale, 125_000_000 / scale, 62_500_000 / scale],
+                6_000,
+            )
+        };
+        ChunkPlan::new(vec![chunk(1), chunk(1), chunk(1), chunk(1)])
+    }
+
+    fn fast_decode(_bytes: u64) -> f64 {
+        0.01
+    }
+
+    fn slow_recompute(tokens: usize) -> f64 {
+        tokens as f64 * 1e-3 // 1.5 s per 1500-token chunk
+    }
+
+    fn params<'a>(
+        slo: Option<f64>,
+        policy: AdaptPolicy,
+        ladder: &'a LevelLadder,
+        decode: &'a dyn Fn(u64) -> f64,
+        recompute: &'a dyn Fn(usize) -> f64,
+    ) -> StreamParams<'a> {
+        StreamParams {
+            slo,
+            policy,
+            prior_throughput_bps: Some(2.0 * GBPS),
+            concurrent_requests: 1,
+            ladder,
+            decode_seconds: decode,
+            recompute_seconds: recompute,
+        }
+    }
+
+    #[test]
+    fn fixed_level_on_constant_bandwidth() {
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
+        let p = params(None, AdaptPolicy::FixedLevel(0), &ladder, &fast_decode, &slow_recompute);
+        let out = simulate_stream(&plan, &mut link, &p);
+        // 1 GB at 2 Gbps = 4 s transfer + ≤4 decodes of 10 ms.
+        assert!((out.finish - 4.01).abs() < 0.05, "finish {}", out.finish);
+        assert_eq!(out.bytes_sent, 1_000_000_000);
+        assert!(out.chunks.iter().all(|c| c.config == StreamConfig::Level(0)));
+    }
+
+    #[test]
+    fn figure7_adaptation_meets_slo_where_fixed_violates() {
+        // The paper's Figure 7: 1 GB stream, SLO 4 s, bandwidth dips to
+        // 0.2 Gbps during [2, 4) s. Fixed level misses; adaptive downshifts.
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let slo = Some(4.5);
+
+        let mut link = Link::new(BandwidthTrace::figure7(), 0.0);
+        let fixed = params(slo, AdaptPolicy::FixedLevel(0), &ladder, &fast_decode, &slow_recompute);
+        let out_fixed = simulate_stream(&plan, &mut link, &fixed);
+        assert!(!out_fixed.slo_met, "fixed level should violate: {}", out_fixed.finish);
+
+        let mut link = Link::new(BandwidthTrace::figure7(), 0.0);
+        let adaptive = params(slo, AdaptPolicy::Adaptive, &ladder, &fast_decode, &slow_recompute);
+        let out_adapt = simulate_stream(&plan, &mut link, &adaptive);
+        assert!(
+            out_adapt.finish < out_fixed.finish,
+            "adaptive {} should beat fixed {}",
+            out_adapt.finish,
+            out_fixed.finish
+        );
+        // Adaptation must have downshifted at least one chunk.
+        assert!(out_adapt
+            .chunks
+            .iter()
+            .any(|c| c.config != StreamConfig::Level(0)));
+    }
+
+    #[test]
+    fn starved_link_falls_back_to_text() {
+        // At 1 Mbps even the coarsest KV level takes hours; recompute takes
+        // 6 s. Algorithm 1 must choose text.
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let mut link = Link::new(BandwidthTrace::constant(1e6), 0.0);
+        let mut p = params(Some(30.0), AdaptPolicy::Adaptive, &ladder, &fast_decode, &slow_recompute);
+        p.prior_throughput_bps = Some(1e6);
+        let out = simulate_stream(&plan, &mut link, &p);
+        assert!(
+            out.chunks.iter().all(|c| c.config == StreamConfig::Text),
+            "configs: {:?}",
+            out.chunks.iter().map(|c| c.config).collect::<Vec<_>>()
+        );
+        assert!(out.slo_met, "text fallback should meet 30 s SLO: {}", out.finish);
+    }
+
+    #[test]
+    fn text_preferred_when_gpu_beats_network() {
+        // Short context + fast GPU: recomputing is faster than any KV level,
+        // and it is lossless, so Algorithm 1 picks it (Figure 12 right:
+        // short contexts revert to text).
+        let plan = ChunkPlan::new(vec![ChunkSizes::new(
+            100,
+            vec![50_000_000, 25_000_000],
+            400,
+        )]);
+        let ladder = LevelLadder::new(vec![1.0, 2.0]);
+        let fast_recompute = |tokens: usize| tokens as f64 * 1e-4; // 10 ms
+        let mut link = Link::new(BandwidthTrace::constant(0.1 * GBPS), 0.0);
+        let mut p = params(Some(1.0), AdaptPolicy::Adaptive, &ladder, &fast_decode, &fast_recompute);
+        p.prior_throughput_bps = Some(0.1 * GBPS);
+        let out = simulate_stream(&plan, &mut link, &p);
+        assert_eq!(out.chunks[0].config, StreamConfig::Text);
+        assert!(out.slo_met);
+    }
+
+    #[test]
+    fn batching_scales_delay() {
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let run = |b: usize| {
+            let mut link = Link::new(BandwidthTrace::constant(8.0 * GBPS), 0.0);
+            let mut p = params(None, AdaptPolicy::FixedLevel(0), &ladder, &fast_decode, &slow_recompute);
+            p.concurrent_requests = b;
+            simulate_stream(&plan, &mut link, &p).finish
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert!(
+            (t4 / t1 - 4.0).abs() < 0.1,
+            "4 concurrent requests should ≈4× delay: {t1} vs {t4}"
+        );
+    }
+
+    #[test]
+    fn decode_pipelines_with_transfer() {
+        // Decode per chunk = 0.5 s, transfer per chunk = 1 s. Pipelined
+        // finish ≈ 4 transfers + 1 decode tail, not 4 × 1.5.
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let decode_half_sec = |_b: u64| 0.5;
+        let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
+        let p = params(None, AdaptPolicy::FixedLevel(0), &ladder, &decode_half_sec, &slow_recompute);
+        let out = simulate_stream(&plan, &mut link, &p);
+        assert!(
+            (out.finish - 4.5).abs() < 0.05,
+            "pipelined finish should be ≈4.5 s, got {}",
+            out.finish
+        );
+    }
+
+    #[test]
+    fn no_estimate_uses_default_medium() {
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
+        let mut p = params(Some(4.0), AdaptPolicy::Adaptive, &ladder, &fast_decode, &slow_recompute);
+        p.prior_throughput_bps = None;
+        let out = simulate_stream(&plan, &mut link, &p);
+        assert_eq!(out.chunks[0].config, StreamConfig::Level(ladder.default_medium()));
+    }
+
+    #[test]
+    fn config_histogram_counts() {
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
+        let p = params(None, AdaptPolicy::FixedLevel(1), &ladder, &fast_decode, &slow_recompute);
+        let out = simulate_stream(&plan, &mut link, &p);
+        let hist = out.config_histogram(3);
+        let level1 = hist
+            .iter()
+            .find(|(c, _)| *c == StreamConfig::Level(1))
+            .unwrap()
+            .1;
+        assert_eq!(level1, 4);
+    }
+}

