@@ -87,5 +87,10 @@ fn bench_layer_groups(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_granularity, bench_group_size, bench_layer_groups);
+criterion_group!(
+    benches,
+    bench_granularity,
+    bench_group_size,
+    bench_layer_groups
+);
 criterion_main!(benches);

@@ -53,7 +53,9 @@ fn bench_kv_codec(c: &mut Criterion) {
     g.throughput(Throughput::Elements(cache.num_elements() as u64));
     g.bench_function("encode", |b| b.iter(|| codec.encode(&cache)));
     g.bench_function("decode_serial", |b| b.iter(|| codec.decode(&enc)));
-    g.bench_function("decode_parallel", |b| b.iter(|| codec.decode_parallel(&enc)));
+    g.bench_function("decode_parallel", |b| {
+        b.iter(|| codec.decode_parallel(&enc))
+    });
     g.finish();
 }
 

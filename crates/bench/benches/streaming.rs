@@ -34,8 +34,7 @@ fn bench_streaming(c: &mut Criterion) {
     g.bench_function("adaptive_over_random_trace", |b| {
         b.iter(|| {
             let mut rng = seeded(9);
-            let trace =
-                BandwidthTrace::random_uniform(&mut rng, 0.1 * GBPS, 10.0 * GBPS, 0.25, 40);
+            let trace = BandwidthTrace::random_uniform(&mut rng, 0.1 * GBPS, 10.0 * GBPS, 0.25, 40);
             let mut link = Link::new(trace, 0.0);
             let params = StreamParams {
                 slo: Some(1.0),

@@ -21,7 +21,10 @@ fn main() {
     };
     for name in &list {
         if !experiments::ALL.contains(name) {
-            eprintln!("unknown experiment '{name}'; valid: {}", experiments::ALL.join(" "));
+            eprintln!(
+                "unknown experiment '{name}'; valid: {}",
+                experiments::ALL.join(" ")
+            );
             std::process::exit(1);
         }
     }

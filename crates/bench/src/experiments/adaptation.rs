@@ -61,12 +61,24 @@ pub fn fig7() {
     let bw0 = plan.total_bytes_at_level(0) as f64 * 8.0 / 3.0;
     let trace = BandwidthTrace::from_segments(vec![(0.0, bw0), (1.0, bw0 / 10.0), (3.0, bw0)]);
     for (name, policy, plan) in [
-        ("Baseline KV quant (8-bit, fixed)", AdaptPolicy::FixedLevel(0), quant_plan()),
-        ("CacheGen w/o adapt (level 0)", AdaptPolicy::FixedLevel(0), plan.clone()),
+        (
+            "Baseline KV quant (8-bit, fixed)",
+            AdaptPolicy::FixedLevel(0),
+            quant_plan(),
+        ),
+        (
+            "CacheGen w/o adapt (level 0)",
+            AdaptPolicy::FixedLevel(0),
+            plan.clone(),
+        ),
         ("CacheGen", AdaptPolicy::Adaptive, plan.clone()),
     ] {
         let one_level = LevelLadder::new(vec![1.0]);
-        let lad = if plan.num_levels() == 1 { &one_level } else { &ladder };
+        let lad = if plan.num_levels() == 1 {
+            &one_level
+        } else {
+            &ladder
+        };
         let mut link = Link::new(trace.clone(), 0.0);
         let params = StreamParams {
             slo: Some(4.0),
@@ -131,8 +143,20 @@ pub fn fig13() {
         println!("\nSLO = {slo} s:");
         println!("{:<26} {:>12} {:>10}", "policy", "violation %", "quality");
         for (name, policy, p, lad, quant) in [
-            ("Quantization (8-bit)", AdaptPolicy::FixedLevel(0), &quant_plan(), &one_level, true),
-            ("CacheGen w/o adaptation", AdaptPolicy::FixedLevel(1), &plan, &ladder, false),
+            (
+                "Quantization (8-bit)",
+                AdaptPolicy::FixedLevel(0),
+                &quant_plan(),
+                &one_level,
+                true,
+            ),
+            (
+                "CacheGen w/o adaptation",
+                AdaptPolicy::FixedLevel(1),
+                &plan,
+                &ladder,
+                false,
+            ),
             ("CacheGen", AdaptPolicy::Adaptive, &plan, &ladder, false),
         ] {
             let mut violations = 0usize;
@@ -140,13 +164,8 @@ pub fn fig13() {
             let n_traces = 20;
             for seed in 0..n_traces {
                 let mut rng = workload_rng(4_000 + seed);
-                let trace = BandwidthTrace::random_uniform(
-                    &mut rng,
-                    0.1 * GBPS,
-                    10.0 * GBPS,
-                    0.25,
-                    40,
-                );
+                let trace =
+                    BandwidthTrace::random_uniform(&mut rng, 0.1 * GBPS, 10.0 * GBPS, 0.25, 40);
                 let mut link = Link::new(trace, 0.0);
                 let params = StreamParams {
                     slo: Some(slo),
@@ -165,9 +184,7 @@ pub fn fig13() {
                 quality += out
                     .chunks
                     .iter()
-                    .map(|c| {
-                        quality_of(c.config, quant) * p.chunk(c.index).tokens as f64
-                    })
+                    .map(|c| quality_of(c.config, quant) * p.chunk(c.index).tokens as f64)
                     .sum::<f64>()
                     / total_tokens as f64;
             }

@@ -32,12 +32,19 @@ fn longchat_cache(cfg: SimModelConfig, seed: u64) -> (SimTransformer, KvCache) {
 /// Figure 3: distribution of original values vs consecutive-token deltas.
 pub fn fig3() {
     section("Figure 3: original vs delta value distributions (token-wise locality)");
-    for cfg in [SimModelConfig::llama7b_sim(42), SimModelConfig::llama13b_sim(42)] {
+    for cfg in [
+        SimModelConfig::llama7b_sim(42),
+        SimModelConfig::llama13b_sim(42),
+    ] {
         let name = cfg.name.clone();
         let (_, cache) = longchat_cache(cfg, 3);
         let orig: Vec<f32> = cache.k().data().iter().map(|v| v.abs()).collect();
-        let deltas: Vec<f32> = consecutive_deltas(cache.k()).iter().map(|v| v.abs()).collect();
-        let var_ratio = stats::variance(cache.k().data()) / stats::variance(&consecutive_deltas(cache.k()));
+        let deltas: Vec<f32> = consecutive_deltas(cache.k())
+            .iter()
+            .map(|v| v.abs())
+            .collect();
+        let var_ratio =
+            stats::variance(cache.k().data()) / stats::variance(&consecutive_deltas(cache.k()));
         println!("\n{name}: variance(original)/variance(delta) = {var_ratio:.2} (paper: 2.4-2.9)");
         println!("{:>6} {:>12} {:>12}", "CDF", "|original|", "|delta|");
         for q in [0.5f32, 0.75, 0.9, 0.99] {
@@ -54,13 +61,17 @@ pub fn fig3() {
 /// Figure 4: response accuracy when rounding loss hits one layer group.
 pub fn fig4() {
     section("Figure 4: layer-wise sensitivity to loss");
-    for cfg in [SimModelConfig::llama7b_sim(42), SimModelConfig::llama13b_sim(42)] {
+    for cfg in [
+        SimModelConfig::llama7b_sim(42),
+        SimModelConfig::llama13b_sim(42),
+    ] {
         let name = cfg.name.clone();
         let vocab = cfg.vocab;
         let (model, cache) = longchat_cache(cfg, 4);
         let n_layers = cache.layers();
-        let prompts: Vec<Vec<usize>> =
-            (0..24).map(|p| vec![(p * 19) % vocab, (p * 7 + 3) % vocab]).collect();
+        let prompts: Vec<Vec<usize>> = (0..24)
+            .map(|p| vec![(p * 19) % vocab, (p * 7 + 3) % vocab])
+            .collect();
         let n_groups = 6.min(n_layers);
         let per = n_layers.div_ceil(n_groups);
         println!("\n{name} ({n_layers} layers, loss applied per group of {per}):");
@@ -89,7 +100,10 @@ pub fn fig4() {
 /// Figure 5: entropy (bits/element) under different grouping strategies.
 pub fn fig5() {
     section("Figure 5: entropy by grouping strategy");
-    for cfg in [SimModelConfig::llama7b_sim(42), SimModelConfig::llama13b_sim(42)] {
+    for cfg in [
+        SimModelConfig::llama7b_sim(42),
+        SimModelConfig::llama13b_sim(42),
+    ] {
         let name = cfg.name.clone();
         let (_, cache) = longchat_cache(cfg, 5);
         let t = cache.k();
@@ -111,11 +125,26 @@ pub fn fig5() {
         }
         let bin = 0.25;
         println!("\n{name} (bits per element, bin {bin}):");
-        println!("  no grouping      {:.3}", stats::quantized_entropy(values, bin));
-        println!("  by token         {:.3}", stats::grouped_entropy(values, &by_token, bin));
-        println!("  by channel       {:.3}", stats::grouped_entropy(values, &by_channel, bin));
-        println!("  by layer         {:.3}", stats::grouped_entropy(values, &by_layer, bin));
-        println!("  by channel+layer {:.3}", stats::grouped_entropy(values, &by_cl, bin));
+        println!(
+            "  no grouping      {:.3}",
+            stats::quantized_entropy(values, bin)
+        );
+        println!(
+            "  by token         {:.3}",
+            stats::grouped_entropy(values, &by_token, bin)
+        );
+        println!(
+            "  by channel       {:.3}",
+            stats::grouped_entropy(values, &by_channel, bin)
+        );
+        println!(
+            "  by layer         {:.3}",
+            stats::grouped_entropy(values, &by_layer, bin)
+        );
+        println!(
+            "  by channel+layer {:.3}",
+            stats::grouped_entropy(values, &by_cl, bin)
+        );
     }
 }
 

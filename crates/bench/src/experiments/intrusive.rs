@@ -28,7 +28,10 @@ fn smaller_model() {
     let small = SimTransformer::new(SimModelConfig::llama3b_sim(42));
     let tokens = 9_400u64;
 
-    println!("{:<26} {:>10} {:>12}", "operating point", "MB", "perplexity");
+    println!(
+        "{:<26} {:>10} {:>12}",
+        "operating point", "MB", "perplexity"
+    );
     // CacheGen on the big model at each level.
     for level in [0usize, 2, 4] {
         let r = bench.level_report(level);
@@ -44,10 +47,11 @@ fn smaller_model() {
     let mut ppl = 0.0;
     for s in &bench.samples {
         let big_cache = bench.engine.calculate_kv(&s.tokens);
-        let cont = bench
-            .engine
-            .model()
-            .generate_with_kv(&big_cache, &s.prompt, crate::harness::PPL_HORIZON);
+        let cont = bench.engine.model().generate_with_kv(
+            &big_cache,
+            &s.prompt,
+            crate::harness::PPL_HORIZON,
+        );
         let small_cache = small.prefill(&s.tokens);
         ppl += eval::perplexity(&small, &small_cache, &s.prompt, &cont);
     }

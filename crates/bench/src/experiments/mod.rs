@@ -10,8 +10,8 @@ pub mod sensitivity;
 
 /// All experiment names, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "appE",
+    "table1", "table2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "appE",
 ];
 
 /// Runs one experiment by name; panics on unknown names (the binary

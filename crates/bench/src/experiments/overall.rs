@@ -162,10 +162,18 @@ pub fn fig9() {
         let name = sim.name.clone();
         let bench = Bench::new(sim, Dataset::LongChat, 9, SIM_CONTEXTS_PER_CELL);
         println!("\n{name}:");
-        println!("{:<22} {:>12} {:>10}", "operating point", "bits/elem", "quality");
+        println!(
+            "{:<22} {:>12} {:>10}",
+            "operating point", "bits/elem", "quality"
+        );
         for bits in [8u8, 4, 3] {
             let r = bench.quant_report(bits);
-            println!("{:<22} {:>12.2} {:>10.2}", format!("quant {bits}-bit"), r.bits_per_element, r.quality);
+            println!(
+                "{:<22} {:>12.2} {:>10.2}",
+                format!("quant {bits}-bit"),
+                r.bits_per_element,
+                r.quality
+            );
         }
         for level in 0..bench.engine.num_levels() {
             let r = bench.level_report(level);
@@ -203,8 +211,11 @@ pub fn fig10() {
             pruned_bits += pruned.wire_bytes(8.0) as f64 * 8.0 / full;
             let cfg = CodecConfig::default();
             let profile = CodecProfile::build(&cfg, &[&pruned.cache]);
-            cg_bits +=
-                KvCodec::new(cfg, profile).encode(&pruned.cache).total_bytes() as f64 * 8.0 / full;
+            cg_bits += KvCodec::new(cfg, profile)
+                .encode(&pruned.cache)
+                .total_bytes() as f64
+                * 8.0
+                / full;
         }
         let n = bench.samples.len() as f64;
         println!(

@@ -22,7 +22,10 @@ pub fn fig14() {
     let bw = 3.0 * GBPS;
 
     section("Figure 14a: TTFT breakdown (seconds)");
-    println!("{:<12} {:>9} {:>9} {:>9} {:>9}", "method", "compute", "transfer", "decode", "total");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}",
+        "method", "compute", "transfer", "decode", "total"
+    );
     for (name, m) in [
         ("Text", LoadMethod::TextContext),
         ("Quant-8", LoadMethod::Quantized { bits: 8.0 }),
@@ -51,7 +54,10 @@ pub fn fig14() {
     let decode_bytes = spec.kv_bytes(PAPER_TOKENS, cg.bits_per_element) as f64;
     let decode_tf = decode_bytes * 200.0 / 1e12;
     println!("text (prefill): {prefill_tf:>8.1} TFLOP");
-    println!("CacheGen decode: {decode_tf:>7.2} TFLOP  ({:.1}% of prefill)", 100.0 * decode_tf / prefill_tf);
+    println!(
+        "CacheGen decode: {decode_tf:>7.2} TFLOP  ({:.1}% of prefill)",
+        100.0 * decode_tf / prefill_tf
+    );
 
     section("Figure 14c: offline encoding delay (functional measurement)");
     let sample = &bench.samples[0];
@@ -65,7 +71,10 @@ pub fn fig14() {
     }
     let encode_ms = t1.elapsed().as_secs_f64() * 1e3;
     println!("quantization round trip: {quant_ms:>8.1} ms");
-    println!("CacheGen encode ({} levels): {encode_ms:>8.1} ms (one-time, offline)", bench.engine.num_levels());
+    println!(
+        "CacheGen encode ({} levels): {encode_ms:>8.1} ms (one-time, offline)",
+        bench.engine.num_levels()
+    );
 
     section("Figure 14d: storage cost per context (paper-scale GB)");
     let fp16 = spec.kv_bytes(PAPER_TOKENS, 16.0) as f64 / 1e9;
@@ -156,7 +165,10 @@ pub fn fig16() {
     let qoe = QoeModel::default();
     let cg = bench.level_report(1);
     let q3 = bench.quant_report(3);
-    println!("{:<10} {:>10} {:>10} {:>10}", "sample", "Original", "Quant-3", "CacheGen");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "sample", "Original", "Quant-3", "CacheGen"
+    );
     for (i, _) in bench.samples.iter().enumerate() {
         let t_text = ttft.ttft(LoadMethod::TextContext, PAPER_TOKENS, bw).total();
         let t_q3 = ttft
@@ -190,7 +202,10 @@ pub fn fig17() {
     let model = bench.engine.model();
     let cache = bench.engine.calculate_kv(&s.tokens);
     let reference = model.generate_with_kv(&cache, &s.prompt, 4);
-    println!("prompt (probes the FIRST topic's vocabulary band): {:?}", s.prompt);
+    println!(
+        "prompt (probes the FIRST topic's vocabulary band): {:?}",
+        s.prompt
+    );
     println!("ground truth (exact KV):        {reference:?}");
     let enc = bench.engine.encode_at_level(&cache, 1);
     let dec = bench.engine.decode_at_level(&enc, 1);
@@ -198,13 +213,21 @@ pub fn fig17() {
     let match_cg = eval::token_f1(&cg_out, &reference);
     println!(
         "CacheGen (level 1):             {cg_out:?}   F1 {match_cg:.2} {}",
-        if cg_out[0] == reference[0] { "✓ right" } else { "✗" }
+        if cg_out[0] == reference[0] {
+            "✓ right"
+        } else {
+            "✗"
+        }
     );
     let q3 = UniformQuantizer::new(3).round_trip_cache(&cache);
     let q3_out = model.generate_with_kv(&q3, &s.prompt, 4);
     let match_q3 = eval::token_f1(&q3_out, &reference);
     println!(
         "3-bit quant (similar size):     {q3_out:?}   F1 {match_q3:.2} {}",
-        if q3_out[0] == reference[0] { "✓" } else { "✗ wrong" }
+        if q3_out[0] == reference[0] {
+            "✓"
+        } else {
+            "✗ wrong"
+        }
     );
 }

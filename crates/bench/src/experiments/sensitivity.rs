@@ -26,7 +26,9 @@ pub fn fig11() {
     for gbps in [0.4, 1.0, 3.0, 10.0, 15.0, 50.0, 100.0, 200.0, 400.0] {
         let bw = gbps * GBPS;
         let t = m.ttft(LoadMethod::TextContext, tokens, bw).total();
-        let q = m.ttft(LoadMethod::Quantized { bits: 8.0 }, tokens, bw).total();
+        let q = m
+            .ttft(LoadMethod::Quantized { bits: 8.0 }, tokens, bw)
+            .total();
         let c = m
             .ttft(
                 LoadMethod::CacheGen {
@@ -47,9 +49,14 @@ pub fn fig12() {
     section("Figure 12 left: TTFT vs concurrent requests (9.6K tokens, 3 Gbps)");
     let m = model();
     let bw = 3.0 * GBPS;
-    println!("{:>6} {:>10} {:>10} {:>10}", "reqs", "text s", "quant8 s", "CacheGen s");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "reqs", "text s", "quant8 s", "CacheGen s"
+    );
     for n in [1u64, 2, 4, 6, 8, 10] {
-        let t = m.ttft_concurrent(LoadMethod::TextContext, 9_600, bw, n).total();
+        let t = m
+            .ttft_concurrent(LoadMethod::TextContext, 9_600, bw, n)
+            .total();
         let q = m
             .ttft_concurrent(LoadMethod::Quantized { bits: 8.0 }, 9_600, bw, n)
             .total();
@@ -73,7 +80,9 @@ pub fn fig12() {
     );
     for tokens in [100u64, 500, 1_000, 3_000, 6_000, 9_000, 12_000, 15_000] {
         let t = m.ttft(LoadMethod::TextContext, tokens, bw).total();
-        let q = m.ttft(LoadMethod::Quantized { bits: 8.0 }, tokens, bw).total();
+        let q = m
+            .ttft(LoadMethod::Quantized { bits: 8.0 }, tokens, bw)
+            .total();
         let c = m
             .ttft(
                 LoadMethod::CacheGen {
@@ -121,5 +130,7 @@ pub fn fig19() {
         }
         println!();
     }
-    println!("(brighter = more reduction; gains peak at low bandwidth × scarce GPU — paper Fig 19)");
+    println!(
+        "(brighter = more reduction; gains peak at low bandwidth × scarce GPU — paper Fig 19)"
+    );
 }

@@ -55,12 +55,7 @@ impl Bench {
 
     /// Measures dataset-appropriate quality of a degraded cache against
     /// the full-precision reference for one sample.
-    pub fn quality(
-        &self,
-        reference: &KvCache,
-        degraded: &KvCache,
-        sample: &ContextSample,
-    ) -> f64 {
+    pub fn quality(&self, reference: &KvCache, degraded: &KvCache, sample: &ContextSample) -> f64 {
         let model = self.engine.model();
         let vocab = model.config().vocab;
         match self.dataset.metric() {
@@ -73,8 +68,7 @@ impl Bench {
                 eval::token_f1(&b, &a)
             }
             Metric::Perplexity => {
-                let cont =
-                    model.generate_with_kv(reference, &sample.prompt, PPL_HORIZON);
+                let cont = model.generate_with_kv(reference, &sample.prompt, PPL_HORIZON);
                 eval::perplexity(model, degraded, &sample.prompt, &cont)
             }
         }

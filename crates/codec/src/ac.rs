@@ -108,7 +108,7 @@ impl<'a> Decoder<'a> {
         let mut input = BitReader::new(bytes);
         let mut value = 0u64;
         for _ in 0..PRECISION {
-            value = (value << 1) | (input.next() as u64);
+            value = (value << 1) | (input.read_bit() as u64);
         }
         Decoder {
             low: 0,
@@ -144,7 +144,7 @@ impl<'a> Decoder<'a> {
             }
             self.low <<= 1;
             self.high = (self.high << 1) | 1;
-            self.value = (self.value << 1) | (self.input.next() as u64);
+            self.value = (self.value << 1) | (self.input.read_bit() as u64);
         }
         index
     }
@@ -253,8 +253,7 @@ mod tests {
             let counts: Vec<u32> = (0..alpha).map(|_| 1 + rng.gen::<u32>() % 100).collect();
             let table = FreqTable::from_counts(&counts);
             let n = 1 + (rng.gen::<usize>() % 2000);
-            let symbols: Vec<usize> =
-                (0..n).map(|_| rng.gen::<usize>() % alpha).collect();
+            let symbols: Vec<usize> = (0..n).map(|_| rng.gen::<usize>() % alpha).collect();
             assert_eq!(round_trip(&symbols, &table), symbols, "trial {trial}");
         }
     }

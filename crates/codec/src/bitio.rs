@@ -59,7 +59,7 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads the next bit (`false` once input is exhausted).
-    pub fn next(&mut self) -> bool {
+    pub fn read_bit(&mut self) -> bool {
         let byte = self.pos / 8;
         if byte >= self.buf.len() {
             self.pos += 1;
@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn round_trip_bits() {
-        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true,
+        ];
         let mut w = BitWriter::new();
         for &b in &pattern {
             w.push(b);
@@ -92,7 +94,7 @@ mod tests {
         assert_eq!(bytes.len(), 2);
         let mut r = BitReader::new(&bytes);
         for &b in &pattern {
-            assert_eq!(r.next(), b);
+            assert_eq!(r.read_bit(), b);
         }
     }
 
@@ -112,10 +114,10 @@ mod tests {
     fn reader_yields_zeros_past_end() {
         let mut r = BitReader::new(&[0xFF]);
         for _ in 0..8 {
-            assert!(r.next());
+            assert!(r.read_bit());
         }
         for _ in 0..16 {
-            assert!(!r.next());
+            assert!(!r.read_bit());
         }
     }
 

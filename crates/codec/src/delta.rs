@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn groups_cover_all_tokens_once() {
         let l = GroupLayout::new(7, 30);
-        let mut seen = vec![false; 30];
+        let mut seen = [false; 30];
         for (anchor, members) in l.groups() {
             assert!(!seen[anchor]);
             seen[anchor] = true;
@@ -189,7 +189,9 @@ mod tests {
     fn split_merge_round_trip() {
         let channels = 3;
         let tokens = 11;
-        let slab: Vec<f32> = (0..tokens * channels).map(|i| (i as f32) * 0.7 - 4.0).collect();
+        let slab: Vec<f32> = (0..tokens * channels)
+            .map(|i| (i as f32) * 0.7 - 4.0)
+            .collect();
         let layout = GroupLayout::new(4, tokens);
         let (anchors, deltas) = split_anchor_deltas(&slab, channels, layout);
         assert_eq!(anchors.len(), 3 * channels);

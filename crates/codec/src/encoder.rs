@@ -112,8 +112,7 @@ impl EncodedKv {
             .map(Vec::len)
             .sum();
         let scale_count: usize = self.scales.iter().flatten().map(Vec::len).sum();
-        (payload + 2 * scale_count + 16 + 4 * (self.k_streams.len() + self.v_streams.len()))
-            as u64
+        (payload + 2 * scale_count + 16 + 4 * (self.k_streams.len() + self.v_streams.len())) as u64
     }
 
     /// Serialises to a flat byte buffer (the unit the network simulator
@@ -235,8 +234,7 @@ pub(crate) fn walk_layer_symbols<F>(
             let arow = &slab[anchor * channels..(anchor + 1) * channels];
             for c in 0..channels {
                 let step = anchor_q.step(anchor_scales[c]);
-                let sym =
-                    clamp_symbol((arow[c] / step).round() as i64);
+                let sym = clamp_symbol((arow[c] / step).round() as i64);
                 emit(SymKind::Anchor, c, sym);
                 recon_anchor[c] = sym as f32 * step;
             }
@@ -266,7 +264,9 @@ pub(crate) fn walk_layer_symbols<F>(
 fn clamp_symbol(s: i64) -> i32 {
     // Round-trip through the alphabet clamp so encoder-side reconstruction
     // matches what the decoder will produce.
-    index_to_symbol(symbol_to_index(s.clamp(i32::MIN as i64, i32::MAX as i64) as i32))
+    index_to_symbol(symbol_to_index(
+        s.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    ))
 }
 
 impl KvCodec {
@@ -387,26 +387,53 @@ impl KvCodec {
     /// the stream header; only the AC symbol distributions come from the
     /// offline profile.
     pub fn encode(&self, cache: &KvCache) -> EncodedKv {
-        assert_eq!(cache.channels(), self.profile.channels(), "channel mismatch");
+        assert_eq!(
+            cache.channels(),
+            self.profile.channels(),
+            "channel mismatch"
+        );
         assert_eq!(cache.layers(), self.profile.layers(), "layer mismatch");
         let n_layers = cache.layers();
         let wire_round = |scales: Vec<Vec<f32>>| -> Vec<Vec<f32>> {
             scales
                 .into_iter()
-                .map(|row| row.into_iter().map(|s| wire_to_scale(scale_to_wire(s))).collect())
+                .map(|row| {
+                    row.into_iter()
+                        .map(|s| wire_to_scale(scale_to_wire(s)))
+                        .collect()
+                })
                 .collect()
         };
         let (ka, kd) = crate::profile::single_cache_scales(cache, true, &self.config);
         let (va, vd) = crate::profile::single_cache_scales(cache, false, &self.config);
-        let scales = [wire_round(ka), wire_round(kd), wire_round(va), wire_round(vd)];
+        let scales = [
+            wire_round(ka),
+            wire_round(kd),
+            wire_round(va),
+            wire_round(vd),
+        ];
         let k_streams = (0..n_layers)
             .map(|l| {
-                self.encode_layer(cache.k().slab(l), l, n_layers, true, &scales[0][l], &scales[1][l])
+                self.encode_layer(
+                    cache.k().slab(l),
+                    l,
+                    n_layers,
+                    true,
+                    &scales[0][l],
+                    &scales[1][l],
+                )
             })
             .collect();
         let v_streams = (0..n_layers)
             .map(|l| {
-                self.encode_layer(cache.v().slab(l), l, n_layers, false, &scales[2][l], &scales[3][l])
+                self.encode_layer(
+                    cache.v().slab(l),
+                    l,
+                    n_layers,
+                    false,
+                    &scales[2][l],
+                    &scales[3][l],
+                )
             })
             .collect();
         EncodedKv {
@@ -457,17 +484,19 @@ impl KvCodec {
         if parallel {
             let mut k_out: Vec<Vec<f32>> = Vec::new();
             let mut v_out: Vec<Vec<f32>> = Vec::new();
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = (0..layers)
-                    .map(|l| s.spawn(move |_| (decode_one(l, true), decode_one(l, false))))
+                    .map(|l| {
+                        let decode_one = &decode_one;
+                        s.spawn(move || (decode_one(l, true), decode_one(l, false)))
+                    })
                     .collect();
                 for h in handles {
                     let (kl, vl) = h.join().expect("decode thread panicked");
                     k_out.push(kl);
                     v_out.push(vl);
                 }
-            })
-            .expect("decode scope failed");
+            });
             for l in 0..layers {
                 k.slab_mut(l).copy_from_slice(&k_out[l]);
                 v.slab_mut(l).copy_from_slice(&v_out[l]);
@@ -537,8 +566,16 @@ mod tests {
             let delta_bin = codec.config().bins.bin_for_layer(l, n_layers);
             let anchor_bin = codec.config().anchor_bin;
             for (is_k, orig) in [(true, cache.k()), (false, cache.v())] {
-                let d_scales: &[f32] = if is_k { &enc.scales[1][l] } else { &enc.scales[3][l] };
-                let a_scales: &[f32] = if is_k { &enc.scales[0][l] } else { &enc.scales[2][l] };
+                let d_scales: &[f32] = if is_k {
+                    &enc.scales[1][l]
+                } else {
+                    &enc.scales[3][l]
+                };
+                let a_scales: &[f32] = if is_k {
+                    &enc.scales[0][l]
+                } else {
+                    &enc.scales[2][l]
+                };
                 let got = if is_k { dec.k() } else { dec.v() };
                 for t in 0..cache.tokens() {
                     let is_anchor = t % group == 0;

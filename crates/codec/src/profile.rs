@@ -154,12 +154,11 @@ impl CodecProfile {
                     );
                 }
             }
-            let anchors =
-                SymbolModelSet::build(cfg.granularity, layers, channels, |rec| {
-                    for &(l, c, s) in &anchor_obs {
-                        rec(l, c, s);
-                    }
-                });
+            let anchors = SymbolModelSet::build(cfg.granularity, layers, channels, |rec| {
+                for &(l, c, s) in &anchor_obs {
+                    rec(l, c, s);
+                }
+            });
             let deltas = SymbolModelSet::build(cfg.granularity, layers, channels, |rec| {
                 for &(l, c, s) in &delta_obs {
                     rec(l, c, s);
@@ -229,8 +228,7 @@ impl CodecProfile {
     /// Mean delta-model entropy, bits/symbol (diagnostic; lower = more
     /// compressible).
     pub fn mean_delta_entropy(&self) -> f64 {
-        (self.delta_models[0].mean_entropy_bits() + self.delta_models[1].mean_entropy_bits())
-            / 2.0
+        (self.delta_models[0].mean_entropy_bits() + self.delta_models[1].mean_entropy_bits()) / 2.0
     }
 }
 
@@ -241,7 +239,9 @@ mod tests {
 
     fn sample_cache(seed: u64, tokens: usize) -> KvCache {
         let m = SimTransformer::new(SimModelConfig::tiny(9));
-        let ctx: Vec<usize> = (0..tokens).map(|i| ((i as u64 * 13 + seed) % 64) as usize).collect();
+        let ctx: Vec<usize> = (0..tokens)
+            .map(|i| ((i as u64 * 13 + seed) % 64) as usize)
+            .collect();
         m.prefill(&ctx)
     }
 
@@ -281,7 +281,10 @@ mod tests {
         let (dec, bytes) = codec.round_trip(&c);
         assert!(bytes > 0);
         let bits = bytes as f64 * 8.0 / c.num_elements() as f64;
-        assert!(bits < 9.0, "cross-context encoding blew up: {bits:.2} bits/elem");
+        assert!(
+            bits < 9.0,
+            "cross-context encoding blew up: {bits:.2} bits/elem"
+        );
         assert!(c.mse(&dec) < 1.0);
     }
 

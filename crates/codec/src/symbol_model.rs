@@ -32,10 +32,7 @@ impl FreqTable {
         assert!(!counts.is_empty(), "empty alphabet");
         const DATA_WEIGHT: u64 = 64;
         const MAX_TOTAL: u64 = 1 << 24;
-        let raw_total: u64 = counts
-            .iter()
-            .map(|&c| u64::from(c) * DATA_WEIGHT + 1)
-            .sum();
+        let raw_total: u64 = counts.iter().map(|&c| u64::from(c) * DATA_WEIGHT + 1).sum();
         // Proportional downscale if the weighted total would overflow the
         // coder's precision budget; every symbol keeps at least one count.
         let scale_num = MAX_TOTAL.min(raw_total);
@@ -162,10 +159,7 @@ impl SymbolModelSet {
             };
             observe(&mut record);
         }
-        let tables = counts
-            .iter()
-            .map(|c| FreqTable::from_counts(c))
-            .collect();
+        let tables = counts.iter().map(|c| FreqTable::from_counts(c)).collect();
         SymbolModelSet {
             granularity,
             layers,
@@ -176,13 +170,7 @@ impl SymbolModelSet {
 
     /// The table to use for a given (layer, channel).
     pub fn table(&self, layer: usize, channel: usize) -> &FreqTable {
-        &self.tables[table_index(
-            self.granularity,
-            self.layers,
-            self.channels,
-            layer,
-            channel,
-        )]
+        &self.tables[table_index(self.granularity, self.layers, self.channels, layer, channel)]
     }
 
     /// The profiling granularity.

@@ -137,8 +137,7 @@ impl CacheGenEngine {
     /// respecting group alignment (chunk length is a multiple of the anchor
     /// group size whenever possible).
     pub fn chunk_caches(&self, cache: &KvCache) -> Vec<KvCache> {
-        let counts =
-            ChunkPlan::chunk_token_counts(cache.tokens(), self.config.chunk_tokens);
+        let counts = ChunkPlan::chunk_token_counts(cache.tokens(), self.config.chunk_tokens);
         let mut out = Vec::with_capacity(counts.len());
         let mut start = 0;
         for n in counts {
@@ -159,8 +158,7 @@ impl CacheGenEngine {
             let versions: Vec<EncodedKv> = (0..self.num_levels())
                 .map(|l| self.encode_at_level(chunk, l))
                 .collect();
-            let mut level_bytes: Vec<u64> =
-                versions.iter().map(EncodedKv::total_bytes).collect();
+            let mut level_bytes: Vec<u64> = versions.iter().map(EncodedKv::total_bytes).collect();
             // Guard the (rare, tiny-chunk) case where entropy-coding noise
             // makes a coarser level marginally larger: enforce monotone
             // sizes so the plan invariant holds.
@@ -223,12 +221,7 @@ impl CacheGenEngine {
 
     /// §6 `generate_with_kv`: greedy generation from a (possibly lossy)
     /// cache, skipping context prefill.
-    pub fn generate_with_kv(
-        &self,
-        cache: &KvCache,
-        prompt: &[usize],
-        steps: usize,
-    ) -> Vec<usize> {
+    pub fn generate_with_kv(&self, cache: &KvCache, prompt: &[usize], steps: usize) -> Vec<usize> {
         self.model.generate_with_kv(cache, prompt, steps)
     }
 }
@@ -314,8 +307,9 @@ mod tests {
         let e = engine();
         let ctx: Vec<usize> = (0..60).map(|i| (i * 5) % 64).collect();
         let cache = e.calculate_kv(&ctx);
-        let prompts: Vec<Vec<usize>> =
-            (0..20).map(|p| vec![(p * 3) % 64, (p * 7 + 1) % 64]).collect();
+        let prompts: Vec<Vec<usize>> = (0..20)
+            .map(|p| vec![(p * 3) % 64, (p * 7 + 1) % 64])
+            .collect();
         let acc_at = |level: usize| {
             let enc = e.encode_at_level(&cache, level);
             let dec = e.decode_at_level(&enc, level);

@@ -85,9 +85,7 @@ pub fn load_context(
     for outcome in &stream.chunks {
         let tokens = plan.chunk(outcome.index).tokens;
         let chunk = match outcome.config {
-            StreamConfig::Level(l) => {
-                engine.decode_at_level(&encoded[outcome.index][l], l)
-            }
+            StreamConfig::Level(l) => engine.decode_at_level(&encoded[outcome.index][l], l),
             StreamConfig::Text => reference.slice_tokens(start, start + tokens),
         };
         start += tokens;
@@ -108,7 +106,11 @@ mod tests {
 
     fn engine() -> CacheGenEngine {
         let profile_ctx: Vec<usize> = (0..60).map(|i| (i * 7) % 64).collect();
-        CacheGenEngine::build(SimModelConfig::tiny(42), EngineConfig::default(), &[profile_ctx])
+        CacheGenEngine::build(
+            SimModelConfig::tiny(42),
+            EngineConfig::default(),
+            &[profile_ctx],
+        )
     }
 
     #[test]
@@ -129,8 +131,10 @@ mod tests {
         let ctx: Vec<usize> = (0..60).map(|i| (i * 5) % 64).collect();
         let cache = e.calculate_kv(&ctx);
         let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0);
-        let mut p = LoadParams::default();
-        p.prior_throughput_bps = Some(GBPS);
+        let p = LoadParams {
+            prior_throughput_bps: Some(GBPS),
+            ..LoadParams::default()
+        };
         let out = load_context(&e, &cache, &mut link, &p);
         assert!(out
             .stream
@@ -138,7 +142,11 @@ mod tests {
             .iter()
             .all(|c| c.config == StreamConfig::Level(0)));
         // Finest level is a close reconstruction.
-        assert!(cache.mse(&out.cache) < 0.05, "mse {}", cache.mse(&out.cache));
+        assert!(
+            cache.mse(&out.cache) < 0.05,
+            "mse {}",
+            cache.mse(&out.cache)
+        );
     }
 
     #[test]
@@ -152,10 +160,12 @@ mod tests {
         let finest = plan.total_bytes_at_level(0);
         let bw = finest as f64 * 8.0 / 2.0; // level 0 would take 2 s
         let mut link = Link::new(BandwidthTrace::constant(bw), 0.0);
-        let mut p = LoadParams::default();
-        p.slo = Some(1.0);
-        p.prior_throughput_bps = Some(bw);
-        p.recompute_sec_per_token = 0.05; // recompute too slow to win
+        let p = LoadParams {
+            slo: Some(1.0),
+            prior_throughput_bps: Some(bw),
+            recompute_sec_per_token: 0.05, // recompute too slow to win
+            ..LoadParams::default()
+        };
         let out = load_context(&e, &cache, &mut link, &p);
         assert!(
             out.stream
@@ -163,7 +173,11 @@ mod tests {
                 .iter()
                 .any(|c| c.config != StreamConfig::Level(0)),
             "adapter should downshift: {:?}",
-            out.stream.chunks.iter().map(|c| c.config).collect::<Vec<_>>()
+            out.stream
+                .chunks
+                .iter()
+                .map(|c| c.config)
+                .collect::<Vec<_>>()
         );
         // The adapter plans to the deadline; allow boundary rounding (the
         // level whose expected finish equals the SLO exactly may land a
@@ -185,10 +199,12 @@ mod tests {
         // Starved link: everything goes to text; the result equals the
         // reference exactly.
         let mut link = Link::new(BandwidthTrace::constant(1e4), 0.0);
-        let mut p = LoadParams::default();
-        p.slo = Some(5.0);
-        p.prior_throughput_bps = Some(1e4);
-        p.recompute_sec_per_token = 1e-3;
+        let p = LoadParams {
+            slo: Some(5.0),
+            prior_throughput_bps: Some(1e4),
+            recompute_sec_per_token: 1e-3,
+            ..LoadParams::default()
+        };
         let out = load_context(&e, &cache, &mut link, &p);
         assert!(out
             .stream
@@ -206,10 +222,12 @@ mod tests {
         let reference = e.generate_with_kv(&cache, &[2, 4], 8);
         let run = |bw: f64, slo: f64| {
             let mut link = Link::new(BandwidthTrace::constant(bw), 0.0);
-            let mut p = LoadParams::default();
-            p.slo = Some(slo);
-            p.prior_throughput_bps = Some(bw);
-            p.recompute_sec_per_token = 0.5; // force KV path
+            let p = LoadParams {
+                slo: Some(slo),
+                prior_throughput_bps: Some(bw),
+                recompute_sec_per_token: 0.5, // force KV path
+                ..LoadParams::default()
+            };
             let out = load_context(&e, &cache, &mut link, &p);
             let got = e.generate_with_kv(&out.cache, &[2, 4], 8);
             cachegen_llm::eval::sequence_match_rate(&reference, &got)

@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn half_life_semantics() {
-        let m = QoeModel { half_life_secs: 2.0 };
+        let m = QoeModel {
+            half_life_secs: 2.0,
+        };
         let full = m.mos(0.0, 1.0) - 1.0;
         let half = m.mos(2.0, 1.0) - 1.0;
         assert!((half / full - 0.5).abs() < 1e-9);

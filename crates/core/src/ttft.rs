@@ -266,7 +266,10 @@ mod tests {
             )
             .total();
         assert!(cg15k < text15k, "long contexts favour CacheGen");
-        assert!(text < 2.0 * cg.max(1e-3), "short contexts are close or favour text");
+        assert!(
+            text < 2.0 * cg.max(1e-3),
+            "short contexts are close or favour text"
+        );
     }
 
     #[test]
@@ -292,7 +295,12 @@ mod tests {
                 .total();
             text / cg
         };
-        assert!(gain(10) > gain(1), "gain at 10 reqs {} vs 1 req {}", gain(10), gain(1));
+        assert!(
+            gain(10) > gain(1),
+            "gain at 10 reqs {} vs 1 req {}",
+            gain(10),
+            gain(1)
+        );
     }
 
     #[test]
@@ -306,7 +314,12 @@ mod tests {
             9_400,
             3.0 * GBPS,
         );
-        assert!(b.decode < 0.2 * b.total(), "decode {} of {}", b.decode, b.total());
+        assert!(
+            b.decode < 0.2 * b.total(),
+            "decode {} of {}",
+            b.decode,
+            b.total()
+        );
     }
 
     #[test]
@@ -333,9 +346,7 @@ mod tests {
         // Long context, low bandwidth: 8-bit quant transfer is huge, text
         // prefill is big — whichever is smaller must be returned.
         let best = m.best_baseline_ttft(9_400, 3.0 * GBPS, 1);
-        let text = m
-            .ttft(LoadMethod::TextContext, 9_400, 3.0 * GBPS)
-            .total();
+        let text = m.ttft(LoadMethod::TextContext, 9_400, 3.0 * GBPS).total();
         let q8 = m
             .ttft(LoadMethod::Quantized { bits: 8.0 }, 9_400, 3.0 * GBPS)
             .total();

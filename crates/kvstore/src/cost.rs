@@ -72,7 +72,7 @@ mod tests {
         let breakeven = m.breakeven_requests_per_month(5_000_000_000, 8_500);
         // Paper cites ">150 requests/month"; the literal division gives 59 —
         // same order, and well under typical reuse rates either way.
-        assert!(breakeven >= 30 && breakeven <= 200, "breakeven {breakeven}");
+        assert!((30..=200).contains(&breakeven), "breakeven {breakeven}");
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn store_and_fetch() {
         let store = KvStore::new();
-        store.store_kv(7, vec![chunk(100, &[1000, 500], 400), chunk(100, &[900, 450], 380)]);
+        store.store_kv(
+            7,
+            vec![chunk(100, &[1000, 500], 400), chunk(100, &[900, 450], 380)],
+        );
         assert!(store.contains(7));
         assert_eq!(store.num_chunks(7), Some(2));
         let f = store.get_kv(7, 0, 1).unwrap();

@@ -110,8 +110,7 @@ impl ModelSpec {
 
     /// KV-cache bytes for `tokens` context tokens at a given precision.
     pub fn kv_bytes(&self, tokens: u64, bits_per_element: f64) -> u64 {
-        ((self.kv_elements_per_token() * tokens) as f64 * bits_per_element / 8.0).ceil()
-            as u64
+        ((self.kv_elements_per_token() * tokens) as f64 * bits_per_element / 8.0).ceil() as u64
     }
 
     /// FLOPs to prefill a context of `tokens` tokens: the standard
@@ -224,7 +223,10 @@ mod tests {
         let g = GpuSpec::default();
         let t1 = g.prefill_seconds(&m, 4_000);
         let t2 = g.prefill_seconds(&m, 8_000);
-        assert!(t2 > 2.0 * t1, "doubling tokens should more than double time");
+        assert!(
+            t2 > 2.0 * t1,
+            "doubling tokens should more than double time"
+        );
     }
 
     #[test]

@@ -177,10 +177,16 @@ mod tests {
         let ctx: Vec<usize> = (0..24).map(|i| (i * 7) % 64).collect();
         let cache = m.prefill(&ctx);
         let prompts: Vec<Vec<usize>> = (0..8).map(|p| vec![(p * 5) % 64]).collect();
-        assert_eq!(first_token_accuracy(&m, &cache, &cache.clone(), &prompts), 1.0);
+        assert_eq!(
+            first_token_accuracy(&m, &cache, &cache.clone(), &prompts),
+            1.0
+        );
         let zeroed = KvCache::zeros(cache.layers(), cache.tokens(), cache.channels());
         let acc = first_token_accuracy(&m, &cache, &zeroed, &prompts);
-        assert!(acc < 1.0, "zeroed cache should miss some first tokens: {acc}");
+        assert!(
+            acc < 1.0,
+            "zeroed cache should miss some first tokens: {acc}"
+        );
     }
 
     #[test]

@@ -197,7 +197,7 @@ mod tests {
         );
         let v = Tensor::from_vec(
             &[layers, tokens, channels],
-            (0..n).map(|i| (i as f32) * -1.0).collect(),
+            (0..n).map(|i| -(i as f32)).collect(),
         );
         KvCache::from_tensors(k, v)
     }
@@ -224,8 +224,8 @@ mod tests {
     fn row_access_matches_get() {
         let c = arange_cache(2, 3, 4);
         let row = c.k_row(1, 2);
-        for ch in 0..4 {
-            assert_eq!(row[ch], c.k_at(1, 2, ch));
+        for (ch, &x) in row.iter().enumerate() {
+            assert_eq!(x, c.k_at(1, 2, ch));
         }
     }
 

@@ -18,10 +18,12 @@
 
 use crate::kv::KvCache;
 use crate::model::SimModelConfig;
-use cachegen_tensor::linalg::{add_inplace, dot, matvec, rms_norm, rope_inplace, silu, softmax_inplace};
+use cachegen_tensor::linalg::{
+    add_inplace, dot, matvec, rms_norm, rope_inplace, silu, softmax_inplace,
+};
 use cachegen_tensor::rng::{fill_normal, seeded};
-use rand::Rng;
 use cachegen_tensor::Tensor;
+use rand::Rng;
 
 const RMS_EPS: f32 = 1e-6;
 
@@ -238,8 +240,7 @@ impl SimTransformer {
                     if s == 0.0 {
                         continue;
                     }
-                    let vrow =
-                        &state.v[l][t * kc + kvh * head_dim..t * kc + (kvh + 1) * head_dim];
+                    let vrow = &state.v[l][t * kc + kvh * head_dim..t * kc + (kvh + 1) * head_dim];
                     for (o, &vv) in attn_out[hh * head_dim..(hh + 1) * head_dim]
                         .iter_mut()
                         .zip(vrow)
@@ -255,11 +256,7 @@ impl SimTransformer {
             let h2 = rms_norm(&x, &lw.mlp_norm, RMS_EPS);
             let gate = matvec(&lw.w1, &h2);
             let up = matvec(&lw.w3, &h2);
-            let act: Vec<f32> = gate
-                .iter()
-                .zip(&up)
-                .map(|(&g, &u)| silu(g) * u)
-                .collect();
+            let act: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
             let down = matvec(&lw.w2, &act);
             add_inplace(&mut x, &down);
         }
@@ -300,12 +297,7 @@ impl SimTransformer {
     /// (`generate_with_kv` in §6).
     ///
     /// Returns the generated token ids.
-    pub fn generate_with_kv(
-        &self,
-        cache: &KvCache,
-        prompt: &[usize],
-        steps: usize,
-    ) -> Vec<usize> {
+    pub fn generate_with_kv(&self, cache: &KvCache, prompt: &[usize], steps: usize) -> Vec<usize> {
         self.generate_with_kv_at(cache, cache.tokens(), prompt, steps)
     }
 
@@ -389,7 +381,12 @@ pub fn argmax(xs: &[f32]) -> usize {
 /// `log softmax(xs)[idx]` computed stably, as f64.
 fn log_softmax_at(xs: &[f32], idx: usize) -> f64 {
     let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
-    let lse: f64 = xs.iter().map(|&x| ((x as f64) - max).exp()).sum::<f64>().ln() + max;
+    let lse: f64 = xs
+        .iter()
+        .map(|&x| ((x as f64) - max).exp())
+        .sum::<f64>()
+        .ln()
+        + max;
     (xs[idx] as f64) - lse
 }
 

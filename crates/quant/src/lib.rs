@@ -255,7 +255,9 @@ mod tests {
 
     #[test]
     fn bigger_bin_fewer_symbols() {
-        let vals: Vec<f32> = (0..1000).map(|i| ((i * 7919) % 997) as f32 * 0.01).collect();
+        let vals: Vec<f32> = (0..1000)
+            .map(|i| ((i * 7919) % 997) as f32 * 0.01)
+            .collect();
         let distinct = |bin: f32| -> usize {
             let syms = BinQuantizer::new(bin).quantize(&vals, 1.0);
             let mut s = syms.clone();

@@ -140,9 +140,7 @@ fn choose_config(
         AdaptPolicy::AlwaysText => return StreamConfig::Text,
         AdaptPolicy::Adaptive => {}
     }
-    let throughput = estimator
-        .bits_per_sec()
-        .or(params.prior_throughput_bps);
+    let throughput = estimator.bits_per_sec().or(params.prior_throughput_bps);
     let Some(throughput) = throughput else {
         // No information at all: start at the default medium level (§5.3).
         return StreamConfig::Level(params.ladder.default_medium().min(plan.num_levels() - 1));
@@ -240,10 +238,7 @@ pub fn simulate_stream(
         bytes_sent += bytes;
         t = result.finish;
     }
-    let finish = chunks
-        .iter()
-        .map(|c| c.ready)
-        .fold(0.0f64, f64::max);
+    let finish = chunks.iter().map(|c| c.ready).fold(0.0f64, f64::max);
     let slo_met = params.slo.map(|s| finish <= s).unwrap_or(true);
     StreamOutcome {
         chunks,
@@ -302,12 +297,21 @@ mod tests {
         let plan = gb_plan();
         let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
         let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
-        let p = params(None, AdaptPolicy::FixedLevel(0), &ladder, &fast_decode, &slow_recompute);
+        let p = params(
+            None,
+            AdaptPolicy::FixedLevel(0),
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
         let out = simulate_stream(&plan, &mut link, &p);
         // 1 GB at 2 Gbps = 4 s transfer + ≤4 decodes of 10 ms.
         assert!((out.finish - 4.01).abs() < 0.05, "finish {}", out.finish);
         assert_eq!(out.bytes_sent, 1_000_000_000);
-        assert!(out.chunks.iter().all(|c| c.config == StreamConfig::Level(0)));
+        assert!(out
+            .chunks
+            .iter()
+            .all(|c| c.config == StreamConfig::Level(0)));
     }
 
     #[test]
@@ -319,12 +323,28 @@ mod tests {
         let slo = Some(4.5);
 
         let mut link = Link::new(BandwidthTrace::figure7(), 0.0);
-        let fixed = params(slo, AdaptPolicy::FixedLevel(0), &ladder, &fast_decode, &slow_recompute);
+        let fixed = params(
+            slo,
+            AdaptPolicy::FixedLevel(0),
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
         let out_fixed = simulate_stream(&plan, &mut link, &fixed);
-        assert!(!out_fixed.slo_met, "fixed level should violate: {}", out_fixed.finish);
+        assert!(
+            !out_fixed.slo_met,
+            "fixed level should violate: {}",
+            out_fixed.finish
+        );
 
         let mut link = Link::new(BandwidthTrace::figure7(), 0.0);
-        let adaptive = params(slo, AdaptPolicy::Adaptive, &ladder, &fast_decode, &slow_recompute);
+        let adaptive = params(
+            slo,
+            AdaptPolicy::Adaptive,
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
         let out_adapt = simulate_stream(&plan, &mut link, &adaptive);
         assert!(
             out_adapt.finish < out_fixed.finish,
@@ -346,7 +366,13 @@ mod tests {
         let plan = gb_plan();
         let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
         let mut link = Link::new(BandwidthTrace::constant(1e6), 0.0);
-        let mut p = params(Some(30.0), AdaptPolicy::Adaptive, &ladder, &fast_decode, &slow_recompute);
+        let mut p = params(
+            Some(30.0),
+            AdaptPolicy::Adaptive,
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
         p.prior_throughput_bps = Some(1e6);
         let out = simulate_stream(&plan, &mut link, &p);
         assert!(
@@ -354,7 +380,11 @@ mod tests {
             "configs: {:?}",
             out.chunks.iter().map(|c| c.config).collect::<Vec<_>>()
         );
-        assert!(out.slo_met, "text fallback should meet 30 s SLO: {}", out.finish);
+        assert!(
+            out.slo_met,
+            "text fallback should meet 30 s SLO: {}",
+            out.finish
+        );
     }
 
     #[test]
@@ -370,7 +400,13 @@ mod tests {
         let ladder = LevelLadder::new(vec![1.0, 2.0]);
         let fast_recompute = |tokens: usize| tokens as f64 * 1e-4; // 10 ms
         let mut link = Link::new(BandwidthTrace::constant(0.1 * GBPS), 0.0);
-        let mut p = params(Some(1.0), AdaptPolicy::Adaptive, &ladder, &fast_decode, &fast_recompute);
+        let mut p = params(
+            Some(1.0),
+            AdaptPolicy::Adaptive,
+            &ladder,
+            &fast_decode,
+            &fast_recompute,
+        );
         p.prior_throughput_bps = Some(0.1 * GBPS);
         let out = simulate_stream(&plan, &mut link, &p);
         assert_eq!(out.chunks[0].config, StreamConfig::Text);
@@ -383,7 +419,13 @@ mod tests {
         let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
         let run = |b: usize| {
             let mut link = Link::new(BandwidthTrace::constant(8.0 * GBPS), 0.0);
-            let mut p = params(None, AdaptPolicy::FixedLevel(0), &ladder, &fast_decode, &slow_recompute);
+            let mut p = params(
+                None,
+                AdaptPolicy::FixedLevel(0),
+                &ladder,
+                &fast_decode,
+                &slow_recompute,
+            );
             p.concurrent_requests = b;
             simulate_stream(&plan, &mut link, &p).finish
         };
@@ -403,7 +445,13 @@ mod tests {
         let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
         let decode_half_sec = |_b: u64| 0.5;
         let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
-        let p = params(None, AdaptPolicy::FixedLevel(0), &ladder, &decode_half_sec, &slow_recompute);
+        let p = params(
+            None,
+            AdaptPolicy::FixedLevel(0),
+            &ladder,
+            &decode_half_sec,
+            &slow_recompute,
+        );
         let out = simulate_stream(&plan, &mut link, &p);
         assert!(
             (out.finish - 4.5).abs() < 0.05,
@@ -417,10 +465,19 @@ mod tests {
         let plan = gb_plan();
         let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
         let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
-        let mut p = params(Some(4.0), AdaptPolicy::Adaptive, &ladder, &fast_decode, &slow_recompute);
+        let mut p = params(
+            Some(4.0),
+            AdaptPolicy::Adaptive,
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
         p.prior_throughput_bps = None;
         let out = simulate_stream(&plan, &mut link, &p);
-        assert_eq!(out.chunks[0].config, StreamConfig::Level(ladder.default_medium()));
+        assert_eq!(
+            out.chunks[0].config,
+            StreamConfig::Level(ladder.default_medium())
+        );
     }
 
     #[test]
@@ -428,7 +485,13 @@ mod tests {
         let plan = gb_plan();
         let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
         let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
-        let p = params(None, AdaptPolicy::FixedLevel(1), &ladder, &fast_decode, &slow_recompute);
+        let p = params(
+            None,
+            AdaptPolicy::FixedLevel(1),
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
         let out = simulate_stream(&plan, &mut link, &p);
         let hist = out.config_histogram(3);
         let level1 = hist

@@ -81,8 +81,7 @@ impl StreamConfig {
 
     /// Iterator over all configurations in quality order (best first).
     pub fn quality_order(n_levels: usize) -> impl Iterator<Item = StreamConfig> {
-        std::iter::once(StreamConfig::Text)
-            .chain((0..n_levels).map(StreamConfig::Level))
+        std::iter::once(StreamConfig::Text).chain((0..n_levels).map(StreamConfig::Level))
     }
 }
 

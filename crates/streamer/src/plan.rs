@@ -120,7 +120,10 @@ impl ChunkPlan {
     /// Bytes remaining from chunk `from` onward at `level` — the
     /// `size(chunks_to_send, level)` term of Algorithm 1.
     pub fn remaining_bytes_at_level(&self, from: usize, level: usize) -> u64 {
-        self.chunks[from..].iter().map(|c| c.level_bytes[level]).sum()
+        self.chunks[from..]
+            .iter()
+            .map(|c| c.level_bytes[level])
+            .sum()
     }
 
     /// Tokens remaining from chunk `from` onward.
@@ -153,7 +156,10 @@ mod tests {
 
     #[test]
     fn token_splitting() {
-        assert_eq!(ChunkPlan::chunk_token_counts(4000, 1500), vec![1500, 1500, 1000]);
+        assert_eq!(
+            ChunkPlan::chunk_token_counts(4000, 1500),
+            vec![1500, 1500, 1000]
+        );
         assert_eq!(ChunkPlan::chunk_token_counts(1500, 1500), vec![1500]);
         assert_eq!(ChunkPlan::chunk_token_counts(10, 1500), vec![10]);
     }

@@ -56,8 +56,7 @@ mod tests {
     fn normal_moments_are_plausible() {
         let xs = normal_vec(&mut seeded(7), 50_000, 3.0, 2.0);
         let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
-        let var: f32 =
-            xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / xs.len() as f32;
+        let var: f32 = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / xs.len() as f32;
         assert!((mean - 3.0).abs() < 0.05, "mean was {mean}");
         assert!((var - 4.0).abs() < 0.15, "var was {var}");
     }

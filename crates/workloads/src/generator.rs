@@ -78,7 +78,9 @@ impl MarkovTextGen {
     pub fn probe_prompt(&self, rng: &mut StdRng, topic: usize, len: usize) -> Vec<usize> {
         assert!(len > 0);
         let (lo, hi) = self.topic_band(topic);
-        (0..len).map(|_| lo + rng.gen::<usize>() % (hi - lo)).collect()
+        (0..len)
+            .map(|_| lo + rng.gen::<usize>() % (hi - lo))
+            .collect()
     }
 }
 
@@ -90,13 +92,13 @@ mod tests {
     #[test]
     fn bands_partition_vocab() {
         let g = MarkovTextGen::new(64, 8, 0.3);
-        let mut covered = vec![false; 64];
+        let mut covered = [false; 64];
         for t in 0..8 {
             let (lo, hi) = g.topic_band(t);
             assert_eq!(hi - lo, 8);
-            for v in lo..hi {
-                assert!(!covered[v], "band overlap at {v}");
-                covered[v] = true;
+            for (v, c) in covered.iter_mut().enumerate().take(hi).skip(lo) {
+                assert!(!*c, "band overlap at {v}");
+                *c = true;
             }
         }
         assert!(covered.iter().all(|&c| c));

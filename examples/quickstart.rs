@@ -75,7 +75,11 @@ fn main() {
         let enc = engine.encode_at_level(&cache, level);
         let dec = engine.decode_at_level(&enc, level);
         let acc = eval::first_token_accuracy(engine.model(), &cache, &dec, &prompts);
-        println!("{:<22} {:>17.0}%", format!("CacheGen level {level}"), acc * 100.0);
+        println!(
+            "{:<22} {:>17.0}%",
+            format!("CacheGen level {level}"),
+            acc * 100.0
+        );
     }
 
     let out = engine.generate_with_kv(&cache, &sample.prompt, 8);

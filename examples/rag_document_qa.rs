@@ -51,7 +51,10 @@ fn main() {
         chunks.push(engine.decode_at_level(&enc, level));
     }
     let cache = cachegen_llm::KvCache::concat_tokens(&chunks);
-    println!("fetched + decoded KV: {} tokens ready, prefill skipped", cache.tokens());
+    println!(
+        "fetched + decoded KV: {} tokens ready, prefill skipped",
+        cache.tokens()
+    );
 
     for (qi, q) in [[3usize, 17], [41, 9], [77, 5]].iter().enumerate() {
         let answer = engine.generate_with_kv(&cache, q, 6);

@@ -25,7 +25,9 @@ fn build_engine(seed: u64) -> (CacheGenEngine, Vec<usize>) {
 }
 
 fn prompts(n: usize, vocab: usize) -> Vec<Vec<usize>> {
-    (0..n).map(|p| vec![(p * 13) % vocab, (p * 31 + 5) % vocab]).collect()
+    (0..n)
+        .map(|p| vec![(p * 13) % vocab, (p * 31 + 5) % vocab])
+        .collect()
 }
 
 /// Table 1's core claim: at comparable accuracy, CacheGen's bitstream is
@@ -149,16 +151,22 @@ fn adaptive_streaming_beats_fixed_under_bandwidth_dip() {
 
     let run = |policy: AdaptPolicy| {
         let mut link = Link::new(trace.clone(), 0.0);
-        let mut p = LoadParams::default();
-        p.slo = Some(4.5);
-        p.policy = policy;
-        p.prior_throughput_bps = Some(bw);
-        p.recompute_sec_per_token = 0.2; // recompute unattractive
+        let p = LoadParams {
+            slo: Some(4.5),
+            policy,
+            prior_throughput_bps: Some(bw),
+            recompute_sec_per_token: 0.2, // recompute unattractive
+            ..LoadParams::default()
+        };
         load_context(&engine, &cache, &mut link, &p)
     };
     let fixed = run(AdaptPolicy::FixedLevel(0));
     let adaptive = run(AdaptPolicy::Adaptive);
-    assert!(!fixed.stream.slo_met, "fixed should violate ({})", fixed.stream.finish);
+    assert!(
+        !fixed.stream.slo_met,
+        "fixed should violate ({})",
+        fixed.stream.finish
+    );
     assert!(
         adaptive.stream.finish < fixed.stream.finish,
         "adaptive {} vs fixed {}",
@@ -196,11 +204,13 @@ fn fig13_adaptation_reduces_slo_violations() {
         );
         let run = |policy: AdaptPolicy| {
             let mut link = Link::new(trace.clone(), 0.0);
-            let mut p = LoadParams::default();
-            p.slo = Some(slo);
-            p.policy = policy;
-            p.prior_throughput_bps = Some(level0 / slo);
-            p.recompute_sec_per_token = 0.2;
+            let p = LoadParams {
+                slo: Some(slo),
+                policy,
+                prior_throughput_bps: Some(level0 / slo),
+                recompute_sec_per_token: 0.2,
+                ..LoadParams::default()
+            };
             load_context(&engine, &cache, &mut link, &p).stream.slo_met
         };
         if !run(AdaptPolicy::FixedLevel(0)) {
@@ -231,7 +241,12 @@ fn fig9_quality_size_frontier() {
         let enc = engine.encode_at_level(&cache, level);
         let dec = engine.decode_at_level(&enc, level);
         sizes.push(enc.total_bytes());
-        accs.push(eval::first_token_accuracy(engine.model(), &cache, &dec, &ps));
+        accs.push(eval::first_token_accuracy(
+            engine.model(),
+            &cache,
+            &dec,
+            &ps,
+        ));
     }
     assert!(
         sizes.windows(2).all(|w| w[0] > w[1]),
@@ -253,10 +268,15 @@ fn gqa_model_full_path() {
     let engine = CacheGenEngine::build(
         SimModelConfig::mistral7b_sim(9),
         EngineConfig::default(),
-        &[ctx.clone()],
+        std::slice::from_ref(&ctx),
     );
     let cache = engine.calculate_kv(&ctx);
-    assert!(cache.channels() < SimTransformer::new(SimModelConfig::llama7b_sim(9)).config().kv_channels());
+    assert!(
+        cache.channels()
+            < SimTransformer::new(SimModelConfig::llama7b_sim(9))
+                .config()
+                .kv_channels()
+    );
     let enc = engine.encode_at_level(&cache, 1);
     let dec = engine.decode_at_level(&enc, 1);
     assert!(cache.mse(&dec) < 0.5);

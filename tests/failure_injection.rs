@@ -32,8 +32,7 @@ fn lossy_jittery_link_still_completes() {
     let cache = engine.calculate_kv(&ctx);
     let mut clean = Link::new(BandwidthTrace::constant(GBPS), 0.0);
     let t_clean = load_context(&engine, &cache, &mut clean, &LoadParams::default());
-    let mut lossy =
-        Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.2, 0.2, 77);
+    let mut lossy = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.2, 0.2, 77);
     let t_lossy = load_context(&engine, &cache, &mut lossy, &LoadParams::default());
     assert_eq!(t_lossy.cache.tokens(), ctx.len());
     assert!(
@@ -53,11 +52,13 @@ fn adapter_compensates_for_loss() {
     let cache = engine.calculate_kv(&ctx);
     let (_, plan) = engine.encode_context(&cache);
     let bw = plan.total_bytes_at_level(0) as f64 * 8.0 / 0.9; // level 0 ≈ 0.9 s clean
-    let mut p = LoadParams::default();
-    p.slo = Some(1.0);
-    p.policy = AdaptPolicy::Adaptive;
-    p.prior_throughput_bps = Some(bw * 0.5); // conservative prior
-    p.recompute_sec_per_token = 0.5;
+    let p = LoadParams {
+        slo: Some(1.0),
+        policy: AdaptPolicy::Adaptive,
+        prior_throughput_bps: Some(bw * 0.5), // conservative prior
+        recompute_sec_per_token: 0.5,
+        ..LoadParams::default()
+    };
     let mut lossy = Link::new(BandwidthTrace::constant(bw), 0.0).with_faults(0.3, 0.0, 5);
     let out = load_context(&engine, &cache, &mut lossy, &p);
     assert!(
@@ -73,7 +74,9 @@ fn adapter_compensates_for_loss() {
 fn truncated_bitstreams_error_cleanly() {
     let (engine, ctx) = engine();
     let cache = engine.calculate_kv(&ctx);
-    let bytes = engine.encode_at_level(&cache.slice_tokens(0, 30), 1).to_bytes();
+    let bytes = engine
+        .encode_at_level(&cache.slice_tokens(0, 30), 1)
+        .to_bytes();
     for cut in 0..bytes.len() {
         let r = EncodedKv::from_bytes(&bytes[..cut]);
         assert!(r.is_err(), "truncation at {cut} should fail to parse");
@@ -124,7 +127,9 @@ fn eviction_accounting_under_concurrency() {
         engine.store_kv(id, &ctx);
     }
     let total = engine.store().total_bytes();
-    let per: Vec<u64> = (0..4).map(|i| engine.store().context_bytes(i).unwrap()).collect();
+    let per: Vec<u64> = (0..4)
+        .map(|i| engine.store().context_bytes(i).unwrap())
+        .collect();
     assert_eq!(total, per.iter().sum::<u64>());
 
     let mut handles = Vec::new();

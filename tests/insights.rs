@@ -22,7 +22,10 @@ fn workload_cache(model: &SimTransformer, seed: u64, len: usize) -> (KvCache, Ve
 /// lower variance; we require at least 1.5× on both models it profiles.
 #[test]
 fn insight1_token_locality_deltas_have_lower_variance() {
-    for cfg in [SimModelConfig::llama7b_sim(42), SimModelConfig::llama13b_sim(42)] {
+    for cfg in [
+        SimModelConfig::llama7b_sim(42),
+        SimModelConfig::llama13b_sim(42),
+    ] {
         let name = cfg.name.clone();
         let model = SimTransformer::new(cfg);
         let (cache, _) = workload_cache(&model, 1, 200);
@@ -49,7 +52,9 @@ fn insight2_early_layers_are_more_loss_sensitive() {
     let model = SimTransformer::new(SimModelConfig::llama13b_sim(42));
     let (cache, _) = workload_cache(&model, 2, 160);
     let n_layers = cache.layers();
-    let prompts: Vec<Vec<usize>> = (0..24).map(|p| vec![(p * 19) % 512, (p * 7 + 3) % 512]).collect();
+    let prompts: Vec<Vec<usize>> = (0..24)
+        .map(|p| vec![(p * 19) % 512, (p * 7 + 3) % 512])
+        .collect();
 
     // Apply a heavy rounding loss to one contiguous third of the layers.
     let lossy_on = |lo: usize, hi: usize| -> KvCache {
@@ -78,7 +83,10 @@ fn insight2_early_layers_are_more_loss_sensitive() {
     );
     // And the effect should be material, not a tie at 1.0: early-layer loss
     // must actually degrade something at this severity.
-    assert!(early < 1.0, "early-layer loss should be visible, got {early}");
+    assert!(
+        early < 1.0,
+        "early-layer loss should be visible, got {early}"
+    );
 }
 
 /// Insight 3 (Figure 5): grouping values by (channel, layer) yields much

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, throughput
+//! annotations, parameterized IDs) with a simple calibrated wall-clock
+//! timer instead of criterion's statistical machinery. Good enough to
+//! compile under `cargo bench --no-run` and to print indicative
+//! nanosecond-per-iteration numbers when actually run.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration annotation used to report rates alongside times.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures and measures their wall-clock time.
+pub struct Bencher {
+    iters_done: u64,
+    nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then running enough iterations
+    /// to get a stable per-iteration estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that runs for
+        // at least ~50ms, capped to keep `cargo bench` fast.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= 0.05 || n >= 1 << 20 {
+                self.iters_done = n;
+                self.nanos = elapsed * 1e9 / n as f64;
+                return;
+            }
+            n *= 4;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a work-per-iteration figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores sampling config.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.throughput, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints
+    /// eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with criterion's generated mains.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        self.run_one(&label, None, |b| routine(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut routine: F,
+    ) {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            nanos: 0.0,
+        };
+        routine(&mut bencher);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1e3 / bencher.nanos)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MB/s)", n as f64 * 1e3 / bencher.nanos)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {label:<50} {:>12.1} ns/iter  [{} iters]{rate}",
+            bencher.nanos, bencher.iters_done
+        );
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench harness `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds without network access, so this vendored crate
+//! provides the subset of the `rand 0.8` API the codebase uses: the
+//! [`Rng`] / [`RngCore`] / [`SeedableRng`] traits and a deterministic
+//! [`rngs::StdRng`] built on xoshiro256++ (seeded through splitmix64).
+//! It is API-compatible for the calls made here, not a drop-in clone.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the subset of the
+/// `Standard` distribution the workspace relies on).
+pub trait StandardSample: Sized {
+    /// Draws one uniform sample from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision, as in upstream rand.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, as in upstream rand.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Bounds that `Rng::gen_range` accepts (`start..end` ranges only).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Modulo bias is negligible for the span sizes used here
+                // (span << 2^64) and acceptable for a simulation workspace.
+                let off = (u128::sample_standard(rng) % span) as $t;
+                self.start.wrapping_add(off)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as u128).wrapping_sub(start as u128) + 1;
+                let off = (u128::sample_standard(rng) % span) as $t;
+                start.wrapping_add(off)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                self.start + <$t>::sample_standard(rng) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+/// The user-facing sampling trait (auto-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    /// Samples a uniform value of type `T`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (`start..end` or `start..=end`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-width seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the RNG from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG by expanding a 64-bit seed (splitmix64, like
+    /// upstream `rand`'s `seed_from_u64`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard RNG: xoshiro256++.
+    ///
+    /// Not the ChaCha12 generator upstream `StdRng` uses, but fast,
+    /// well-distributed, and fully deterministic per seed — which is what
+    /// the workspace's reproducible experiments need.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point for xoshiro; nudge it.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..64 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn seeds_decorrelate() {
+            let mut a = StdRng::seed_from_u64(1);
+            let mut b = StdRng::seed_from_u64(2);
+            let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+            assert_eq!(same, 0);
+        }
+
+        #[test]
+        fn unit_floats_in_range() {
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..10_000 {
+                let x: f64 = rng.gen();
+                assert!((0.0..1.0).contains(&x));
+                let y: f32 = rng.gen();
+                assert!((0.0..1.0).contains(&y));
+            }
+        }
+
+        #[test]
+        fn uniform_mean_is_half() {
+            let mut rng = StdRng::seed_from_u64(4);
+            let n = 100_000;
+            let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+            assert!((sum / n as f64 - 0.5).abs() < 0.01);
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..10_000 {
+                let v = rng.gen_range(10usize..20);
+                assert!((10..20).contains(&v));
+                let f = rng.gen_range(-2.0f32..3.0);
+                assert!((-2.0..3.0).contains(&f));
+            }
+        }
+    }
+}
