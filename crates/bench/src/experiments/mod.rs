@@ -7,11 +7,13 @@ pub mod intrusive;
 pub mod overall;
 pub mod overheads;
 pub mod sensitivity;
+pub mod serving;
 
-/// All experiment names, in paper order.
+/// All experiment names, in paper order ("serving" extends the paper with
+/// the sharded multi-tenant front).
 pub const ALL: &[&str] = &[
     "table1", "table2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "appE",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "appE", "serving",
 ];
 
 /// Runs one experiment by name; panics on unknown names (the binary
@@ -37,6 +39,7 @@ pub fn run(name: &str) {
         "fig18" => intrusive::fig18(),
         "fig19" => sensitivity::fig19(),
         "appE" => cost::app_e(),
+        "serving" => serving::serving(),
         other => panic!("unknown experiment {other}; valid: {ALL:?}"),
     }
 }

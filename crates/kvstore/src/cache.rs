@@ -23,6 +23,14 @@ pub struct CacheStats {
     pub misses: u64,
     /// Contexts evicted to make space.
     pub evictions: u64,
+    /// Cumulative bytes admitted by successful inserts. Re-inserting an
+    /// existing context counts the new size here and the replaced size in
+    /// [`CacheStats::freed_bytes`], so `admitted - freed` always equals
+    /// the resident footprint (never double-counted).
+    pub admitted_bytes: u64,
+    /// Cumulative bytes released by evictions, replacements, and explicit
+    /// removes.
+    pub freed_bytes: u64,
 }
 
 impl CacheStats {
@@ -33,6 +41,26 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Resident bytes implied by the counters (equals
+    /// [`LruKvCache::used_bytes`] at all times — the regression guard for
+    /// re-insert double-counting).
+    pub fn resident_bytes(&self) -> u64 {
+        self.admitted_bytes - self.freed_bytes
+    }
+
+    /// Counter deltas since an `earlier` snapshot of the same cache —
+    /// what happened between two observation points (e.g. one serving
+    /// run on a cache that stays warm across runs).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            admitted_bytes: self.admitted_bytes - earlier.admitted_bytes,
+            freed_bytes: self.freed_bytes - earlier.freed_bytes,
         }
     }
 }
@@ -113,14 +141,20 @@ impl LruKvCache {
     /// not inserted) — the caller should stream those without caching.
     pub fn insert(&self, id: ContextId, bytes: u64) -> Vec<ContextId> {
         let mut g = self.inner.lock();
+        // Replacing an existing entry must release the old footprint
+        // exactly once, *before* any capacity decision — otherwise an
+        // oversized re-insert would leave the stale version resident (the
+        // caller believes it replaced the payload) and the byte counters
+        // would double-count the context.
+        if let Some(old) = g.entries.remove(&id) {
+            g.used_bytes -= old.bytes;
+            g.stats.freed_bytes += old.bytes;
+        }
         if bytes > self.capacity_bytes {
             return Vec::new();
         }
         g.clock += 1;
         let clock = g.clock;
-        if let Some(old) = g.entries.remove(&id) {
-            g.used_bytes -= old.bytes;
-        }
         let mut evicted = Vec::new();
         while g.used_bytes + bytes > self.capacity_bytes {
             // Find the LRU entry.
@@ -133,6 +167,7 @@ impl LruKvCache {
             let e = g.entries.remove(&victim).unwrap();
             g.used_bytes -= e.bytes;
             g.stats.evictions += 1;
+            g.stats.freed_bytes += e.bytes;
             evicted.push(victim);
         }
         g.entries.insert(
@@ -143,6 +178,7 @@ impl LruKvCache {
             },
         );
         g.used_bytes += bytes;
+        g.stats.admitted_bytes += bytes;
         evicted
     }
 
@@ -151,6 +187,7 @@ impl LruKvCache {
         let mut g = self.inner.lock();
         if let Some(e) = g.entries.remove(&id) {
             g.used_bytes -= e.bytes;
+            g.stats.freed_bytes += e.bytes;
             true
         } else {
             false
@@ -220,6 +257,50 @@ mod tests {
         c.insert(1, 400);
         c.insert(1, 700);
         assert_eq!(c.used_bytes(), 700);
+    }
+
+    #[test]
+    fn reinsert_does_not_double_count_bytes() {
+        // Regression: re-inserting an existing context must count the
+        // replaced footprint as freed, keeping admitted - freed == used.
+        let c = LruKvCache::new(1000);
+        c.insert(1, 400);
+        c.insert(1, 400); // same size
+        c.insert(1, 700); // grow
+        c.insert(1, 200); // shrink
+        let s = c.stats();
+        assert_eq!(c.used_bytes(), 200);
+        assert_eq!(s.resident_bytes(), c.used_bytes());
+        assert_eq!(s.admitted_bytes, 400 + 400 + 700 + 200);
+        assert_eq!(s.freed_bytes, 400 + 400 + 700);
+        assert_eq!(s.evictions, 0, "replacement is not an eviction");
+    }
+
+    #[test]
+    fn oversized_reinsert_drops_stale_entry() {
+        // Regression: a resident context re-inserted at a size beyond the
+        // whole capacity must not stay resident at its stale size — the
+        // caller just replaced the payload with one the cache cannot hold.
+        let c = LruKvCache::new(1000);
+        c.insert(1, 400);
+        let evicted = c.insert(1, 5000);
+        assert!(evicted.is_empty());
+        assert!(!c.contains(1));
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().resident_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_counters_track_evictions_and_removes() {
+        let c = LruKvCache::new(1000);
+        c.insert(1, 600);
+        c.insert(2, 600); // evicts 1
+        assert!(c.remove(2));
+        let s = c.stats();
+        assert_eq!(s.admitted_bytes, 1200);
+        assert_eq!(s.freed_bytes, 1200);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.evictions, 1);
     }
 
     #[test]

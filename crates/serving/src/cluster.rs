@@ -1,0 +1,455 @@
+//! The sharded serving cluster and its discrete-event loop.
+//!
+//! [`ServingCluster`] glues the pieces together: a consistent-hash ring
+//! places contexts on shards; each shard owns an engine (with its slice of
+//! the store), a local KV-bitstream cache, and a link; per-tenant bounded
+//! queues apply backpressure; and the event loop replays a multi-tenant
+//! arrival trace on one virtual clock, dispatching same-context batches
+//! whenever a shard goes idle.
+
+use cachegen::engine::{CacheGenEngine, EngineConfig};
+use cachegen_llm::SimModelConfig;
+use cachegen_net::Link;
+use cachegen_streamer::AdaptPolicy;
+use cachegen_workloads::ServingRequest;
+
+use crate::clock::EventQueue;
+use crate::metrics::{Disposition, RequestOutcome, ServingReport};
+use crate::queue::{Admission, QueuedRequest};
+use crate::ring::HashRing;
+use crate::shard::Shard;
+
+/// Cluster-wide serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Number of shards.
+    pub num_shards: usize,
+    /// Number of tenants sharing the cluster.
+    pub num_tenants: usize,
+    /// Virtual nodes per shard on the placement ring.
+    pub virtual_nodes: usize,
+    /// Queue depth at which admission degrades the encoding level.
+    pub degrade_depth: usize,
+    /// Queue depth at which admission sheds requests.
+    pub shed_depth: usize,
+    /// Maximum requests per coalesced batch.
+    pub max_batch: usize,
+    /// Per-shard local KV-bitstream cache capacity, bytes.
+    pub cache_capacity_bytes: u64,
+    /// SLO on per-request context-loading time, seconds.
+    pub slo: Option<f64>,
+    /// Streaming policy for normally-admitted requests.
+    pub policy: AdaptPolicy,
+    /// Level forced on degraded requests (`None` = coarsest).
+    pub degraded_level: Option<usize>,
+    /// Prior throughput knowledge for each stream's first chunk, bits/s.
+    pub prior_throughput_bps: Option<f64>,
+    /// GPU decode throughput for compressed bitstreams, bytes/s.
+    pub decode_bytes_per_sec: f64,
+    /// GPU prefill-recompute speed, seconds per token (text fallback and
+    /// the query suffix's own prefill).
+    pub recompute_sec_per_token: f64,
+    /// Quality proxy per encoding level, finest first (text counts as 1).
+    pub level_quality: Vec<f64>,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            num_shards: 2,
+            num_tenants: 4,
+            virtual_nodes: 16,
+            degrade_depth: 6,
+            shed_depth: 16,
+            max_batch: 8,
+            cache_capacity_bytes: 256 * 1024,
+            slo: None,
+            policy: AdaptPolicy::Adaptive,
+            degraded_level: None,
+            prior_throughput_bps: None,
+            decode_bytes_per_sec: 8.0e9,
+            recompute_sec_per_token: 1e-3,
+            // Matches the default 5-level ladder; coarser bins lose more.
+            level_quality: vec![0.995, 0.98, 0.95, 0.91, 0.86],
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Quality proxy of one encoding level (clamped to the table).
+    pub fn quality_of_level(&self, level: usize) -> f64 {
+        self.level_quality[level.min(self.level_quality.len() - 1)]
+    }
+
+    fn validate(&self) {
+        assert!(self.num_shards >= 1, "need at least one shard");
+        assert!(self.num_tenants >= 1, "need at least one tenant");
+        assert!(self.max_batch >= 1, "need at least one request per batch");
+        assert!(
+            self.degrade_depth >= 1 && self.degrade_depth <= self.shed_depth,
+            "watermarks must satisfy 1 <= degrade <= shed"
+        );
+        assert!(!self.level_quality.is_empty(), "need level qualities");
+        assert!(self.decode_bytes_per_sec > 0.0);
+        assert!(self.recompute_sec_per_token >= 0.0);
+    }
+}
+
+/// Internal event type of the serving loop.
+enum Event {
+    /// Request `index` of the trace arrives.
+    Arrival(usize),
+    /// Shard `shard` finished its in-flight batch.
+    BatchDone { shard: usize },
+}
+
+/// A sharded multi-tenant serving cluster.
+pub struct ServingCluster {
+    config: ServingConfig,
+    ring: HashRing,
+    shards: Vec<Shard>,
+}
+
+impl ServingCluster {
+    /// Builds the cluster: one engine per shard (each profiles its codecs
+    /// from `profile_contexts`) plus one store→shard link each. `links`
+    /// must have exactly `num_shards` entries.
+    pub fn build(
+        model_cfg: SimModelConfig,
+        engine_cfg: EngineConfig,
+        config: ServingConfig,
+        profile_contexts: &[Vec<usize>],
+        links: Vec<Link>,
+    ) -> Self {
+        config.validate();
+        assert_eq!(
+            links.len(),
+            config.num_shards,
+            "need one link per shard ({} links for {} shards)",
+            links.len(),
+            config.num_shards
+        );
+        assert!(
+            config.level_quality.len() >= engine_cfg.ladder.len(),
+            "level_quality must cover the ladder"
+        );
+        let ring = HashRing::new(config.num_shards, config.virtual_nodes);
+        let shards = links
+            .into_iter()
+            .enumerate()
+            .map(|(id, link)| {
+                let engine =
+                    CacheGenEngine::build(model_cfg.clone(), engine_cfg.clone(), profile_contexts);
+                Shard::new(id, engine, link, &config)
+            })
+            .collect();
+        ServingCluster {
+            config,
+            ring,
+            shards,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// The shard a context lives on.
+    pub fn shard_of(&self, context_id: u64) -> usize {
+        self.ring.route(context_id)
+    }
+
+    /// Shard state (for inspection in tests and reports).
+    pub fn shard(&self, id: usize) -> &Shard {
+        &self.shards[id]
+    }
+
+    /// Stores a context on its owning shard (offline ingest path).
+    /// Returns the shard index.
+    pub fn store_context(&mut self, context_id: u64, tokens: &[usize]) -> usize {
+        let shard = self.ring.route(context_id);
+        self.shards[shard].store_context(context_id, tokens);
+        shard
+    }
+
+    /// Replays a multi-tenant arrival trace on the virtual clock and
+    /// returns the full report. Requests must reference stored contexts
+    /// and be sorted by arrival time.
+    ///
+    /// Each call reports that run alone: queues and per-shard accounting
+    /// (including the cache counters) reset at entry. The local caches'
+    /// *contents* deliberately stay warm across runs, so a warm-up trace
+    /// followed by a measured trace behaves like a long-lived deployment.
+    pub fn run(&mut self, requests: &[ServingRequest]) -> ServingReport {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "requests must be sorted by arrival"
+        );
+        let cache_start: Vec<_> = self
+            .shards
+            .iter_mut()
+            .map(|shard| {
+                shard.stats = crate::metrics::ShardSummary::default();
+                shard.queues = crate::queue::TenantQueues::new(
+                    self.config.num_tenants,
+                    self.config.degrade_depth,
+                    self.config.shed_depth,
+                );
+                shard.busy = false;
+                shard.cache.stats()
+            })
+            .collect();
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for (i, r) in requests.iter().enumerate() {
+            assert!(r.tenant < self.config.num_tenants, "tenant out of range");
+            assert!(
+                self.shards[self.ring.route(r.context_id)].owns(r.context_id),
+                "request references unstored context {}",
+                r.context_id
+            );
+            events.push(r.arrival, Event::Arrival(i));
+        }
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; requests.len()];
+
+        while let Some((now, event)) = events.pop() {
+            match event {
+                Event::Arrival(i) => {
+                    let req = &requests[i];
+                    let shard_id = self.ring.route(req.context_id);
+                    let shard = &mut self.shards[shard_id];
+                    let decision = shard.queues.push(QueuedRequest {
+                        index: i,
+                        tenant: req.tenant,
+                        context_id: req.context_id,
+                        arrival: req.arrival,
+                        prompt_tokens: req.prompt.len(),
+                        degraded: false,
+                    });
+                    match decision {
+                        Admission::Shed => {
+                            shard.stats.shed += 1;
+                            outcomes[i] = Some(RequestOutcome {
+                                tenant: req.tenant,
+                                context_id: req.context_id,
+                                shard: shard_id,
+                                arrival: req.arrival,
+                                disposition: Disposition::Shed,
+                            });
+                            continue;
+                        }
+                        Admission::Degraded => shard.stats.degraded_admissions += 1,
+                        Admission::Normal => {}
+                    }
+                    if !self.shards[shard_id].busy {
+                        self.dispatch(shard_id, now, &mut outcomes, &mut events);
+                    }
+                }
+                Event::BatchDone { shard } => {
+                    self.shards[shard].busy = false;
+                    if !self.shards[shard].queues.is_empty() {
+                        self.dispatch(shard, now, &mut outcomes, &mut events);
+                    }
+                }
+            }
+        }
+        // Last completion time, prompt prefill included (a run of pure
+        // sheds has no completions and a zero makespan).
+        let makespan = outcomes
+            .iter()
+            .flatten()
+            .filter_map(|o| o.ttft().map(|t| o.arrival + t))
+            .fold(0.0f64, f64::max);
+
+        for (shard, start) in self.shards.iter_mut().zip(&cache_start) {
+            shard.stats.cache = shard.cache.stats().since(start);
+            shard.stats.peak_queue_depth = shard.queues.peak_depth();
+        }
+        ServingReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every request resolved"))
+                .collect(),
+            shards: self.shards.iter().map(|s| s.stats).collect(),
+            makespan,
+        }
+    }
+
+    /// Pops the next batch off a shard's queues and serves it, recording
+    /// outcomes and scheduling the completion event.
+    fn dispatch(
+        &mut self,
+        shard_id: usize,
+        now: f64,
+        outcomes: &mut [Option<RequestOutcome>],
+        events: &mut EventQueue<Event>,
+    ) {
+        let shard = &mut self.shards[shard_id];
+        let batch = shard.queues.pop_batch(self.config.max_batch);
+        if batch.is_empty() {
+            return;
+        }
+        let context_id = batch[0].context_id;
+        // A batch degrades if any member crossed the watermark: under
+        // saturation the whole transfer downshifts (the riders share it).
+        let degraded = batch.iter().any(|r| r.degraded);
+        let outcome = shard.serve_batch(context_id, degraded, now, &self.config);
+        shard.stats.batches += 1;
+        shard.stats.coalesced_requests += (batch.len() - 1) as u64;
+        shard.stats.busy_secs += outcome.ready - now;
+        shard.busy = true;
+        events.push(outcome.ready, Event::BatchDone { shard: shard_id });
+
+        let coalesced = batch.len() > 1;
+        for q in &batch {
+            let prefill = q.prompt_tokens as f64 * self.config.recompute_sec_per_token;
+            let finish = outcome.ready + prefill;
+            outcomes[q.index] = Some(RequestOutcome {
+                tenant: q.tenant,
+                context_id,
+                shard: shard_id,
+                arrival: q.arrival,
+                disposition: Disposition::Completed {
+                    ttft: finish - q.arrival,
+                    quality: outcome.quality,
+                    degraded,
+                    coalesced,
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegen_net::BandwidthTrace;
+    use cachegen_workloads::{workload_rng, SharedPrefixGen};
+
+    fn tiny_cluster(config: ServingConfig, bandwidth_bps: f64) -> ServingCluster {
+        let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+        let links = (0..config.num_shards)
+            .map(|_| Link::new(BandwidthTrace::constant(bandwidth_bps), 0.0))
+            .collect();
+        ServingCluster::build(
+            SimModelConfig::tiny(42),
+            EngineConfig::default(),
+            config,
+            &profile,
+            links,
+        )
+    }
+
+    fn store_and_run(
+        cluster: &mut ServingCluster,
+        seed: u64,
+        n_requests: usize,
+        rate_hz: f64,
+    ) -> ServingReport {
+        let gen = SharedPrefixGen::new(64, 6, 90);
+        let workload = gen.generate(
+            &mut workload_rng(seed),
+            cluster.config().num_tenants,
+            n_requests,
+            rate_hz,
+        );
+        for (id, tokens) in &workload.documents {
+            cluster.store_context(*id, tokens);
+        }
+        cluster.run(&workload.requests)
+    }
+
+    #[test]
+    fn run_resolves_every_request() {
+        let mut c = tiny_cluster(ServingConfig::default(), 5e6);
+        let report = store_and_run(&mut c, 1, 60, 20.0);
+        assert_eq!(report.outcomes.len(), 60);
+        assert!(report.completed().count() + report.shed_count() == 60);
+        assert!(report.makespan > 0.0);
+        for o in report.completed() {
+            assert!(o.ttft().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let run = || {
+            let mut c = tiny_cluster(ServingConfig::default(), 5e6);
+            store_and_run(&mut c, 7, 80, 30.0)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes, b.outcomes, "virtual-time replay must be exact");
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn contexts_route_to_owning_shards() {
+        let mut c = tiny_cluster(ServingConfig::default(), 5e6);
+        let report = store_and_run(&mut c, 3, 40, 10.0);
+        for o in &report.outcomes {
+            assert_eq!(o.shard, c.shard_of(o.context_id));
+        }
+        // With 6 documents and 2 shards, both shards should see traffic.
+        let shards_used: std::collections::BTreeSet<usize> =
+            report.outcomes.iter().map(|o| o.shard).collect();
+        assert!(shards_used.len() >= 2, "placement collapsed to one shard");
+    }
+
+    #[test]
+    fn hot_documents_hit_the_cache() {
+        let mut c = tiny_cluster(ServingConfig::default(), 5e6);
+        let report = store_and_run(&mut c, 5, 120, 10.0);
+        let hits: u64 = report.shards.iter().map(|s| s.cache.hits).sum();
+        assert!(hits > 20, "Zipf reuse should hit the local cache: {hits}");
+    }
+
+    #[test]
+    fn second_run_reports_only_its_own_activity() {
+        let mut c = tiny_cluster(ServingConfig::default(), 5e6);
+        let first = store_and_run(&mut c, 1, 60, 20.0);
+        let second = store_and_run(&mut c, 1, 60, 20.0);
+        for (i, s) in second.shards.iter().enumerate() {
+            // One cache lookup per batch: cumulative counters would break
+            // this equality on the second run.
+            assert_eq!(
+                s.cache.hits + s.cache.misses,
+                s.batches,
+                "shard {i} cache stats leaked across runs"
+            );
+            assert!(
+                s.utilization(second.makespan) <= 1.0 + 1e-9,
+                "shard {i} utilization {} exceeds 100%",
+                s.utilization(second.makespan)
+            );
+        }
+        // The warm cache carries over by design: the replay misses less.
+        let misses = |r: &ServingReport| r.shards.iter().map(|s| s.cache.misses).sum::<u64>();
+        assert!(misses(&second) < misses(&first));
+    }
+
+    #[test]
+    fn overload_coalesces_batches() {
+        // Fire fast on a slow link: queues build while a batch is in
+        // flight, and same-context arrivals ride together.
+        let mut c = tiny_cluster(
+            ServingConfig {
+                shed_depth: 64,
+                degrade_depth: 64,
+                ..ServingConfig::default()
+            },
+            2e5,
+        );
+        let report = store_and_run(&mut c, 9, 100, 200.0);
+        assert!(
+            report.coalesced_count() > 10,
+            "coalesced {} of 100",
+            report.coalesced_count()
+        );
+        let batches: u64 = report.shards.iter().map(|s| s.batches).sum();
+        assert!(
+            batches < report.completed().count() as u64,
+            "batching must fetch less often than once per request"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! # Sharded multi-tenant serving front for CacheGen
+//!
+//! The paper's engine (§6) is exercised one request at a time, but
+//! CacheGen's value proposition — loading long contexts faster than
+//! prefill — only shows up when many tenants contend for store bandwidth
+//! and cache capacity. This crate is that serving front, built as a
+//! deterministic discrete-event simulation on the same virtual clock as
+//! `cachegen-net`:
+//!
+//! * [`clock`] — the event queue: `f64` virtual seconds, insertion-order
+//!   tie-breaking, fully deterministic.
+//! * [`ring`] — consistent-hash placement of [`ContextId`]s onto shards
+//!   (virtual nodes, splitmix64, resharding-stable).
+//! * [`queue`] — per-tenant FIFO queues with two admission watermarks:
+//!   past the first, requests are *degraded* to a coarser encoding level;
+//!   past the second they are *shed*. Dispatch is round-robin across
+//!   tenants and coalesces every queued request for the same context into
+//!   one batch.
+//! * [`shard`] — one shard: a [`cachegen::CacheGenEngine`] (with its
+//!   slice of the store), an [`cachegen_kvstore::LruKvCache`] of fetched
+//!   bitstreams, and the store→shard link. A batch fetches once; cache
+//!   hits skip the link entirely.
+//! * [`cluster`] — [`ServingCluster`]: the ring + shards + event loop
+//!   that replays a [`cachegen_workloads::MultiTenantWorkload`] trace.
+//! * [`metrics`] — per-tenant TTFT percentiles, QoE (MOS), shed/degrade
+//!   counts, and per-shard utilization/cache/batching summaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use cachegen::EngineConfig;
+//! use cachegen_llm::SimModelConfig;
+//! use cachegen_net::{BandwidthTrace, Link};
+//! use cachegen_serving::{ServingCluster, ServingConfig};
+//! use cachegen_workloads::{workload_rng, SharedPrefixGen};
+//!
+//! let config = ServingConfig::default(); // 2 shards × 4 tenants
+//! let links = (0..config.num_shards)
+//!     .map(|_| Link::new(BandwidthTrace::constant(5e6), 0.0))
+//!     .collect();
+//! let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+//! let mut cluster = ServingCluster::build(
+//!     SimModelConfig::tiny(42),
+//!     EngineConfig::default(),
+//!     config,
+//!     &profile,
+//!     links,
+//! );
+//!
+//! // Ingest a shared-prefix corpus, then replay a multi-tenant trace.
+//! let workload = SharedPrefixGen::new(64, 4, 90).generate(&mut workload_rng(1), 4, 40, 20.0);
+//! for (id, tokens) in &workload.documents {
+//!     cluster.store_context(*id, tokens);
+//! }
+//! let report = cluster.run(&workload.requests);
+//! assert_eq!(report.outcomes.len(), 40);
+//! assert!(report.ttft_percentile(None, 50.0).unwrap() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod cluster;
+pub mod metrics;
+pub mod queue;
+pub mod ring;
+pub mod shard;
+
+pub use cachegen_kvstore::ContextId;
+pub use clock::EventQueue;
+pub use cluster::{ServingCluster, ServingConfig};
+pub use metrics::{percentile, Disposition, RequestOutcome, ServingReport, ShardSummary};
+pub use queue::{Admission, QueuedRequest, TenantQueues};
+pub use ring::HashRing;
+pub use shard::{BatchOutcome, Shard};

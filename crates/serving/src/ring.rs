@@ -1,0 +1,111 @@
+//! Consistent-hash placement of contexts onto shards.
+//!
+//! Each shard owns its own engine, store, and KV cache, so a context must
+//! always be served by the shard that stored it. A consistent-hash ring
+//! with virtual nodes gives (a) a deterministic `ContextId → shard` map
+//! that both the store path and the serve path agree on, and (b) stability
+//! under resharding: growing the cluster from N to N+1 shards moves only
+//! ~1/(N+1) of the keyspace, so most hot caches stay warm.
+//!
+//! Hashing is splitmix64 — seeded, platform-independent, and independent
+//! of `std`'s randomized `HashMap` state (determinism again).
+
+/// splitmix64: a strong 64-bit mixer, deterministic across platforms.
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over `num_shards` shards.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    num_shards: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `virtual_nodes` points per shard.
+    pub fn new(num_shards: usize, virtual_nodes: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(virtual_nodes >= 1, "need at least one virtual node");
+        let mut points = Vec::with_capacity(num_shards * virtual_nodes);
+        for shard in 0..num_shards {
+            for v in 0..virtual_nodes {
+                // Mix shard and replica through two rounds so nearby ids
+                // land far apart on the ring.
+                let point =
+                    hash64(hash64(shard as u64) ^ (v as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                points.push((point, shard));
+            }
+        }
+        // Sort by point; tie-break by shard index for determinism (64-bit
+        // collisions are astronomically unlikely but cheap to pin down).
+        points.sort_unstable();
+        HashRing { points, num_shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Routes a context to its owning shard: the first ring point at or
+    /// after the key's hash, wrapping around.
+    pub fn route(&self, key: u64) -> usize {
+        let h = hash64(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = HashRing::new(4, 16);
+        for key in 0..1000u64 {
+            let s = ring.route(key);
+            assert!(s < 4);
+            assert_eq!(s, ring.route(key), "route must be stable");
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let ring = HashRing::new(4, 32);
+        let mut counts = [0usize; 4];
+        for key in 0..10_000u64 {
+            counts[ring.route(key)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            // Perfect balance is 2500; virtual nodes keep skew modest.
+            assert!((1_000..5_000).contains(&c), "shard {s} got {c}");
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_a_minority_of_keys() {
+        let small = HashRing::new(3, 64);
+        let big = HashRing::new(4, 64);
+        let moved = (0..10_000u64)
+            .filter(|&k| small.route(k) != big.route(k))
+            .count();
+        // Ideal is 1/4 of keys; rehashing everything would be ~3/4.
+        assert!(
+            (1_000..5_000).contains(&moved),
+            "moved {moved} of 10000 keys"
+        );
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let ring = HashRing::new(1, 8);
+        assert!((0..100u64).all(|k| ring.route(k) == 0));
+    }
+}

@@ -1,0 +1,267 @@
+//! One serving shard: an engine + store, a local KV-bitstream cache, and
+//! the link that connects the shard to the remote store.
+//!
+//! A shard serves one batch at a time (its store connection is the
+//! serialized resource — §3's premise that loading bandwidth, not compute,
+//! bounds context loading). A batch is all queued requests for one
+//! context; the fetch runs once over the shard's link at whatever
+//! configuration the streaming adapter picks, and every request in the
+//! batch observes the same ready time. A hit in the local
+//! [`LruKvCache`] skips the link entirely and pays only decode time.
+
+use std::collections::HashMap;
+
+use cachegen::engine::CacheGenEngine;
+use cachegen_kvstore::{ContextId, LruKvCache};
+use cachegen_net::Link;
+use cachegen_streamer::{simulate_stream_from, AdaptPolicy, ChunkPlan, StreamConfig, StreamParams};
+
+use crate::cluster::ServingConfig;
+use crate::metrics::ShardSummary;
+use crate::queue::TenantQueues;
+
+/// How one batch was served.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchOutcome {
+    /// Virtual time the batch's KV was ready in GPU memory.
+    pub ready: f64,
+    /// Token-weighted quality proxy in [0, 1].
+    pub quality: f64,
+    /// Whether the batch hit the local cache (no store fetch).
+    pub cache_hit: bool,
+}
+
+/// One shard of the serving cluster.
+pub struct Shard {
+    /// Shard index.
+    pub id: usize,
+    /// The engine (model + codecs + this shard's slice of the store).
+    pub engine: CacheGenEngine,
+    /// Local cache of fetched KV bitstreams.
+    pub cache: LruKvCache,
+    /// Link from the remote store to this shard.
+    pub link: Link,
+    /// Per-tenant admission queues.
+    pub queues: TenantQueues,
+    /// Whether a batch is in flight.
+    pub busy: bool,
+    /// Offline chunk plans of the contexts this shard owns.
+    plans: HashMap<ContextId, ChunkPlan>,
+    /// Wire size and quality of each locally cached bitstream.
+    cached: HashMap<ContextId, CachedMeta>,
+    /// Accounting.
+    pub stats: ShardSummary,
+}
+
+/// What is resident for one cached context: the bytes a hit must decode
+/// and the quality the fetched bitstream carries.
+#[derive(Clone, Copy, Debug)]
+struct CachedMeta {
+    bytes: u64,
+    quality: f64,
+}
+
+impl Shard {
+    /// Creates a shard around a built engine.
+    pub fn new(id: usize, engine: CacheGenEngine, link: Link, cfg: &ServingConfig) -> Self {
+        Shard {
+            id,
+            engine,
+            cache: LruKvCache::new(cfg.cache_capacity_bytes),
+            link,
+            queues: TenantQueues::new(cfg.num_tenants, cfg.degrade_depth, cfg.shed_depth),
+            busy: false,
+            plans: HashMap::new(),
+            cached: HashMap::new(),
+            stats: ShardSummary::default(),
+        }
+    }
+
+    /// Stores a context on this shard (offline path): encodes every chunk
+    /// at every level into the shard's store and remembers the plan.
+    pub fn store_context(&mut self, id: ContextId, tokens: &[usize]) {
+        let plan = self.engine.store_kv(id, tokens);
+        self.plans.insert(id, plan);
+    }
+
+    /// Whether this shard owns a context.
+    pub fn owns(&self, id: ContextId) -> bool {
+        self.plans.contains_key(&id)
+    }
+
+    /// The stored plan of a context.
+    pub fn plan(&self, id: ContextId) -> &ChunkPlan {
+        &self.plans[&id]
+    }
+
+    /// Serves one same-context batch starting at virtual time `now`,
+    /// returning when its KV was ready and at what quality. `degraded`
+    /// forces the backpressure level regardless of the adapter policy.
+    pub fn serve_batch(
+        &mut self,
+        context_id: ContextId,
+        degraded: bool,
+        now: f64,
+        cfg: &ServingConfig,
+    ) -> BatchOutcome {
+        let plan = &self.plans[&context_id];
+        let n_levels = self.engine.num_levels();
+        let decode_rate = cfg.decode_bytes_per_sec;
+        let decode_seconds = move |bytes: u64| bytes as f64 / decode_rate;
+
+        if self.cache.touch(context_id) {
+            // Local hit: the bitstream fetched last time is resident;
+            // only its decode is paid, at the quality it was fetched at.
+            let meta = self.cached[&context_id];
+            return BatchOutcome {
+                ready: now + decode_seconds(meta.bytes),
+                quality: meta.quality,
+                cache_hit: true,
+            };
+        }
+
+        // Miss: fetch over the shard's link at the adapter's choice —
+        // once for the whole batch (the coalescing win). Backpressure
+        // degrades to a coarser encoding level; the text-fallback policy
+        // has no levels to degrade to, so it stays text.
+        let policy = if degraded && cfg.policy != AdaptPolicy::AlwaysText {
+            AdaptPolicy::FixedLevel(cfg.degraded_level.unwrap_or(n_levels - 1))
+        } else {
+            cfg.policy
+        };
+        let recompute = cfg.recompute_sec_per_token;
+        let recompute_seconds = move |tokens: usize| tokens as f64 * recompute;
+        let params = StreamParams {
+            slo: cfg.slo,
+            policy,
+            prior_throughput_bps: cfg.prior_throughput_bps,
+            concurrent_requests: 1,
+            ladder: &self.engine.config().ladder,
+            decode_seconds: &decode_seconds,
+            recompute_seconds: &recompute_seconds,
+        };
+        let out = simulate_stream_from(plan, &mut self.link, &params, now);
+        self.stats.bytes_fetched += out.bytes_sent;
+
+        // Token-weighted quality of what was actually delivered.
+        let mut quality = 0.0f64;
+        let mut kv_tokens = 0usize;
+        let mut total_tokens = 0usize;
+        for c in &out.chunks {
+            let tokens = plan.chunk(c.index).tokens;
+            total_tokens += tokens;
+            match c.config {
+                StreamConfig::Text => quality += tokens as f64,
+                StreamConfig::Level(l) => {
+                    quality += tokens as f64 * cfg.quality_of_level(l);
+                    kv_tokens += tokens;
+                }
+            }
+        }
+        quality /= total_tokens.max(1) as f64;
+
+        // Only a stream delivered entirely as KV bitstreams is cacheable:
+        // text chunks are recomputed on the GPU and leave no bitstream, so
+        // a mixed stream would serve future hits from data that was never
+        // fetched. Cache the bytes that are resident and the quality they
+        // carry.
+        if kv_tokens == total_tokens {
+            for evicted in self.cache.insert(context_id, out.bytes_sent) {
+                self.cached.remove(&evicted);
+            }
+            if self.cache.contains(context_id) {
+                self.cached.insert(
+                    context_id,
+                    CachedMeta {
+                        bytes: out.bytes_sent,
+                        quality,
+                    },
+                );
+            }
+        }
+
+        BatchOutcome {
+            ready: out.finish,
+            quality,
+            cache_hit: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegen::EngineConfig;
+    use cachegen_llm::SimModelConfig;
+    use cachegen_net::BandwidthTrace;
+
+    fn shard(cfg: &ServingConfig) -> Shard {
+        let profile: Vec<usize> = (0..60).map(|i| (i * 7) % 64).collect();
+        let engine = CacheGenEngine::build(
+            SimModelConfig::tiny(42),
+            EngineConfig::default(),
+            &[profile],
+        );
+        let link = Link::new(BandwidthTrace::constant(1e6), 0.0);
+        Shard::new(0, engine, link, cfg)
+    }
+
+    #[test]
+    fn second_fetch_hits_cache_and_is_faster() {
+        let cfg = ServingConfig::default();
+        let mut s = shard(&cfg);
+        let ctx: Vec<usize> = (0..90).map(|i| (i * 3) % 64).collect();
+        s.store_context(5, &ctx);
+        assert!(s.owns(5));
+        let miss = s.serve_batch(5, false, 0.0, &cfg);
+        assert!(!miss.cache_hit);
+        let hit = s.serve_batch(5, false, miss.ready, &cfg);
+        assert!(hit.cache_hit);
+        assert!(
+            hit.ready - miss.ready < miss.ready,
+            "hit {} should be faster than miss {}",
+            hit.ready - miss.ready,
+            miss.ready
+        );
+        assert_eq!(s.cache.stats().hits, 1);
+        assert_eq!(s.cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn degraded_batch_fetches_fewer_bytes_at_lower_quality() {
+        let cfg = ServingConfig::default();
+        let mut s = shard(&cfg);
+        let ctx: Vec<usize> = (0..90).map(|i| (i * 5) % 64).collect();
+        s.store_context(9, &ctx);
+        let normal = s.serve_batch(9, false, 0.0, &cfg);
+        let fetched_normal = s.stats.bytes_fetched;
+
+        let mut s2 = shard(&cfg);
+        s2.store_context(9, &ctx);
+        let degraded = s2.serve_batch(9, true, 0.0, &cfg);
+        assert!(
+            s2.stats.bytes_fetched < fetched_normal,
+            "degraded fetch {} vs normal {}",
+            s2.stats.bytes_fetched,
+            fetched_normal
+        );
+        assert!(degraded.quality < normal.quality);
+        assert!(degraded.ready < normal.ready, "coarser level loads faster");
+    }
+
+    #[test]
+    fn all_text_stream_does_not_populate_cache() {
+        let cfg = ServingConfig {
+            policy: AdaptPolicy::AlwaysText,
+            ..ServingConfig::default()
+        };
+        let mut s = shard(&cfg);
+        let ctx: Vec<usize> = (0..60).map(|i| (i * 11) % 64).collect();
+        s.store_context(3, &ctx);
+        let first = s.serve_batch(3, false, 0.0, &cfg);
+        assert!(!first.cache_hit);
+        assert!((first.quality - 1.0).abs() < 1e-9, "text is lossless");
+        let second = s.serve_batch(3, false, first.ready, &cfg);
+        assert!(!second.cache_hit, "text fallback leaves no bitstream");
+    }
+}

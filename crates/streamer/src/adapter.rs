@@ -72,8 +72,9 @@ pub struct ChunkOutcome {
 pub struct StreamOutcome {
     /// Per-chunk records, in send order.
     pub chunks: Vec<ChunkOutcome>,
-    /// Virtual time when the full KV cache was ready (context-loading
-    /// delay; TTFT adds the prompt's own prefill on top).
+    /// Virtual time when the full KV cache was ready (absolute; subtract
+    /// the stream's start time for the context-loading delay — TTFT adds
+    /// the prompt's own prefill on top).
     pub finish: f64,
     /// Total bytes sent per request.
     pub bytes_sent: u64,
@@ -184,27 +185,42 @@ fn choose_config(
     }
 }
 
-/// Streams a planned context over a link, returning the full timeline.
+/// Streams a planned context over a link starting at virtual time zero.
 pub fn simulate_stream(
     plan: &ChunkPlan,
     link: &mut Link,
     params: &StreamParams<'_>,
+) -> StreamOutcome {
+    simulate_stream_from(plan, link, params, 0.0)
+}
+
+/// Streams a planned context over a link starting at virtual time `start`
+/// — the serving layer dispatches many streams on one shared clock, so the
+/// link's bandwidth trace is consulted at the *absolute* time each chunk
+/// goes out. All reported times are absolute; the SLO stays relative to
+/// `start` (it bounds this request's context-loading delay, §5.3).
+pub fn simulate_stream_from(
+    plan: &ChunkPlan,
+    link: &mut Link,
+    params: &StreamParams<'_>,
+    start: f64,
 ) -> StreamOutcome {
     assert!(params.concurrent_requests >= 1, "need at least one request");
     assert!(
         plan.num_levels() <= params.ladder.len(),
         "plan has more levels than the ladder"
     );
+    assert!(start >= 0.0, "start time must be non-negative");
     let batch = params.concurrent_requests as u64;
     let mut estimator = ThroughputEstimator::new();
-    let mut t = 0.0f64;
-    let mut decoder_free = 0.0f64; // GPU decode kernel availability
-    let mut gpu_free = 0.0f64; // GPU prefill availability (text chunks)
+    let mut t = start;
+    let mut decoder_free = start; // GPU decode kernel availability
+    let mut gpu_free = start; // GPU prefill availability (text chunks)
     let mut chunks = Vec::with_capacity(plan.num_chunks());
     let mut bytes_sent = 0u64;
 
     for i in 0..plan.num_chunks() {
-        let cfg = choose_config(plan, i, t, &estimator, params);
+        let cfg = choose_config(plan, i, t - start, &estimator, params);
         let chunk = plan.chunk(i);
         let bytes = chunk.bytes_for(cfg);
         // All B requests share the link, so the wire carries B copies of
@@ -238,8 +254,8 @@ pub fn simulate_stream(
         bytes_sent += bytes;
         t = result.finish;
     }
-    let finish = chunks.iter().map(|c| c.ready).fold(0.0f64, f64::max);
-    let slo_met = params.slo.map(|s| finish <= s).unwrap_or(true);
+    let finish = chunks.iter().map(|c| c.ready).fold(start, f64::max);
+    let slo_met = params.slo.map(|s| finish - start <= s).unwrap_or(true);
     StreamOutcome {
         chunks,
         finish,
@@ -477,6 +493,40 @@ mod tests {
         assert_eq!(
             out.chunks[0].config,
             StreamConfig::Level(ladder.default_medium())
+        );
+    }
+
+    #[test]
+    fn offset_start_shifts_timeline_and_consults_trace_at_absolute_time() {
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let p = params(
+            None,
+            AdaptPolicy::FixedLevel(0),
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
+        // On a constant link, starting at t=10 is a pure time shift.
+        let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
+        let base = simulate_stream(&plan, &mut link, &p);
+        let mut link = Link::new(BandwidthTrace::constant(2.0 * GBPS), 0.0);
+        let shifted = simulate_stream_from(&plan, &mut link, &p, 10.0);
+        assert!((shifted.finish - base.finish - 10.0).abs() < 1e-9);
+        assert_eq!(shifted.chunks[0].transfer_start, 10.0);
+        assert_eq!(shifted.bytes_sent, base.bytes_sent);
+
+        // On the figure-7 trace, a stream dispatched at t=2 lands in the
+        // 0.2 Gbps valley and takes longer than one dispatched at t=0.
+        let mut link = Link::new(BandwidthTrace::figure7(), 0.0);
+        let early = simulate_stream(&plan, &mut link, &p);
+        let mut link = Link::new(BandwidthTrace::figure7(), 0.0);
+        let late = simulate_stream_from(&plan, &mut link, &p, 2.0);
+        assert!(
+            late.finish - 2.0 > early.finish,
+            "valley start {} should stream slower than t=0 start {}",
+            late.finish - 2.0,
+            early.finish
         );
     }
 

@@ -22,6 +22,8 @@ pub mod adapter;
 pub mod levels;
 pub mod plan;
 
-pub use adapter::{simulate_stream, AdaptPolicy, ChunkOutcome, StreamOutcome, StreamParams};
+pub use adapter::{
+    simulate_stream, simulate_stream_from, AdaptPolicy, ChunkOutcome, StreamOutcome, StreamParams,
+};
 pub use levels::{LevelLadder, StreamConfig};
 pub use plan::{ChunkPlan, ChunkSizes};

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod multitenant;
 pub mod stats;
 
 pub use generator::{ContextSample, MarkovTextGen};
+pub use multitenant::{MultiTenantWorkload, ServingRequest, SharedPrefixGen};
 pub use stats::LengthStats;
 
 use rand::rngs::StdRng;
