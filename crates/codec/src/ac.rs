@@ -1,12 +1,20 @@
-//! Integer arithmetic coding (Witten–Neal–Cleary, 32-bit precision).
+//! Integer arithmetic coding (Witten–Neal–Cleary, 32-bit precision) —
+//! **compatibility shim**.
 //!
-//! This is the lossless entropy-coding stage of CacheGen's encoder (§5.2
-//! "Arithmetic coding"): symbols drawn from low-entropy distributions are
-//! coded in fractionally fewer bits than fixed-width encodings. The coder is
-//! *static*: the symbol distribution is supplied per symbol by the caller
-//! (CacheGen profiles one distribution per (layer, channel) offline, §5.2),
-//! and the decoder must be driven with exactly the same sequence of
-//! distributions.
+//! This bit-at-a-time coder has been replaced on the codec hot path by the
+//! byte-renormalizing range coder in [`crate::rc`] (same `Encoder` /
+//! `Decoder` / `FreqTable` API, ~an order of magnitude faster decode, no
+//! per-bit loop). It is kept so historical comparisons (the bench suite's
+//! WNC-vs-range rows) and any not-yet-migrated callers keep compiling; the
+//! two coders produce different byte streams and are not interchangeable
+//! on the wire.
+//!
+//! The entropy-coding role (§5.2 "Arithmetic coding"): symbols drawn from
+//! low-entropy distributions are coded in fractionally fewer bits than
+//! fixed-width encodings. The coder is *static*: the symbol distribution is
+//! supplied per symbol by the caller (CacheGen profiles one distribution
+//! per (layer, channel) offline, §5.2), and the decoder must be driven with
+//! exactly the same sequence of distributions.
 //!
 //! The implementation is the textbook integer algorithm with 32-bit state
 //! carried in `u64`s, E1/E2 scaling (emit matching leading bits) and E3

@@ -49,20 +49,25 @@ impl BitWriter {
 #[derive(Debug)]
 pub struct BitReader<'a> {
     buf: &'a [u8],
-    pos: usize, // bit position
+    pos: usize,       // bit position within `buf`
+    synthetic: usize, // zero bits yielded past the end of `buf`
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        BitReader { buf, pos: 0 }
+        BitReader {
+            buf,
+            pos: 0,
+            synthetic: 0,
+        }
     }
 
     /// Reads the next bit (`false` once input is exhausted).
     pub fn read_bit(&mut self) -> bool {
         let byte = self.pos / 8;
         if byte >= self.buf.len() {
-            self.pos += 1;
+            self.synthetic += 1;
             return false;
         }
         let bit = 7 - (self.pos % 8) as u32;
@@ -70,9 +75,17 @@ impl<'a> BitReader<'a> {
         (self.buf[byte] >> bit) & 1 == 1
     }
 
-    /// Number of bits consumed (including synthetic trailing zeros).
+    /// Number of bits actually consumed from the buffer. Synthetic past-end
+    /// zeros do **not** count, so byte-offset accounting over concatenated
+    /// streams cannot overrun into a following stream.
     pub fn bits_read(&self) -> usize {
         self.pos
+    }
+
+    /// Number of synthetic zero bits yielded past the end of input —
+    /// nonzero means the reader was driven beyond the real stream.
+    pub fn synthetic_bits(&self) -> usize {
+        self.synthetic
     }
 }
 
@@ -119,6 +132,24 @@ mod tests {
         for _ in 0..16 {
             assert!(!r.read_bit());
         }
+    }
+
+    #[test]
+    fn bits_read_excludes_synthetic_past_end_zeros() {
+        // Regression: `bits_read` used to count synthetic zeros, so any
+        // byte-offset accounting over concatenated streams would overrun
+        // into the next stream's bytes.
+        let mut r = BitReader::new(&[0xAB, 0xCD]);
+        for _ in 0..16 {
+            r.read_bit();
+        }
+        assert_eq!(r.bits_read(), 16);
+        assert_eq!(r.synthetic_bits(), 0);
+        for _ in 0..10 {
+            assert!(!r.read_bit());
+        }
+        assert_eq!(r.bits_read(), 16, "synthetic bits must not be counted");
+        assert_eq!(r.synthetic_bits(), 10);
     }
 
     #[test]

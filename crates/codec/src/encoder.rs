@@ -4,24 +4,30 @@
 //! 1. split each layer's token axis into anchor groups ([`crate::delta`]);
 //! 2. quantize anchor rows at high precision (8-bit-equivalent bin) and
 //!    delta rows with the layer group's bin ([`cachegen_quant`]);
-//! 3. arithmetic-code the symbols with per-(layer, channel) distributions
-//!    from an offline [`CodecProfile`] ([`crate::ac`]).
+//! 3. range-code the symbols with per-(layer, channel) distributions from
+//!    an offline [`CodecProfile`] ([`crate::rc`]) — one **independently
+//!    decodable stream per (layer, token-group)** of K and of V.
 //!
-//! Each layer produces an independent bitstream for K and one for V, so
-//! decoding parallelises across layers (the CPU stand-in for the paper's
-//! per-token CUDA threads, §6). Deltas are taken against the *reconstructed*
-//! (quantized) anchor, so anchor quantization error does not leak into
-//! member tokens — total error per element is bounded by half the applicable
-//! quantization step.
+//! Per-(layer, group) streams are the CPU stand-in for the paper's
+//! per-token CUDA threads (§5.2, §7): [`KvCodec::decode_parallel`]
+//! schedules `2 × layers × groups` work items across a bounded worker pool
+//! sized by `std::thread::available_parallelism`, so parallelism scales
+//! with context length, not just model depth. Deltas are taken against the
+//! *reconstructed* (quantized) anchor, so anchor quantization error does
+//! not leak into member tokens — total error per element is bounded by
+//! half the applicable quantization step. The anchor of every group lives
+//! in the group's own stream, so a chunk decodes with no state from any
+//! other chunk (the property multiple-description loss robustness needs).
 
-use crate::ac::{Decoder, Encoder};
 use crate::delta::GroupLayout;
 use crate::profile::CodecProfile;
-use crate::symbol_model::ModelGranularity;
+use crate::rc::{Decoder, Encoder};
+use crate::symbol_model::{FreqTable, ModelGranularity};
 use crate::{index_to_symbol, symbol_to_index};
 use cachegen_llm::KvCache;
 use cachegen_quant::{BinQuantizer, LayerGroupBins};
 use cachegen_tensor::Tensor;
+use std::fmt;
 
 /// Configuration of the CacheGen codec (one *encoding level* — the streamer
 /// holds several, produced by scaling `bins`).
@@ -76,7 +82,79 @@ pub enum SymKind {
     Delta,
 }
 
-/// An encoded KV cache (one chunk at one encoding level): the KV bitstream.
+/// A decode-time failure surfaced by [`KvCodec::try_decode`] and
+/// [`KvCodec::try_decode_parallel`]. The pre-chunking decoder silently
+/// produced garbage on truncated input; chunk framing makes every length
+/// defect detectable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// A chunk's bytes ran out before all of its symbols were decoded.
+    TruncatedChunk {
+        /// K-side (true) or V-side chunk.
+        is_k: bool,
+        /// Transformer layer of the chunk.
+        layer: usize,
+        /// Token-group index of the chunk.
+        group: usize,
+        /// Synthetic zero bytes the decoder had to fabricate.
+        missing_bytes: usize,
+    },
+    /// A chunk decoded its full symbol count but consumed a different
+    /// number of bytes than its frame declared (trailing garbage or a
+    /// corrupted length).
+    ChunkLengthMismatch {
+        /// K-side (true) or V-side chunk.
+        is_k: bool,
+        /// Transformer layer of the chunk.
+        layer: usize,
+        /// Token-group index of the chunk.
+        group: usize,
+        /// Bytes the decoder actually consumed.
+        consumed: usize,
+        /// Bytes the chunk frame declared.
+        framed: usize,
+    },
+    /// The container's shape is inconsistent with its declared geometry
+    /// (chunk table vs. layers/tokens/group size, or scale table vs.
+    /// layers/channels).
+    Geometry(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |k: &bool| if *k { "K" } else { "V" };
+        match self {
+            CodecError::TruncatedChunk {
+                is_k,
+                layer,
+                group,
+                missing_bytes,
+            } => write!(
+                f,
+                "{} chunk (layer {layer}, group {group}) truncated: {missing_bytes} bytes missing",
+                side(is_k)
+            ),
+            CodecError::ChunkLengthMismatch {
+                is_k,
+                layer,
+                group,
+                consumed,
+                framed,
+            } => write!(
+                f,
+                "{} chunk (layer {layer}, group {group}) length mismatch: consumed {consumed} of {framed} framed bytes",
+                side(is_k)
+            ),
+            CodecError::Geometry(msg) => write!(f, "inconsistent container geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An encoded KV cache (one context chunk at one encoding level): the KV
+/// bitstream, split into independently decodable per-(layer, token-group)
+/// entropy-coded chunks. See the crate docs for the wire layout.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EncodedKv {
     /// Transformer layers covered.
@@ -85,34 +163,53 @@ pub struct EncodedKv {
     pub tokens: usize,
     /// Channels per token per layer.
     pub channels: usize,
-    /// Anchor group size used.
+    /// Anchor group size used (also the chunking granularity).
     pub group_size: usize,
     /// Whether delta encoding was applied.
     pub delta_encoding: bool,
-    /// Per-layer bitstreams for the K tensor.
-    pub k_streams: Vec<Vec<u8>>,
-    /// Per-layer bitstreams for the V tensor.
-    pub v_streams: Vec<Vec<u8>>,
+    /// Per-(layer, group) K chunks: `k_chunks[layer][group]` is one
+    /// independently decodable range-coded stream.
+    pub k_chunks: Vec<Vec<Vec<u8>>>,
+    /// Per-(layer, group) V chunks, same shape as `k_chunks`.
+    pub v_chunks: Vec<Vec<Vec<u8>>>,
     /// Per-(layer, channel) scales shipped with the stream, `[kind][layer]
     /// [channel]` with kinds ordered K-anchor, K-delta, V-anchor, V-delta.
     /// Vectorwise quantization derives scales from the tensor itself
     /// (LLM.int8 style, §5.2), so they are per-context wire data — unlike
-    /// the AC probability tables, which are profiled offline per model.
+    /// the probability tables, which are profiled offline per model.
     pub scales: [Vec<Vec<f32>>; 4],
 }
 
 impl EncodedKv {
+    /// Token-group geometry of this stream (groups are the chunk
+    /// granularity).
+    pub fn layout(&self) -> GroupLayout {
+        GroupLayout::new(self.group_size, self.tokens)
+    }
+
+    /// Number of token groups (= entropy chunks per layer per side).
+    pub fn num_groups(&self) -> usize {
+        self.layout().num_groups()
+    }
+
+    /// Total number of independently decodable chunks (`2 × layers ×
+    /// groups`) — the parallel decoder's work-item count.
+    pub fn num_chunks(&self) -> usize {
+        2 * self.layers * self.num_groups()
+    }
+
     /// Wire size in bytes: payload, per-(layer, channel) scales at fp16,
-    /// container framing (16-byte header and a 4-byte length per stream).
+    /// container framing (16-byte header and a varint length per chunk).
     pub fn total_bytes(&self) -> u64 {
-        let payload: usize = self
-            .k_streams
+        let framed: usize = self
+            .k_chunks
             .iter()
-            .chain(&self.v_streams)
-            .map(Vec::len)
+            .chain(&self.v_chunks)
+            .flatten()
+            .map(|c| c.len() + varint_len(c.len()))
             .sum();
         let scale_count: usize = self.scales.iter().flatten().map(Vec::len).sum();
-        (payload + 2 * scale_count + 16 + 4 * (self.k_streams.len() + self.v_streams.len())) as u64
+        (framed + 2 * scale_count + 16) as u64
     }
 
     /// Serialises to a flat byte buffer (the unit the network simulator
@@ -120,7 +217,7 @@ impl EncodedKv {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.total_bytes() as usize);
         out.extend_from_slice(b"CGKV");
-        out.push(1); // version
+        out.push(2); // version 2: per-(layer, group) chunked streams
         out.push(self.delta_encoding as u8);
         out.extend_from_slice(&(self.layers as u16).to_le_bytes());
         out.extend_from_slice(&(self.tokens as u32).to_le_bytes());
@@ -133,9 +230,13 @@ impl EncodedKv {
                 }
             }
         }
-        for stream in self.k_streams.iter().chain(&self.v_streams) {
-            out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
-            out.extend_from_slice(stream);
+        for side in [&self.k_chunks, &self.v_chunks] {
+            for layer in side {
+                for chunk in layer {
+                    push_varint(&mut out, chunk.len());
+                    out.extend_from_slice(chunk);
+                }
+            }
         }
         out
     }
@@ -155,7 +256,7 @@ impl EncodedKv {
             return Err("bad magic".into());
         }
         let version = take(&mut pos, 1)?[0];
-        if version != 1 {
+        if version != 2 {
             return Err(format!("unsupported version {version}"));
         }
         let delta_encoding = take(&mut pos, 1)?[0] != 0;
@@ -163,6 +264,9 @@ impl EncodedKv {
         let tokens = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         let channels = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
         let group_size = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        if group_size == 0 {
+            return Err("group size must be ≥ 1".into());
+        }
         let mut scales: [Vec<Vec<f32>>; 4] = Default::default();
         for set in &mut scales {
             for _ in 0..layers {
@@ -174,23 +278,76 @@ impl EncodedKv {
                 set.push(row);
             }
         }
-        let mut streams = Vec::with_capacity(2 * layers);
-        for _ in 0..2 * layers {
-            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-            streams.push(take(&mut pos, len)?.to_vec());
+        let groups = GroupLayout::new(group_size, tokens).num_groups();
+        let mut sides: [Vec<Vec<Vec<u8>>>; 2] = Default::default();
+        for side in &mut sides {
+            for _ in 0..layers {
+                let mut layer_chunks = Vec::with_capacity(groups);
+                for _ in 0..groups {
+                    let len = take_varint(bytes, &mut pos)?;
+                    layer_chunks.push(take(&mut pos, len)?.to_vec());
+                }
+                side.push(layer_chunks);
+            }
         }
-        let v_streams = streams.split_off(layers);
+        if pos != bytes.len() {
+            return Err(format!("{} trailing bytes", bytes.len() - pos));
+        }
+        let [k_chunks, v_chunks] = sides;
         Ok(EncodedKv {
             layers,
             tokens,
             channels,
             group_size,
             delta_encoding,
-            k_streams: streams,
-            v_streams,
+            k_chunks,
+            v_chunks,
             scales,
         })
     }
+}
+
+/// LEB128-encoded length of `n` on the wire (1 byte per 7 bits; chunk
+/// payloads are typically well under 16 KiB, so lengths cost 1–2 bytes).
+fn varint_len(n: usize) -> usize {
+    let mut n = n;
+    let mut len = 1;
+    while n >= 0x80 {
+        n >>= 7;
+        len += 1;
+    }
+    len
+}
+
+fn push_varint(out: &mut Vec<u8>, mut n: usize) {
+    while n >= 0x80 {
+        out.push((n as u8 & 0x7F) | 0x80);
+        n >>= 7;
+    }
+    out.push(n as u8);
+}
+
+fn take_varint(bytes: &[u8], pos: &mut usize) -> Result<usize, String> {
+    let mut n = 0usize;
+    for shift in (0..).step_by(7) {
+        if *pos >= bytes.len() {
+            return Err(format!("truncated varint at offset {pos}", pos = *pos));
+        }
+        let b = bytes[*pos];
+        let val = (b & 0x7F) as usize;
+        // Reject any byte whose payload bits would be shifted out of the
+        // word — an overlong varint must not silently wrap to a small
+        // value.
+        if shift >= usize::BITS as usize || (val << shift) >> shift != val {
+            return Err(format!("oversized varint at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        n |= val << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+    }
+    Ok(n)
 }
 
 /// Truncates an f32 scale to bf16 for the wire (upper 16 bits; ≤0.4%
@@ -211,9 +368,61 @@ pub struct KvCodec {
     profile: CodecProfile,
 }
 
-/// Walks one layer slab in the canonical symbol order, quantizing as it
-/// goes and invoking `emit(kind, channel, symbol)` per symbol. Shared by
-/// profiling (counting) and encoding (AC) so their orders can never drift.
+/// Walks the symbols of one token group (`[start, end)` of a layer slab) in
+/// canonical order, quantizing with pre-resolved per-channel steps and
+/// invoking `emit(kind, channel, symbol)` per symbol. This is the unit the
+/// per-(layer, group) chunk encoder covers; profiling walks the same
+/// routine group by group so their orders can never drift.
+#[allow(clippy::too_many_arguments)] // mirrors the encode pipeline stages
+pub(crate) fn walk_group_symbols<F>(
+    slab: &[f32],
+    channels: usize,
+    start: usize,
+    end: usize,
+    delta_encoding: bool,
+    anchor_steps: &[f32],
+    delta_steps: &[f32],
+    mut emit: F,
+) where
+    F: FnMut(SymKind, usize, i32),
+{
+    if delta_encoding {
+        let arow = &slab[start * channels..(start + 1) * channels];
+        let mut recon_anchor = vec![0.0f32; channels];
+        for c in 0..channels {
+            let sym = clamp_symbol((arow[c] / anchor_steps[c]).round() as i64);
+            emit(SymKind::Anchor, c, sym);
+            recon_anchor[c] = sym as f32 * anchor_steps[c];
+        }
+        for t in start + 1..end {
+            let row = &slab[t * channels..(t + 1) * channels];
+            for c in 0..channels {
+                let d = row[c] - recon_anchor[c];
+                emit(
+                    SymKind::Delta,
+                    c,
+                    clamp_symbol((d / delta_steps[c]).round() as i64),
+                );
+            }
+        }
+    } else {
+        // Ablation arm: raw values, delta distribution/bins.
+        for t in start..end {
+            let row = &slab[t * channels..(t + 1) * channels];
+            for c in 0..channels {
+                emit(
+                    SymKind::Delta,
+                    c,
+                    clamp_symbol((row[c] / delta_steps[c]).round() as i64),
+                );
+            }
+        }
+    }
+}
+
+/// Walks one whole layer slab group by group (see [`walk_group_symbols`]).
+/// Shared by profiling (counting) and encoding so their orders can never
+/// drift.
 #[allow(clippy::too_many_arguments)] // one call site each in profile/encode
 pub(crate) fn walk_layer_symbols<F>(
     slab: &[f32],
@@ -228,36 +437,20 @@ pub(crate) fn walk_layer_symbols<F>(
 ) where
     F: FnMut(SymKind, usize, i32),
 {
-    if delta_encoding {
-        let mut recon_anchor = vec![0.0f32; channels];
-        for (anchor, members) in layout.groups() {
-            let arow = &slab[anchor * channels..(anchor + 1) * channels];
-            for c in 0..channels {
-                let step = anchor_q.step(anchor_scales[c]);
-                let sym = clamp_symbol((arow[c] / step).round() as i64);
-                emit(SymKind::Anchor, c, sym);
-                recon_anchor[c] = sym as f32 * step;
-            }
-            for t in members {
-                let row = &slab[t * channels..(t + 1) * channels];
-                for c in 0..channels {
-                    let step = delta_q.step(delta_scales[c]);
-                    let d = row[c] - recon_anchor[c];
-                    let sym = clamp_symbol((d / step).round() as i64);
-                    emit(SymKind::Delta, c, sym);
-                }
-            }
-        }
-    } else {
-        // Ablation arm: raw values, delta distribution/bins.
-        for t in 0..layout.tokens {
-            let row = &slab[t * channels..(t + 1) * channels];
-            for c in 0..channels {
-                let step = delta_q.step(delta_scales[c]);
-                let sym = clamp_symbol((row[c] / step).round() as i64);
-                emit(SymKind::Delta, c, sym);
-            }
-        }
+    let anchor_steps: Vec<f32> = anchor_scales.iter().map(|&s| anchor_q.step(s)).collect();
+    let delta_steps: Vec<f32> = delta_scales.iter().map(|&s| delta_q.step(s)).collect();
+    for g in 0..layout.num_groups() {
+        let (start, end) = layout.group_range(g);
+        walk_group_symbols(
+            slab,
+            channels,
+            start,
+            end,
+            delta_encoding,
+            &anchor_steps,
+            &delta_steps,
+            &mut emit,
+        );
     }
 }
 
@@ -267,6 +460,46 @@ fn clamp_symbol(s: i64) -> i32 {
     index_to_symbol(symbol_to_index(
         s.clamp(i32::MIN as i64, i32::MAX as i64) as i32
     ))
+}
+
+/// One parallel-decode work item: an entropy chunk plus its disjoint slice
+/// of the output tensor.
+struct DecodeJob<'a> {
+    is_k: bool,
+    layer: usize,
+    group: usize,
+    group_tokens: usize,
+    stream: &'a [u8],
+    out: &'a mut [f32],
+}
+
+/// Splits a tensor's backing storage into per-(layer, group) output slices
+/// and queues one job per chunk. Group ranges tile the token axis in data
+/// order, so the split is a pure partition.
+fn push_decode_jobs<'a>(
+    jobs: &mut Vec<DecodeJob<'a>>,
+    mut data: &'a mut [f32],
+    chunks: &'a [Vec<Vec<u8>>],
+    is_k: bool,
+    layers: usize,
+    channels: usize,
+    layout: GroupLayout,
+) {
+    for (layer, layer_chunks) in chunks.iter().enumerate().take(layers) {
+        for (group, stream) in layer_chunks.iter().enumerate().take(layout.num_groups()) {
+            let (start, end) = layout.group_range(group);
+            let (head, tail) = data.split_at_mut((end - start) * channels);
+            data = tail;
+            jobs.push(DecodeJob {
+                is_k,
+                layer,
+                group,
+                group_tokens: end - start,
+                stream,
+                out: head,
+            });
+        }
+    }
 }
 
 impl KvCodec {
@@ -298,8 +531,10 @@ impl KvCodec {
         )
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn encode_layer(
+    /// Encodes one layer into its per-group chunks. Frequency tables and
+    /// quantization steps are resolved once per layer, outside the symbol
+    /// loop.
+    fn encode_layer_chunks(
         &self,
         slab: &[f32],
         layer: usize,
@@ -307,84 +542,109 @@ impl KvCodec {
         is_k: bool,
         anchor_scales: &[f32],
         delta_scales: &[f32],
-    ) -> Vec<u8> {
+    ) -> Vec<Vec<u8>> {
         let channels = self.profile.channels();
         let tokens = slab.len() / channels;
         let layout = GroupLayout::new(self.config.group_size, tokens);
         let (anchor_q, delta_q) = self.quantizers(layer, n_layers);
-        let mut enc = Encoder::new();
-        walk_layer_symbols(
-            slab,
-            channels,
-            layout,
-            self.config.delta_encoding,
-            anchor_q,
-            delta_q,
-            anchor_scales,
-            delta_scales,
-            |kind, c, sym| {
-                let table = self.profile.table(kind, is_k, layer, c);
-                enc.encode(table, symbol_to_index(sym));
-            },
-        );
-        enc.finish()
+        let anchor_steps: Vec<f32> = anchor_scales.iter().map(|&s| anchor_q.step(s)).collect();
+        let delta_steps: Vec<f32> = delta_scales.iter().map(|&s| delta_q.step(s)).collect();
+        let anchor_tables = self.profile.layer_tables(SymKind::Anchor, is_k, layer);
+        let delta_tables = self.profile.layer_tables(SymKind::Delta, is_k, layer);
+        (0..layout.num_groups())
+            .map(|g| {
+                let (start, end) = layout.group_range(g);
+                let mut enc = Encoder::new();
+                walk_group_symbols(
+                    slab,
+                    channels,
+                    start,
+                    end,
+                    self.config.delta_encoding,
+                    &anchor_steps,
+                    &delta_steps,
+                    |kind, c, sym| {
+                        let table: &FreqTable = match kind {
+                            SymKind::Anchor => anchor_tables[c],
+                            SymKind::Delta => delta_tables[c],
+                        };
+                        enc.encode(table, symbol_to_index(sym));
+                    },
+                );
+                enc.finish()
+            })
+            .collect()
     }
 
+    /// Decodes one (layer, group) chunk into its output slice, verifying
+    /// exact byte consumption against the chunk frame.
     #[allow(clippy::too_many_arguments)]
-    fn decode_layer(
+    fn decode_chunk(
         &self,
         stream: &[u8],
         layer: usize,
         n_layers: usize,
-        tokens: usize,
+        group: usize,
+        group_tokens: usize,
         is_k: bool,
         delta_encoding: bool,
-        group_size: usize,
         anchor_scales: &[f32],
         delta_scales: &[f32],
-    ) -> Vec<f32> {
+        out: &mut [f32],
+    ) -> Result<(), CodecError> {
         let channels = self.profile.channels();
-        let layout = GroupLayout::new(group_size, tokens);
+        debug_assert_eq!(out.len(), group_tokens * channels);
         let (anchor_q, delta_q) = self.quantizers(layer, n_layers);
+        let delta_steps: Vec<f32> = delta_scales.iter().map(|&s| delta_q.step(s)).collect();
+        let delta_tables = self.profile.layer_tables(SymKind::Delta, is_k, layer);
         let mut dec = Decoder::new(stream);
-        let mut out = vec![0.0f32; tokens * channels];
         if delta_encoding {
-            let mut recon_anchor = vec![0.0f32; channels];
-            for (anchor, members) in layout.groups() {
-                for c in 0..channels {
-                    let table = self.profile.table(SymKind::Anchor, is_k, layer, c);
-                    let sym = index_to_symbol(dec.decode(table));
-                    let step = anchor_q.step(anchor_scales[c]);
-                    recon_anchor[c] = sym as f32 * step;
-                    out[anchor * channels + c] = recon_anchor[c];
-                }
-                for t in members {
-                    for c in 0..channels {
-                        let table = self.profile.table(SymKind::Delta, is_k, layer, c);
-                        let sym = index_to_symbol(dec.decode(table));
-                        let step = delta_q.step(delta_scales[c]);
-                        out[t * channels + c] = recon_anchor[c] + sym as f32 * step;
-                    }
+            let anchor_steps: Vec<f32> = anchor_scales.iter().map(|&s| anchor_q.step(s)).collect();
+            let anchor_tables = self.profile.layer_tables(SymKind::Anchor, is_k, layer);
+            let (anchor_row, rest) = out.split_at_mut(channels);
+            for (c, slot) in anchor_row.iter_mut().enumerate() {
+                let sym = index_to_symbol(dec.decode(anchor_tables[c]));
+                *slot = sym as f32 * anchor_steps[c];
+            }
+            for row in rest.chunks_mut(channels) {
+                for (c, slot) in row.iter_mut().enumerate() {
+                    let sym = index_to_symbol(dec.decode(delta_tables[c]));
+                    *slot = anchor_row[c] + sym as f32 * delta_steps[c];
                 }
             }
         } else {
-            for t in 0..tokens {
-                for c in 0..channels {
-                    let table = self.profile.table(SymKind::Delta, is_k, layer, c);
-                    let sym = index_to_symbol(dec.decode(table));
-                    let step = delta_q.step(delta_scales[c]);
-                    out[t * channels + c] = sym as f32 * step;
+            for row in out.chunks_mut(channels) {
+                for (c, slot) in row.iter_mut().enumerate() {
+                    let sym = index_to_symbol(dec.decode(delta_tables[c]));
+                    *slot = sym as f32 * delta_steps[c];
                 }
             }
         }
-        out
+        if dec.overrun_bytes() > 0 {
+            return Err(CodecError::TruncatedChunk {
+                is_k,
+                layer,
+                group,
+                missing_bytes: dec.overrun_bytes(),
+            });
+        }
+        if dec.bytes_consumed() != stream.len() {
+            return Err(CodecError::ChunkLengthMismatch {
+                is_k,
+                layer,
+                group,
+                consumed: dec.bytes_consumed(),
+                framed: stream.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Encodes a KV cache (one context chunk) into a KV bitstream.
     ///
     /// Vectorwise scales are computed from the cache itself (LLM.int8
     /// style), rounded through the bf16 wire representation, and shipped in
-    /// the stream header; only the AC symbol distributions come from the
+    /// the stream header; only the symbol distributions come from the
     /// offline profile.
     pub fn encode(&self, cache: &KvCache) -> EncodedKv {
         assert_eq!(
@@ -412,9 +672,9 @@ impl KvCodec {
             wire_round(va),
             wire_round(vd),
         ];
-        let k_streams = (0..n_layers)
+        let k_chunks = (0..n_layers)
             .map(|l| {
-                self.encode_layer(
+                self.encode_layer_chunks(
                     cache.k().slab(l),
                     l,
                     n_layers,
@@ -424,9 +684,9 @@ impl KvCodec {
                 )
             })
             .collect();
-        let v_streams = (0..n_layers)
+        let v_chunks = (0..n_layers)
             .map(|l| {
-                self.encode_layer(
+                self.encode_layer_chunks(
                     cache.v().slab(l),
                     l,
                     n_layers,
@@ -442,72 +702,171 @@ impl KvCodec {
             channels: cache.channels(),
             group_size: self.config.group_size,
             delta_encoding: self.config.delta_encoding,
-            k_streams,
-            v_streams,
+            k_chunks,
+            v_chunks,
             scales,
         }
     }
 
     /// Decodes a KV bitstream back into a (quantized) KV cache.
+    ///
+    /// Panics on malformed input; use [`KvCodec::try_decode`] to handle
+    /// truncated or corrupted streams gracefully.
     pub fn decode(&self, enc: &EncodedKv) -> KvCache {
+        self.try_decode(enc).expect("invalid CacheGen bitstream")
+    }
+
+    /// Decodes with per-(layer, group) chunk parallelism over a bounded
+    /// worker pool (the CPU analogue of the paper's per-token GPU decode
+    /// kernels). Bit-identical to [`KvCodec::decode`].
+    ///
+    /// Panics on malformed input; use [`KvCodec::try_decode_parallel`] to
+    /// handle truncated or corrupted streams gracefully.
+    pub fn decode_parallel(&self, enc: &EncodedKv) -> KvCache {
+        self.try_decode_parallel(enc)
+            .expect("invalid CacheGen bitstream")
+    }
+
+    /// Fallible serial decode: reports truncated/corrupted chunks instead
+    /// of decoding noise.
+    pub fn try_decode(&self, enc: &EncodedKv) -> Result<KvCache, CodecError> {
         self.decode_impl(enc, false)
     }
 
-    /// Decodes with per-layer parallelism (the CPU analogue of the paper's
-    /// GPU decode kernels). Bit-identical to [`KvCodec::decode`].
-    pub fn decode_parallel(&self, enc: &EncodedKv) -> KvCache {
+    /// Fallible parallel decode; see [`KvCodec::decode_parallel`].
+    pub fn try_decode_parallel(&self, enc: &EncodedKv) -> Result<KvCache, CodecError> {
         self.decode_impl(enc, true)
     }
 
-    fn decode_impl(&self, enc: &EncodedKv, parallel: bool) -> KvCache {
-        let (layers, tokens, channels) = (enc.layers, enc.tokens, enc.channels);
-        let decode_one = |l: usize, is_k: bool| -> Vec<f32> {
-            let (stream, anchor_scales, delta_scales) = if is_k {
-                (&enc.k_streams[l], &enc.scales[0][l], &enc.scales[1][l])
-            } else {
-                (&enc.v_streams[l], &enc.scales[2][l], &enc.scales[3][l])
-            };
-            self.decode_layer(
-                stream,
-                l,
-                layers,
-                tokens,
-                is_k,
-                enc.delta_encoding,
-                enc.group_size,
-                anchor_scales,
-                delta_scales,
-            )
-        };
-        let mut k = Tensor::zeros(&[layers, tokens, channels]);
-        let mut v = Tensor::zeros(&[layers, tokens, channels]);
-        if parallel {
-            let mut k_out: Vec<Vec<f32>> = Vec::new();
-            let mut v_out: Vec<Vec<f32>> = Vec::new();
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..layers)
-                    .map(|l| {
-                        let decode_one = &decode_one;
-                        s.spawn(move || (decode_one(l, true), decode_one(l, false)))
-                    })
-                    .collect();
-                for h in handles {
-                    let (kl, vl) = h.join().expect("decode thread panicked");
-                    k_out.push(kl);
-                    v_out.push(vl);
-                }
-            });
-            for l in 0..layers {
-                k.slab_mut(l).copy_from_slice(&k_out[l]);
-                v.slab_mut(l).copy_from_slice(&v_out[l]);
+    /// Worker count for the parallel decoder: one per available core,
+    /// never more than there are work items (no oversubscription on small
+    /// machines, no single-thread underutilization for few-layer models).
+    fn bounded_workers(jobs: usize) -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, jobs.max(1))
+    }
+
+    fn check_geometry(&self, enc: &EncodedKv, layout: GroupLayout) -> Result<(), CodecError> {
+        let err = |msg: String| Err(CodecError::Geometry(msg));
+        if enc.channels != self.profile.channels() || enc.layers != self.profile.layers() {
+            return err(format!(
+                "stream is {}×{} (layers×channels) but the profile is {}×{}",
+                enc.layers,
+                enc.channels,
+                self.profile.layers(),
+                self.profile.channels()
+            ));
+        }
+        let groups = layout.num_groups();
+        for (side, chunks) in [("K", &enc.k_chunks), ("V", &enc.v_chunks)] {
+            if chunks.len() != enc.layers {
+                return err(format!(
+                    "{side} chunk table has {} layers, expected {}",
+                    chunks.len(),
+                    enc.layers
+                ));
             }
-        } else {
-            for l in 0..layers {
-                k.slab_mut(l).copy_from_slice(&decode_one(l, true));
-                v.slab_mut(l).copy_from_slice(&decode_one(l, false));
+            for (l, layer_chunks) in chunks.iter().enumerate() {
+                if layer_chunks.len() != groups {
+                    return err(format!(
+                        "{side} layer {l} has {} chunks, expected {groups}",
+                        layer_chunks.len()
+                    ));
+                }
             }
         }
-        KvCache::from_tensors(k, v)
+        for (i, set) in enc.scales.iter().enumerate() {
+            if set.len() != enc.layers || set.iter().any(|row| row.len() != enc.channels) {
+                return err(format!("scale set {i} does not match layers×channels"));
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_impl(&self, enc: &EncodedKv, parallel: bool) -> Result<KvCache, CodecError> {
+        let (layers, tokens, channels) = (enc.layers, enc.tokens, enc.channels);
+        let layout = GroupLayout::new(enc.group_size, tokens);
+        self.check_geometry(enc, layout)?;
+        let mut k = Tensor::zeros(&[layers, tokens, channels]);
+        let mut v = Tensor::zeros(&[layers, tokens, channels]);
+        let mut jobs: Vec<DecodeJob> = Vec::with_capacity(enc.num_chunks());
+        push_decode_jobs(
+            &mut jobs,
+            k.data_mut(),
+            &enc.k_chunks,
+            true,
+            layers,
+            channels,
+            layout,
+        );
+        push_decode_jobs(
+            &mut jobs,
+            v.data_mut(),
+            &enc.v_chunks,
+            false,
+            layers,
+            channels,
+            layout,
+        );
+        let run = |job: &mut DecodeJob| -> Result<(), CodecError> {
+            let (anchor_scales, delta_scales) = if job.is_k {
+                (&enc.scales[0][job.layer], &enc.scales[1][job.layer])
+            } else {
+                (&enc.scales[2][job.layer], &enc.scales[3][job.layer])
+            };
+            self.decode_chunk(
+                job.stream,
+                job.layer,
+                layers,
+                job.group,
+                job.group_tokens,
+                job.is_k,
+                enc.delta_encoding,
+                anchor_scales,
+                delta_scales,
+                job.out,
+            )
+        };
+        if parallel && jobs.len() > 1 {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            let workers = Self::bounded_workers(jobs.len());
+            let queue = std::sync::Mutex::new(jobs.into_iter().enumerate());
+            let failure = std::sync::Mutex::new(None::<(usize, CodecError)>);
+            let failed = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        // Once any chunk fails the whole decode is doomed;
+                        // don't pay for the remaining chunks.
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let job = queue.lock().expect("decode queue poisoned").next();
+                        let Some((idx, mut job)) = job else { break };
+                        if let Err(e) = run(&mut job) {
+                            failed.store(true, Ordering::Relaxed);
+                            let mut slot = failure.lock().expect("failure slot poisoned");
+                            // Keep the job-order-first failure so the
+                            // parallel path reports the same error the
+                            // serial path would.
+                            if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
+                                *slot = Some((idx, e));
+                            }
+                        }
+                    });
+                }
+            });
+            if let Some((_, e)) = failure.into_inner().expect("failure slot poisoned") {
+                return Err(e);
+            }
+        } else {
+            for mut job in jobs {
+                run(&mut job)?;
+            }
+        }
+        Ok(KvCache::from_tensors(k, v))
     }
 
     /// Convenience: encode + decode in one step, returning the degraded
@@ -612,6 +971,136 @@ mod tests {
     }
 
     #[test]
+    fn streams_are_chunked_per_layer_group() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        // 40 tokens at group size 10 → 4 chunks per layer per side.
+        assert_eq!(enc.num_groups(), 4);
+        assert_eq!(enc.k_chunks.len(), cache.layers());
+        assert!(enc.k_chunks.iter().all(|l| l.len() == 4));
+        assert!(enc.v_chunks.iter().all(|l| l.len() == 4));
+        assert_eq!(enc.num_chunks(), 2 * cache.layers() * 4);
+        // Parallel decode fans out per chunk, so group count dominates the
+        // work-item count whenever groups > layers.
+        assert!(enc.num_chunks() > 2 * cache.layers());
+    }
+
+    #[test]
+    fn chunks_decode_independently() {
+        // Zeroing one chunk must corrupt only that chunk's (layer, group)
+        // region — every other chunk still decodes to identical values.
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let clean = codec.decode(&enc);
+        let layout = enc.layout();
+        let (start, end) = layout.group_range(1);
+        let mut damaged = enc.clone();
+        // Replace one chunk with a valid encoding of zeros: same symbol
+        // count, decodes cleanly, but wrong values.
+        let zero_cache = KvCache::from_tensors(
+            Tensor::zeros(&[cache.layers(), cache.tokens(), cache.channels()]),
+            Tensor::zeros(&[cache.layers(), cache.tokens(), cache.channels()]),
+        );
+        let replacement = codec
+            .encode_layer_chunks(
+                zero_cache.k().slab(0),
+                0,
+                cache.layers(),
+                true,
+                &enc.scales[0][0],
+                &enc.scales[1][0],
+            )
+            .remove(1);
+        damaged.k_chunks[0][1] = replacement;
+        let dec = codec.try_decode(&damaged).expect("all chunks well-formed");
+        for l in 0..cache.layers() {
+            for t in 0..cache.tokens() {
+                for c in 0..cache.channels() {
+                    let in_damaged_region = l == 0 && t >= start && t < end;
+                    let same =
+                        dec.k().get(&[l, t, c]).to_bits() == clean.k().get(&[l, t, c]).to_bits();
+                    if !in_damaged_region {
+                        assert!(same, "chunk damage leaked to layer {l} tok {t} ch {c}");
+                    }
+                    assert_eq!(
+                        dec.v().get(&[l, t, c]).to_bits(),
+                        clean.v().get(&[l, t, c]).to_bits(),
+                        "V side must be untouched"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_chunk_is_reported_not_decoded_as_noise() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let mut damaged = enc.clone();
+        let chunk = &mut damaged.k_chunks[1][2];
+        chunk.truncate(chunk.len() / 2);
+        let err = codec
+            .try_decode(&damaged)
+            .expect_err("must detect truncation");
+        assert!(
+            matches!(
+                err,
+                CodecError::TruncatedChunk {
+                    is_k: true,
+                    layer: 1,
+                    group: 2,
+                    ..
+                } | CodecError::ChunkLengthMismatch {
+                    is_k: true,
+                    layer: 1,
+                    group: 2,
+                    ..
+                }
+            ),
+            "unexpected error: {err}"
+        );
+        // The parallel decoder reports it too.
+        assert!(codec.try_decode_parallel(&damaged).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_in_chunk_is_reported() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let mut damaged = enc.clone();
+        damaged.v_chunks[0][0].extend_from_slice(&[0xAA; 7]);
+        let err = codec.try_decode(&damaged).expect_err("must detect slack");
+        assert!(
+            matches!(err, CodecError::ChunkLengthMismatch { is_k: false, .. }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_chunk_is_a_geometry_error() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let mut damaged = enc.clone();
+        damaged.k_chunks[0].pop();
+        assert!(matches!(
+            codec.try_decode(&damaged),
+            Err(CodecError::Geometry(_))
+        ));
+    }
+
+    #[test]
+    fn bounded_worker_pool_never_oversubscribes() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(KvCodec::bounded_workers(0), 1);
+        assert_eq!(KvCodec::bounded_workers(1), 1);
+        assert!(KvCodec::bounded_workers(3) <= 3);
+        assert!(KvCodec::bounded_workers(10_000) <= cores);
+        assert!(KvCodec::bounded_workers(10_000) >= 1);
+    }
+
+    #[test]
     fn compresses_below_8bit_baseline() {
         let (_, cache, codec) = setup();
         let enc = codec.encode(&cache);
@@ -677,6 +1166,40 @@ mod tests {
     }
 
     #[test]
+    fn varint_round_trips_boundaries() {
+        for n in [0usize, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 1 << 20, usize::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, n);
+            assert_eq!(buf.len(), varint_len(n));
+            let mut pos = 0;
+            assert_eq!(take_varint(&buf, &mut pos), Ok(n));
+            assert_eq!(pos, buf.len());
+        }
+        assert!(take_varint(&[0x80], &mut 0).is_err(), "truncated varint");
+        assert!(
+            take_varint(&[0xFF; 12], &mut 0).is_err(),
+            "oversized varint"
+        );
+        // Overlong varint whose 10th byte carries bits past position 63
+        // must be rejected, not silently wrapped to a small value.
+        let mut overlong = vec![0x80u8; 9];
+        overlong.push(0x02);
+        assert!(
+            take_varint(&overlong, &mut 0).is_err(),
+            "wrapping varint must be rejected"
+        );
+    }
+
+    #[test]
+    fn container_rejects_old_wire_version() {
+        let (_, cache, codec) = setup();
+        let mut bytes = codec.encode(&cache).to_bytes();
+        bytes[4] = 1; // pre-chunking monolithic-stream format
+        let err = EncodedKv::from_bytes(&bytes).expect_err("v1 unsupported");
+        assert!(err.contains("version"), "got: {err}");
+    }
+
+    #[test]
     fn chunked_encoding_concats_to_whole() {
         // §5.3: chunks encoded independently, decoded, then concatenated,
         // reconstruct the whole context. Each chunk derives its own
@@ -713,5 +1236,8 @@ mod tests {
         assert!(bytes > 0);
         // Still a valid lossy reconstruction.
         assert!(cache.mse(&dec) < 1.0);
+        // And parallel decode agrees in the ablation arm too.
+        let enc = codec.encode(&cache);
+        assert_eq!(codec.decode(&enc), codec.decode_parallel(&enc));
     }
 }

@@ -1,17 +1,23 @@
 //! CacheGen's KV-cache codec: delta encoding + layer-wise quantization +
-//! arithmetic coding (§5.2 of the paper).
+//! entropy coding (§5.2 of the paper).
 //!
 //! The pipeline, per context chunk:
 //!
 //! ```text
 //!   KV cache ──► token groups (anchor + deltas) ──► bin quantization
-//!            ──► integer symbols ──► arithmetic coding with per-(layer,
-//!                channel) symbol distributions ──► KV bitstream
+//!            ──► integer symbols ──► range coding with per-(layer,
+//!                channel) symbol distributions ──► per-(layer, group)
+//!                chunked KV bitstream
 //! ```
 //!
-//! * [`bitio`] — bit-level writer/reader over byte buffers.
-//! * [`ac`] — a 32-bit integer arithmetic coder (Witten–Neal–Cleary), the
-//!   entropy-coding stage. Lossless by construction.
+//! * [`rc`] — a byte-renormalizing range coder (64-bit state, u8 output,
+//!   no per-bit loop), the entropy-coding hot path. Lossless by
+//!   construction, with exact consumed-byte accounting.
+//! * [`ac`] — the legacy 32-bit Witten–Neal–Cleary arithmetic coder, kept
+//!   as a compatibility shim (bit-at-a-time; ~an order of magnitude slower
+//!   to decode). New code should use [`rc`].
+//! * [`bitio`] — bit-level writer/reader over byte buffers (used by the
+//!   legacy coder).
 //! * [`symbol_model`] — frequency tables at four context granularities
 //!   (global / per-layer / per-channel / per-channel-layer) for the
 //!   Figure 15 ablation; the paper's choice is per-channel-layer.
@@ -19,12 +25,51 @@
 //! * [`profile`] — offline per-model profiling of scales and symbol
 //!   distributions (one profile per LLM, reused across contexts, §5.2).
 //! * [`encoder`] — the end-to-end encoder/decoder over [`KvCache`]s,
-//!   including parallel per-layer decode (stand-in for the paper's
-//!   per-token CUDA threads) and the multi-level encoding used by the
-//!   streamer (§5.3).
+//!   including chunk-parallel decode over a bounded worker pool (stand-in
+//!   for the paper's per-token CUDA threads) and the multi-level encoding
+//!   used by the streamer (§5.3).
 //!
 //! The only lossy stage is quantization: `decode(encode(kv))` equals the
 //! quantized cache exactly, which the property tests in this crate verify.
+//!
+//! [`KvCache`]: cachegen_llm::KvCache
+//!
+//! # Wire format (version 2)
+//!
+//! [`EncodedKv::to_bytes`] lays one encoded cache chunk out as:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CGKV"
+//! 4       1     version (2)
+//! 5       1     delta_encoding flag (0 or 1)
+//! 6       2     layers            (u16 LE)
+//! 8       4     tokens            (u32 LE)
+//! 12      2     channels          (u16 LE)
+//! 14      2     group_size        (u16 LE)
+//! 16      …     scales: 4 sets (K-anchor, K-delta, V-anchor, V-delta),
+//!               each layers×channels bf16 values (u16 LE each)
+//! …       …     entropy chunks, K side then V side; within a side,
+//!               layer-major then group-major:
+//!                   varint  chunk byte length (LEB128, 1–2 bytes typical)
+//!                   []u8    range-coded chunk payload
+//! ```
+//!
+//! The number of chunks per layer is derived from `tokens` and
+//! `group_size` (`ceil(tokens / group_size)` anchor groups, §5.2), so no
+//! chunk count is stored. Every chunk is an independent [`rc`] stream
+//! covering exactly one (layer, token-group) of K or V — its anchor row is
+//! in-stream, so a chunk decodes with no state from any other chunk. That
+//! is what lets [`KvCodec::decode_parallel`] schedule `2 × layers ×
+//! groups` work items over a bounded pool, and what a multiple-description
+//! loss-robustness mode needs (damaged chunks degrade only their own token
+//! range; see [`encoder::CodecError`] for how length defects are
+//! reported).
+//!
+//! **Compatibility**: version 1 (monolithic per-layer WNC streams) is no
+//! longer written or read; [`EncodedKv::from_bytes`] rejects it
+//! explicitly. Stored contexts must be re-encoded — profiles are built
+//! offline per model and unaffected.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +80,10 @@ pub mod delta;
 pub mod encoder;
 pub mod layered;
 pub mod profile;
+pub mod rc;
 pub mod symbol_model;
 
-pub use encoder::{CodecConfig, EncodedKv, KvCodec};
+pub use encoder::{CodecConfig, CodecError, EncodedKv, KvCodec};
 pub use profile::CodecProfile;
 pub use symbol_model::ModelGranularity;
 
@@ -47,7 +93,7 @@ pub use symbol_model::ModelGranularity;
 /// when it does, the error is bounded by the clamped magnitude.
 pub const SYMBOL_CLAMP: i32 = 127;
 
-/// Alphabet size for the arithmetic coder (symbols −128..=127 → 0..=255).
+/// Alphabet size for the entropy coder (symbols −128..=127 → 0..=255).
 pub const ALPHABET: usize = 256;
 
 /// Maps a (possibly out-of-range) quantized symbol to an alphabet index.

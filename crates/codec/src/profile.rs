@@ -225,6 +225,17 @@ impl CodecProfile {
         }
     }
 
+    /// All per-channel tables of one kind for one layer, resolved once —
+    /// the hot encode/decode loops index the returned slice per channel
+    /// instead of routing through the granularity per symbol.
+    pub fn layer_tables(&self, kind: SymKind, is_k: bool, layer: usize) -> Vec<&FreqTable> {
+        let s = Self::side(is_k);
+        match kind {
+            SymKind::Anchor => self.anchor_models[s].layer_tables(layer),
+            SymKind::Delta => self.delta_models[s].layer_tables(layer),
+        }
+    }
+
     /// Mean delta-model entropy, bits/symbol (diagnostic; lower = more
     /// compressible).
     pub fn mean_delta_entropy(&self) -> f64 {

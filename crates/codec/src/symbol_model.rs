@@ -10,14 +10,36 @@
 
 use crate::{symbol_to_index, ALPHABET};
 
-/// A cumulative frequency table over a fixed alphabet.
+/// Every table's total frequency mass, exactly: `2^TOTAL_BITS`. A fixed
+/// power-of-two total turns the coders' per-symbol `range / total` into a
+/// shift, keeps `range / total ≥ 1` in the range coder ([`crate::rc`],
+/// which restores `range ≥ 2⁴⁸` between symbols), and stays far below the
+/// legacy WNC coder's 2³⁰ precision bound.
+pub const TOTAL_BITS: u32 = 24;
+
+/// `1 << TOTAL_BITS` — the exact total of every [`FreqTable`].
+pub const MAX_TOTAL: u64 = 1 << TOTAL_BITS;
+
+/// log₂ of the bucket count in each table's decode lookup table.
+const BUCKET_BITS: u32 = 10;
+
+/// A cumulative frequency table over a fixed alphabet, with total mass
+/// exactly [`MAX_TOTAL`].
 ///
 /// Frequencies are stored as a cumulative array `cum[0..=n]` with
 /// `cum[i+1] > cum[i]` guaranteed (every symbol gets at least one count —
-/// Laplace smoothing — so unseen symbols remain encodable).
+/// Laplace smoothing — so unseen symbols remain encodable). A bucket
+/// lookup table maps a scaled code value to its symbol in O(1) expected
+/// time — [`FreqTable::find`] is the decoders' hot path, and a binary
+/// search there dominates decode cost.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FreqTable {
     cum: Vec<u64>,
+    /// `lut[v >> (TOTAL_BITS - BUCKET_BITS)]` = index of the symbol whose
+    /// range contains the bucket's first value; `find` scans forward from
+    /// there (expected < 1 step: a bucket intersects few symbols unless
+    /// its probability mass is tiny).
+    lut: Vec<u16>,
 }
 
 impl FreqTable {
@@ -26,33 +48,49 @@ impl FreqTable {
     /// Observed counts are weighted 64× against a +1 Laplace floor so that
     /// unseen symbols stay encodable without flattening the distribution
     /// (a 1:1 floor over a 256-symbol alphabet would dominate small
-    /// profiles and destroy the compression gain). Totals are rescaled to
-    /// stay below the coder's 2³⁰ precision bound.
+    /// profiles and destroy the compression gain). The weighted counts are
+    /// then renormalized **exactly** to a total of [`MAX_TOTAL`]: one
+    /// count is reserved per symbol, the rest of the budget is split
+    /// proportionally with floor division, and the remainder goes to the
+    /// most frequent symbol (minimal relative distortion). The old
+    /// proportional downscale applied `.max(1)` after scaling, so the
+    /// rescaled total could overshoot the precision bound and skew symbol
+    /// probabilities for large profiles; the exact renormalization cannot.
     pub fn from_counts(counts: &[u32]) -> Self {
         assert!(!counts.is_empty(), "empty alphabet");
+        assert!(
+            counts.len() <= u16::MAX as usize && (counts.len() as u64) < MAX_TOTAL,
+            "alphabet larger than the precision budget"
+        );
         const DATA_WEIGHT: u64 = 64;
-        const MAX_TOTAL: u64 = 1 << 24;
         let raw_total: u64 = counts.iter().map(|&c| u64::from(c) * DATA_WEIGHT + 1).sum();
-        // Proportional downscale if the weighted total would overflow the
-        // coder's precision budget; every symbol keeps at least one count.
-        let scale_num = MAX_TOTAL.min(raw_total);
+        let budget = MAX_TOTAL - counts.len() as u64;
         let mut cum = Vec::with_capacity(counts.len() + 1);
         cum.push(0u64);
         let mut acc = 0u64;
-        for &c in counts {
+        let mut largest = (0usize, 0u64);
+        for (i, &c) in counts.iter().enumerate() {
             let weighted = u64::from(c) * DATA_WEIGHT + 1;
-            let scaled = if raw_total > MAX_TOTAL {
-                (weighted * scale_num / raw_total).max(1)
-            } else {
-                weighted
-            };
-            acc += scaled;
+            // weighted ≤ 2³⁸ and budget < 2²⁴, so the product fits u64.
+            let share = 1 + weighted * budget / raw_total;
+            if share > largest.1 {
+                largest = (i, share);
+            }
+            acc += share;
             cum.push(acc);
         }
-        let table = FreqTable { cum };
-        assert!(
-            table.total() < (1 << 30),
-            "total frequency must stay below 2^30 for coder precision"
+        // Floor rounding leaves ≤ n spare counts; hand them to the most
+        // frequent symbol so the total is exactly MAX_TOTAL.
+        let leftover = MAX_TOTAL - acc;
+        for c in &mut cum[largest.0 + 1..] {
+            *c += leftover;
+        }
+        let lut = build_lut(&cum);
+        let table = FreqTable { cum, lut };
+        assert_eq!(
+            table.total(),
+            MAX_TOTAL,
+            "renormalized total must land exactly on the coder precision budget"
         );
         table
     }
@@ -82,13 +120,18 @@ impl FreqTable {
         (self.cum[index], self.cum[index + 1])
     }
 
-    /// Finds the symbol whose cumulative range contains `scaled`
-    /// (binary search; used by the decoder).
+    /// Finds the symbol whose cumulative range contains `scaled` — the
+    /// decoders' per-symbol hot path. The bucket lookup table gives a
+    /// starting index; the forward scan is expected-O(1) because a bucket
+    /// only intersects many symbols where little probability mass lives.
+    #[inline]
     pub fn find(&self, scaled: u64) -> usize {
         debug_assert!(scaled < self.total());
-        // partition_point returns the first i with cum[i] > scaled; the
-        // containing symbol is i-1.
-        self.cum.partition_point(|&c| c <= scaled) - 1
+        let mut i = self.lut[(scaled >> (TOTAL_BITS - BUCKET_BITS)) as usize] as usize;
+        while self.cum[i + 1] <= scaled {
+            i += 1;
+        }
+        i
     }
 
     /// Empirical entropy of the table's distribution, bits/symbol.
@@ -106,6 +149,23 @@ impl FreqTable {
             })
             .sum()
     }
+}
+
+/// Builds the bucket lookup table: entry `b` is the symbol containing the
+/// bucket's first value `b << (TOTAL_BITS - BUCKET_BITS)`. Two-pointer
+/// walk, O(symbols + buckets).
+fn build_lut(cum: &[u64]) -> Vec<u16> {
+    let shift = TOTAL_BITS - BUCKET_BITS;
+    let mut lut = Vec::with_capacity(1 << BUCKET_BITS);
+    let mut sym = 0usize;
+    for b in 0..(1u64 << BUCKET_BITS) {
+        let first = b << shift;
+        while cum[sym + 1] <= first {
+            sym += 1;
+        }
+        lut.push(sym as u16);
+    }
+    lut
 }
 
 /// How symbol distributions are grouped when profiling (Figure 15 ablation;
@@ -173,6 +233,13 @@ impl SymbolModelSet {
         &self.tables[table_index(self.granularity, self.layers, self.channels, layer, channel)]
     }
 
+    /// All per-channel tables of one layer, resolved once. Hot symbol loops
+    /// index this slice directly instead of re-deriving the granularity
+    /// routing per symbol.
+    pub fn layer_tables(&self, layer: usize) -> Vec<&FreqTable> {
+        (0..self.channels).map(|c| self.table(layer, c)).collect()
+    }
+
     /// The profiling granularity.
     pub fn granularity(&self) -> ModelGranularity {
         self.granularity
@@ -211,21 +278,92 @@ mod tests {
 
     #[test]
     fn cumulative_ranges_partition_total() {
-        // Counts weight 64× with a +1 floor: [3,0,5] → [193, 1, 321].
+        // Counts weight 64× with a +1 floor ([3,0,5] → [193, 1, 321]),
+        // then renormalize exactly onto the 2²⁴ budget: ranges tile
+        // [0, MAX_TOTAL) with proportions preserved to floor rounding.
         let t = FreqTable::from_counts(&[3, 0, 5]);
-        assert_eq!(t.total(), 515);
-        assert_eq!(t.range(0), (0, 193));
-        assert_eq!(t.range(1), (193, 194));
-        assert_eq!(t.range(2), (194, 515));
+        assert_eq!(t.total(), MAX_TOTAL);
+        assert_eq!(t.range(0).0, 0);
+        for i in 1..t.len() {
+            assert_eq!(t.range(i).0, t.range(i - 1).1, "ranges must tile");
+        }
+        assert_eq!(t.range(t.len() - 1).1, MAX_TOTAL);
+        let width = |i: usize| {
+            let (lo, hi) = t.range(i);
+            (hi - lo) as f64
+        };
+        // Proportions ≈ 193 : 1 : 321 of the total mass.
+        let total = MAX_TOTAL as f64;
+        assert!((width(0) / total - 193.0 / 515.0).abs() < 1e-3);
+        assert!((width(1) / total - 1.0 / 515.0).abs() < 1e-3);
+        assert!((width(2) / total - 321.0 / 515.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn large_profiles_renormalize_exactly_to_budget() {
+        // Regression: the old proportional downscale applied `.max(1)`
+        // after scaling, so alphabets with many unseen symbols could
+        // overshoot MAX_TOTAL. The exact renormalization cannot.
+        let counts: Vec<u32> = (0..ALPHABET)
+            .map(|i| if i % 2 == 0 { u32::MAX / 64 } else { 0 })
+            .collect();
+        let t = FreqTable::from_counts(&counts);
+        assert_eq!(
+            t.total(),
+            MAX_TOTAL,
+            "renormalization must land exactly on the budget"
+        );
+        for i in 0..t.len() {
+            let (lo, hi) = t.range(i);
+            assert!(hi > lo, "symbol {i} lost its count");
+        }
+        // Probability mass still reflects the skew: seen symbols dwarf
+        // unseen ones.
+        let (lo0, hi0) = t.range(0);
+        let (lo1, hi1) = t.range(1);
+        assert!((hi0 - lo0) > 1000 * (hi1 - lo1));
+    }
+
+    #[test]
+    fn layer_tables_match_per_channel_lookup() {
+        let set = SymbolModelSet::build(ModelGranularity::PerChannelLayer, 3, 5, |rec| {
+            for l in 0..3 {
+                for c in 0..5 {
+                    rec(l, c, (l * 5 + c) as i32);
+                }
+            }
+        });
+        for l in 0..3 {
+            let tables = set.layer_tables(l);
+            assert_eq!(tables.len(), 5);
+            for (c, t) in tables.iter().enumerate() {
+                assert_eq!(*t, set.table(l, c));
+            }
+        }
     }
 
     #[test]
     fn find_inverts_range() {
-        let t = FreqTable::from_counts(&[2, 3, 1, 10]);
-        for i in 0..t.len() {
-            let (lo, hi) = t.range(i);
-            for s in lo..hi {
-                assert_eq!(t.find(s), i);
+        // Boundaries are where the bucket LUT can go wrong; probe each
+        // symbol's first/last/middle values plus the bucket edges.
+        let tables = [
+            FreqTable::from_counts(&[2, 3, 1, 10]),
+            FreqTable::from_counts(&[1_000_000, 0, 0, 1, 7, 0, 900]),
+            FreqTable::uniform(256),
+            FreqTable::from_counts(&[1]),
+        ];
+        for t in &tables {
+            for i in 0..t.len() {
+                let (lo, hi) = t.range(i);
+                for s in [lo, (lo + hi) / 2, hi - 1] {
+                    assert_eq!(t.find(s), i);
+                }
+            }
+            for b in 0..1u64 << 10 {
+                let v = b << (TOTAL_BITS - 10);
+                let i = t.find(v);
+                let (lo, hi) = t.range(i);
+                assert!(lo <= v && v < hi, "bucket edge {v} mapped to {i}");
             }
         }
     }
@@ -285,13 +423,21 @@ mod tests {
             rec(0, 0, -5);
             rec(1, 1, 5);
         });
-        // Table (0,0) saw symbol −5 once (weighted 64× + 1 floor = 65);
-        // table (1,0) never did (floor only = 1).
+        // Table (0,0) saw symbol −5 once (weighted 64× + 1 floor = 65 of
+        // a raw mass of 320); table (1,0) never did (floor only, 1/256).
+        // After exact renormalization onto the 2²⁴ budget the proportions
+        // survive.
         let idx_neg = symbol_to_index(-5);
-        let (lo, hi) = set.table(0, 0).range(idx_neg);
-        assert_eq!(hi - lo, 65);
-        let (lo2, hi2) = set.table(1, 0).range(idx_neg);
-        assert_eq!(hi2 - lo2, 1);
-        assert!(lo2 < set.table(1, 0).total());
+        let width = |t: &FreqTable, i: usize| {
+            let (lo, hi) = t.range(i);
+            hi - lo
+        };
+        let seen = width(set.table(0, 0), idx_neg);
+        let unseen = width(set.table(1, 0), idx_neg);
+        assert!(
+            seen > 50 * unseen,
+            "seen symbol ({seen}) must dwarf unseen ({unseen})"
+        );
+        assert!(unseen >= 1, "unseen symbols stay encodable");
     }
 }

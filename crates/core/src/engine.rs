@@ -128,16 +128,40 @@ impl CacheGenEngine {
         self.codecs[level].decode_parallel(enc)
     }
 
+    /// Fallible variant of [`Self::decode_at_level`]: a truncated or
+    /// corrupted chunk is reported instead of decoded as noise, so a
+    /// serving front can fall back (re-fetch, or degrade to text) rather
+    /// than feed garbage KV to the model.
+    pub fn try_decode_at_level(
+        &self,
+        enc: &EncodedKv,
+        level: usize,
+    ) -> Result<KvCache, cachegen_codec::CodecError> {
+        self.codecs[level].try_decode_parallel(enc)
+    }
+
     /// The default medium level used before any throughput estimate (§5.3).
     pub fn default_level(&self) -> usize {
         self.config.ladder.default_medium()
     }
 
+    /// The chunk token counts used for a context of `total_tokens` —
+    /// chunk boundaries are forced onto anchor-group multiples so every
+    /// stored chunk is independently decodable and the codec's
+    /// per-(layer, group) entropy chunks never straddle stream chunks.
+    fn chunk_counts(&self, total_tokens: usize) -> Vec<usize> {
+        ChunkPlan::chunk_token_counts_aligned(
+            total_tokens,
+            self.config.chunk_tokens,
+            self.config.codec.group_size,
+        )
+    }
+
     /// Splits a cache into streaming chunks of `chunk_tokens` (§5.3),
-    /// respecting group alignment (chunk length is a multiple of the anchor
-    /// group size whenever possible).
+    /// respecting group alignment (chunk length is rounded down to a
+    /// multiple of the anchor group size whenever one fits).
     pub fn chunk_caches(&self, cache: &KvCache) -> Vec<KvCache> {
-        let counts = ChunkPlan::chunk_token_counts(cache.tokens(), self.config.chunk_tokens);
+        let counts = self.chunk_counts(cache.tokens());
         let mut out = Vec::with_capacity(counts.len());
         let mut start = 0;
         for n in counts {
@@ -180,7 +204,7 @@ impl CacheGenEngine {
     pub fn store_kv(&self, id: ContextId, context: &[usize]) -> ChunkPlan {
         let cache = self.calculate_kv(context);
         let (encoded, plan) = self.encode_context(&cache);
-        let counts = ChunkPlan::chunk_token_counts(context.len(), self.config.chunk_tokens);
+        let counts = self.chunk_counts(context.len());
         let mut stored = Vec::with_capacity(encoded.len());
         let mut start = 0usize;
         for (versions, tokens) in encoded.into_iter().zip(counts) {
@@ -319,6 +343,42 @@ mod tests {
         let coarsest = acc_at(e.num_levels() - 1);
         assert!(finest >= 0.6, "finest level accuracy {finest}");
         assert!(finest >= coarsest, "finest {finest} < coarsest {coarsest}");
+    }
+
+    #[test]
+    fn chunk_boundaries_align_to_anchor_groups() {
+        // chunk_tokens = 35 is not a multiple of the group size (10); the
+        // engine must round chunks down to 30 so no group straddles a
+        // chunk boundary.
+        let profile_ctx: Vec<usize> = (0..60).map(|i| (i * 7) % 64).collect();
+        let e = CacheGenEngine::build(
+            SimModelConfig::tiny(42),
+            EngineConfig {
+                chunk_tokens: 35,
+                ..EngineConfig::default()
+            },
+            &[profile_ctx],
+        );
+        let ctx: Vec<usize> = (0..70).map(|i| i % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let chunks = e.chunk_caches(&cache);
+        let tokens: Vec<usize> = chunks.iter().map(|c| c.tokens()).collect();
+        assert_eq!(tokens, vec![30, 30, 10]);
+        // store_kv uses the same boundaries.
+        let plan = e.store_kv(7, &ctx);
+        assert_eq!(plan.num_chunks(), 3);
+        assert_eq!(plan.chunk(0).tokens, 30);
+    }
+
+    #[test]
+    fn corrupted_stored_chunk_is_reported() {
+        let e = engine();
+        let ctx: Vec<usize> = (0..50).map(|i| (i * 3) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let mut enc = e.encode_at_level(&cache, 0);
+        let chunk = &mut enc.k_chunks[0][0];
+        chunk.truncate(chunk.len().saturating_sub(6));
+        assert!(e.try_decode_at_level(&enc, 0).is_err());
     }
 
     #[test]

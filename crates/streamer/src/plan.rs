@@ -87,6 +87,26 @@ impl ChunkPlan {
         out
     }
 
+    /// Like [`ChunkPlan::chunk_token_counts`], but rounds the chunk length
+    /// down to a multiple of the codec's anchor-group size whenever it fits
+    /// at least one group (§5.2/§5.3: chunks are independently decodable
+    /// *because* they are group-aligned; a mid-group boundary would split
+    /// a group's members from its anchor and also leave the codec's
+    /// per-(layer, group) entropy chunks straddling stream chunks).
+    pub fn chunk_token_counts_aligned(
+        total_tokens: usize,
+        chunk_tokens: usize,
+        group_size: usize,
+    ) -> Vec<usize> {
+        assert!(group_size > 0, "group size must be ≥ 1");
+        let aligned = if chunk_tokens >= group_size {
+            chunk_tokens - chunk_tokens % group_size
+        } else {
+            chunk_tokens
+        };
+        Self::chunk_token_counts(total_tokens, aligned)
+    }
+
     /// Number of chunks.
     pub fn num_chunks(&self) -> usize {
         self.chunks.len()
@@ -162,6 +182,25 @@ mod tests {
         );
         assert_eq!(ChunkPlan::chunk_token_counts(1500, 1500), vec![1500]);
         assert_eq!(ChunkPlan::chunk_token_counts(10, 1500), vec![10]);
+    }
+
+    #[test]
+    fn aligned_token_splitting_respects_group_boundaries() {
+        // 35-token chunks over group size 10 round down to 30.
+        assert_eq!(
+            ChunkPlan::chunk_token_counts_aligned(100, 35, 10),
+            vec![30, 30, 30, 10]
+        );
+        // Already aligned: unchanged.
+        assert_eq!(
+            ChunkPlan::chunk_token_counts_aligned(90, 30, 10),
+            vec![30, 30, 30]
+        );
+        // Chunks smaller than a group cannot align; fall back verbatim.
+        assert_eq!(
+            ChunkPlan::chunk_token_counts_aligned(10, 4, 10),
+            vec![4, 4, 2]
+        );
     }
 
     #[test]

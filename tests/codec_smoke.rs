@@ -9,8 +9,8 @@
 //! is lossless end to end.
 
 use cachegen_codec::delta::GroupLayout;
-use cachegen_codec::{ac, profile::CodecProfile};
 use cachegen_codec::{index_to_symbol, symbol_to_index, CodecConfig, EncodedKv, KvCodec};
+use cachegen_codec::{profile::CodecProfile, rc};
 use cachegen_llm::{KvCache, SimModelConfig, SimTransformer};
 use cachegen_quant::BinQuantizer;
 use cachegen_tensor::Tensor;
@@ -92,26 +92,68 @@ fn decode_of_encode_equals_quantized_cache_exactly() {
     assert_bit_identical(&codec.decode(&wired), &dec);
 }
 
-/// A raw arithmetic-coder sanity check at the workspace level: the AC
+/// A raw range-coder sanity check at the workspace level: the entropy
 /// stage on its own is lossless (so any codec loss must come from
-/// quantization).
+/// quantization), and it consumes its stream exactly.
 #[test]
-fn arithmetic_coder_stage_is_lossless() {
+fn range_coder_stage_is_lossless() {
     let table = cachegen_codec::symbol_model::FreqTable::from_counts(&[5, 1, 90, 4, 400, 7]);
     let symbols: Vec<usize> = (0..5_000).map(|i| (i * i + i / 3) % 6).collect();
-    let mut enc = ac::Encoder::new();
+    let mut enc = rc::Encoder::new();
     for &s in &symbols {
         enc.encode(&table, s);
     }
     let bytes = enc.finish();
-    let mut dec = ac::Decoder::new(&bytes);
+    let mut dec = rc::Decoder::new(&bytes);
     for &s in &symbols {
         assert_eq!(dec.decode(&table), s);
     }
+    assert_eq!(dec.bytes_consumed(), bytes.len());
+    assert_eq!(dec.overrun_bytes(), 0);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncating any entropy chunk of a valid stream is *reported* — the
+    /// decoder must never silently emit noise past end-of-stream. (The
+    /// pre-chunking decoder did exactly that: its bit reader yielded
+    /// synthetic zeros forever.)
+    #[test]
+    fn truncated_chunks_are_reported_not_decoded(
+        seed in 0u64..10_000,
+        cut_num in 1usize..8, // fraction of the chunk kept: cut_num/8
+        pick in 0usize..1_000,
+    ) {
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        let (layers, tokens, channels) = (2usize, 25usize, 6usize);
+        let n = layers * tokens * channels;
+        let mk = |rng: &mut _| {
+            Tensor::from_vec(
+                &[layers, tokens, channels],
+                cachegen_tensor::rng::normal_vec(rng, n, 0.0, 2.0),
+            )
+        };
+        let cache = KvCache::from_tensors(mk(&mut rng), mk(&mut rng));
+        let cfg = CodecConfig::default();
+        let profile = CodecProfile::build(&cfg, &[&cache]);
+        let codec = KvCodec::new(cfg, profile);
+        let mut enc = codec.encode(&cache);
+        // Pick a chunk and truncate it (keep at least one byte missing).
+        let groups = enc.num_groups();
+        let layer = pick % layers;
+        let group = (pick / layers) % groups;
+        let side_k = pick % 2 == 0;
+        let chunk = if side_k {
+            &mut enc.k_chunks[layer][group]
+        } else {
+            &mut enc.v_chunks[layer][group]
+        };
+        let keep = (chunk.len() * cut_num / 8).min(chunk.len() - 1);
+        chunk.truncate(keep);
+        prop_assert!(codec.try_decode(&enc).is_err(), "truncation must be reported");
+        prop_assert!(codec.try_decode_parallel(&enc).is_err());
+    }
 
     /// The exact-quantization invariant holds for arbitrary random small
     /// caches (not just transformer-produced ones), across geometries and

@@ -1,7 +1,7 @@
 //! Property-based tests on the workspace's core invariants.
 
-use cachegen_codec::ac::{Decoder, Encoder};
 use cachegen_codec::delta::{merge_anchor_deltas, split_anchor_deltas, GroupLayout};
+use cachegen_codec::rc::{Decoder, Encoder};
 use cachegen_codec::symbol_model::FreqTable;
 use cachegen_codec::{CodecConfig, CodecProfile, EncodedKv, KvCodec};
 use cachegen_llm::{KvCache, SimModelConfig, SimTransformer};
@@ -12,10 +12,11 @@ use proptest::prelude::*;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The arithmetic coder is lossless for any symbol stream under any
-    /// (positive-count) frequency table.
+    /// The range coder is lossless for any symbol stream under any
+    /// (positive-count) frequency table, and consumes its stream exactly
+    /// (no synthetic past-end reads, no slack).
     #[test]
-    fn ac_round_trips_any_stream(
+    fn range_coder_round_trips_any_stream(
         counts in proptest::collection::vec(0u32..500, 2..32),
         seed in 0u64..1_000,
         len in 1usize..600,
@@ -34,6 +35,8 @@ proptest! {
         for &s in &symbols {
             prop_assert_eq!(dec.decode(&table), s);
         }
+        prop_assert_eq!(dec.bytes_consumed(), bytes.len());
+        prop_assert_eq!(dec.overrun_bytes(), 0);
     }
 
     /// Anchor-delta split/merge is an exact inverse for any geometry.
@@ -104,16 +107,21 @@ proptest! {
     ) {
         let mut rng = cachegen_tensor::rng::seeded(seed);
         use rand::Rng;
-        let mut mk_streams = || -> Vec<Vec<u8>> {
+        let groups = tokens.div_ceil(group);
+        let mut mk_chunks = || -> Vec<Vec<Vec<u8>>> {
             (0..layers)
                 .map(|_| {
-                    let n = rng.gen::<usize>() % 200;
-                    (0..n).map(|_| rng.gen::<u8>()).collect()
+                    (0..groups)
+                        .map(|_| {
+                            let n = rng.gen::<usize>() % 200;
+                            (0..n).map(|_| rng.gen::<u8>()).collect()
+                        })
+                        .collect()
                 })
                 .collect()
         };
-        let k_streams = mk_streams();
-        let v_streams = mk_streams();
+        let k_chunks = mk_chunks();
+        let v_chunks = mk_chunks();
         // Scales must be exactly representable on the bf16 wire.
         let mut mk_scales = || -> Vec<Vec<f32>> {
             (0..layers)
@@ -137,8 +145,8 @@ proptest! {
             channels,
             group_size: group,
             delta_encoding: seed % 2 == 0,
-            k_streams,
-            v_streams,
+            k_chunks,
+            v_chunks,
             scales,
         };
         let bytes = enc.to_bytes();
