@@ -41,6 +41,7 @@ fn bench_streaming(c: &mut Criterion) {
                 policy: AdaptPolicy::Adaptive,
                 prior_throughput_bps: Some(5.0 * GBPS),
                 concurrent_requests: 1,
+                retransmit_budget: 0,
                 ladder: &ladder,
                 decode_seconds: &decode,
                 recompute_seconds: &recompute,
@@ -56,6 +57,7 @@ fn bench_streaming(c: &mut Criterion) {
                 policy: AdaptPolicy::FixedLevel(1),
                 prior_throughput_bps: None,
                 concurrent_requests: 1,
+                retransmit_budget: 0,
                 ladder: &ladder,
                 decode_seconds: &decode,
                 recompute_seconds: &recompute,

@@ -85,6 +85,7 @@ pub fn fig7() {
             policy,
             prior_throughput_bps: Some(bw0),
             concurrent_requests: 1,
+            retransmit_budget: 0,
             ladder: lad,
             decode_seconds: &decode_secs,
             recompute_seconds: &recompute_secs,
@@ -172,6 +173,7 @@ pub fn fig13() {
                     policy,
                     prior_throughput_bps: Some(5.0 * GBPS),
                     concurrent_requests: 1,
+                    retransmit_budget: 0,
                     ladder: lad,
                     decode_seconds: &decode_secs,
                     recompute_seconds: &recompute_secs,

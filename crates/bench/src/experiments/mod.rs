@@ -4,16 +4,37 @@ pub mod adaptation;
 pub mod cost;
 pub mod insights;
 pub mod intrusive;
+pub mod loss;
 pub mod overall;
 pub mod overheads;
 pub mod sensitivity;
 pub mod serving;
 
-/// All experiment names, in paper order ("serving" extends the paper with
-/// the sharded multi-tenant front).
+/// All experiment names, in paper order ("serving" and "loss_sweep"
+/// extend the paper with the sharded multi-tenant front and the
+/// loss-resilient transport).
 pub const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "appE", "serving",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "appE",
+    "serving",
+    "loss_sweep",
 ];
 
 /// Runs one experiment by name; panics on unknown names (the binary
@@ -40,6 +61,7 @@ pub fn run(name: &str) {
         "fig19" => sensitivity::fig19(),
         "appE" => cost::app_e(),
         "serving" => serving::serving(),
+        "loss_sweep" => loss::loss_sweep(),
         other => panic!("unknown experiment {other}; valid: {ALL:?}"),
     }
 }

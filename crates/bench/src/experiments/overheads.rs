@@ -153,6 +153,24 @@ pub fn fig15() {
     for (name, bits, q) in rows {
         println!("{name:<32} {bits:>12.2} {q:>10.2}");
     }
+
+    // Group-count sweep (ROADMAP "Quant sweep depth"): how many layer
+    // groups the depth-graded bins need. N = 3 is the paper's choice;
+    // N = 1 collapses to uniform quantization, larger N grades finer.
+    section("Figure 15 (ext): layer-group count sweep (bins span 0.5–1.5)");
+    println!("{:<12} {:>12} {:>10}", "groups", "bits/elem", "quality");
+    for n in [1usize, 2, 3, 4, 6] {
+        let cfg = CodecConfig {
+            bins: LayerGroupBins::evenly(n),
+            delta_encoding: true,
+            granularity: ModelGranularity::PerChannelLayer,
+            ..CodecConfig::default()
+        };
+        let (_, bits, q) = arm("", Some(cfg));
+        let ns = n.to_string();
+        let label: &str = if n == 3 { "3 (paper)" } else { &ns };
+        println!("{label:<12} {bits:>12.2} {q:>10.2}");
+    }
 }
 
 /// Figure 16: quality-of-experience (MOS model over three samples).

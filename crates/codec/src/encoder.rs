@@ -212,6 +212,24 @@ impl EncodedKv {
         (framed + 2 * scale_count + 16) as u64
     }
 
+    /// Wire bytes of one per-(side, layer, group) entropy chunk: its
+    /// payload plus the varint length frame. This is the packet size the
+    /// loss-resilient transport ships the chunk at.
+    pub fn chunk_wire_bytes(&self, is_k: bool, layer: usize, group: usize) -> u64 {
+        let side = if is_k { &self.k_chunks } else { &self.v_chunks };
+        let len = side[layer][group].len();
+        (len + varint_len(len)) as u64
+    }
+
+    /// Container bytes not attributable to any entropy chunk (the 16-byte
+    /// header plus the bf16 scale tables). The packet schedule folds this
+    /// into its highest-priority packet so schedule totals match
+    /// [`EncodedKv::total_bytes`].
+    pub fn container_overhead_bytes(&self) -> u64 {
+        let scale_count: usize = self.scales.iter().flatten().map(Vec::len).sum();
+        (2 * scale_count + 16) as u64
+    }
+
     /// Serialises to a flat byte buffer (the unit the network simulator
     /// transfers).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -579,7 +597,7 @@ impl KvCodec {
     /// Decodes one (layer, group) chunk into its output slice, verifying
     /// exact byte consumption against the chunk frame.
     #[allow(clippy::too_many_arguments)]
-    fn decode_chunk(
+    pub(crate) fn decode_chunk(
         &self,
         stream: &[u8],
         layer: usize,
@@ -748,7 +766,11 @@ impl KvCodec {
             .clamp(1, jobs.max(1))
     }
 
-    fn check_geometry(&self, enc: &EncodedKv, layout: GroupLayout) -> Result<(), CodecError> {
+    pub(crate) fn check_geometry(
+        &self,
+        enc: &EncodedKv,
+        layout: GroupLayout,
+    ) -> Result<(), CodecError> {
         let err = |msg: String| Err(CodecError::Geometry(msg));
         if enc.channels != self.profile.channels() || enc.layers != self.profile.layers() {
             return err(format!(

@@ -61,10 +61,31 @@
 //! covering exactly one (layer, token-group) of K or V — its anchor row is
 //! in-stream, so a chunk decodes with no state from any other chunk. That
 //! is what lets [`KvCodec::decode_parallel`] schedule `2 × layers ×
-//! groups` work items over a bounded pool, and what a multiple-description
-//! loss-robustness mode needs (damaged chunks degrade only their own token
+//! groups` work items over a bounded pool, and what the loss-resilient
+//! transport relies on (damaged chunks degrade only their own token
 //! range; see [`encoder::CodecError`] for how length defects are
 //! reported).
+//!
+//! ## Chunk arrival map and repair provenance
+//!
+//! Over a lossy transport each entropy chunk travels as its own packet,
+//! and the receiver builds a [`ChunkArrivalMap`]: a `2 × layers × groups`
+//! bitmap of which chunks arrived intact (a truncated or late packet is
+//! marked lost — partial entropy streams are detectable but not
+//! decodable). [`KvCodec::decode_with_repairs`] then upholds two
+//! contracts:
+//!
+//! 1. **Any arrived subset decodes.** Chunks marked lost — and arrived
+//!    chunks whose exact byte accounting exposes corruption — are filled
+//!    by the chosen [`RepairPolicy`] (zero-fill, neighbor-anchor
+//!    interpolation, or flagged for re-fetch) instead of failing the
+//!    decode. Delivery *order* is irrelevant: the arrival map is a set,
+//!    so reordered delivery decodes byte-identically to in-order.
+//! 2. **Every repaired chunk is reported.** The result carries one
+//!    [`ChunkRepair`] record per repaired chunk (its address, the
+//!    [`repair::RepairCause`], and what filled it), so callers account
+//!    repaired bytes as a quality penalty — nothing is silently decoded
+//!    as noise.
 //!
 //! **Compatibility**: version 1 (monolithic per-layer WNC streams) is no
 //! longer written or read; [`EncodedKv::from_bytes`] rejects it
@@ -81,10 +102,12 @@ pub mod encoder;
 pub mod layered;
 pub mod profile;
 pub mod rc;
+pub mod repair;
 pub mod symbol_model;
 
 pub use encoder::{CodecConfig, CodecError, EncodedKv, KvCodec};
 pub use profile::CodecProfile;
+pub use repair::{ChunkArrivalMap, ChunkRepair, RepairCause, RepairKind, RepairPolicy, RepairedKv};
 pub use symbol_model::ModelGranularity;
 
 /// Symbols are clamped into `[-SYMBOL_CLAMP, SYMBOL_CLAMP]` before entropy

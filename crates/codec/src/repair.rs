@@ -1,0 +1,586 @@
+//! Hole-aware decoding: repair policies over a chunk arrival map.
+//!
+//! A lossy transport delivers a *subset* of a stream's per-(layer,
+//! token-group) entropy chunks. Because every chunk is independently
+//! decodable (wire v2), the decoder does not have to stall on the holes:
+//! [`KvCodec::decode_with_repairs`] decodes what arrived, fills what did
+//! not according to a [`RepairPolicy`], and reports exactly what it did
+//! per chunk ([`ChunkRepair`]) — a damaged stream degrades output quality
+//! instead of stalling TTFT, and never silently decodes noise
+//! (multiple-description fronthaul coding, PAPERS.md).
+//!
+//! Policies:
+//!
+//! * [`RepairPolicy::ZeroFill`] — a missing group's rows stay zero (the
+//!   attention contribution of those tokens is muted, not garbage).
+//! * [`RepairPolicy::AnchorInterpolate`] — a missing group's rows are
+//!   linearly interpolated, per channel, between the *dequantized anchor
+//!   rows* of its nearest decoded neighbor groups in the same (side,
+//!   layer). The reconstruction is a convex combination, so its error at
+//!   any element is bounded by the worse of the two neighbor anchors'
+//!   distances to the true value — the bound the property tests assert.
+//! * [`RepairPolicy::Refetch`] — the group is zero-filled *for now* and
+//!   flagged [`RepairKind::PendingRefetch`]; the caller re-requests those
+//!   chunks (the serving layer queues the re-fetch under the same
+//!   backpressure watermarks as first fetches) and patches the cache when
+//!   they land.
+//!
+//! An *arrived* chunk that fails to decode (truncated mid-packet,
+//! corrupted payload) is demoted to a hole with [`RepairCause::Corrupt`]
+//! and repaired like a loss — exact per-chunk byte accounting is what
+//! makes that detection reliable.
+
+use crate::delta::GroupLayout;
+use crate::encoder::{CodecError, EncodedKv, KvCodec};
+use cachegen_llm::KvCache;
+use cachegen_tensor::Tensor;
+
+/// How the decoder fills entropy chunks that did not arrive intact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RepairPolicy {
+    /// Leave the missing token rows at zero.
+    ZeroFill,
+    /// Interpolate between the nearest decoded neighbor groups' anchor
+    /// rows (falls back to one-sided copy at the stream edges, and to
+    /// zero when a layer lost every group).
+    AnchorInterpolate,
+    /// Zero-fill now and flag the chunk for re-fetch.
+    Refetch,
+}
+
+/// Which per-(side, layer, group) entropy chunks of one [`EncodedKv`]
+/// arrived intact. Built by the transport (lost, late, or truncated
+/// packets are marked), consumed by [`KvCodec::decode_with_repairs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkArrivalMap {
+    layers: usize,
+    groups: usize,
+    /// `lost[side][layer * groups + group]`, side 0 = K, 1 = V.
+    lost: [Vec<bool>; 2],
+}
+
+impl ChunkArrivalMap {
+    /// Every chunk arrived.
+    pub fn full(layers: usize, groups: usize) -> Self {
+        assert!(layers >= 1 && groups >= 1, "need at least one chunk");
+        ChunkArrivalMap {
+            layers,
+            groups,
+            lost: [vec![false; layers * groups], vec![false; layers * groups]],
+        }
+    }
+
+    fn idx(&self, layer: usize, group: usize) -> usize {
+        assert!(
+            layer < self.layers && group < self.groups,
+            "chunk ({layer}, {group}) out of {}×{}",
+            self.layers,
+            self.groups
+        );
+        layer * self.groups + group
+    }
+
+    /// Marks one chunk as not delivered (dropped, truncated, or late).
+    pub fn mark_lost(&mut self, is_k: bool, layer: usize, group: usize) {
+        let i = self.idx(layer, group);
+        self.lost[usize::from(!is_k)][i] = true;
+    }
+
+    /// Whether a chunk is marked lost.
+    pub fn is_lost(&self, is_k: bool, layer: usize, group: usize) -> bool {
+        self.lost[usize::from(!is_k)][self.idx(layer, group)]
+    }
+
+    /// Number of chunks marked lost.
+    pub fn lost_count(&self) -> usize {
+        self.lost
+            .iter()
+            .map(|side| side.iter().filter(|&&l| l).count())
+            .sum()
+    }
+
+    /// Whether every chunk arrived.
+    pub fn all_arrived(&self) -> bool {
+        self.lost_count() == 0
+    }
+
+    /// Layer count of the map.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Group count of the map.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Total chunk count (`2 × layers × groups`).
+    pub fn total_chunks(&self) -> usize {
+        2 * self.layers * self.groups
+    }
+}
+
+/// Why a chunk needed repair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairCause {
+    /// The transport never delivered it (marked lost in the arrival map).
+    Lost,
+    /// It arrived but failed to decode; the defect is attached.
+    Corrupt(CodecError),
+}
+
+/// What the decoder put in a repaired chunk's place.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairKind {
+    /// Rows left at zero.
+    ZeroFilled,
+    /// Rows interpolated between the anchor rows of the named neighbor
+    /// groups (one-sided copy when only one neighbor decoded).
+    Interpolated {
+        /// Nearest decoded group to the left, if any.
+        left: Option<usize>,
+        /// Nearest decoded group to the right, if any.
+        right: Option<usize>,
+    },
+    /// Rows zero-filled and the chunk flagged for re-fetch.
+    PendingRefetch,
+}
+
+/// Per-chunk repair provenance: one record per entropy chunk that did
+/// *not* decode from delivered bytes. Chunks absent from the report
+/// decoded intact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkRepair {
+    /// K-side (true) or V-side chunk.
+    pub is_k: bool,
+    /// Transformer layer.
+    pub layer: usize,
+    /// Token-group index.
+    pub group: usize,
+    /// Why it needed repair.
+    pub cause: RepairCause,
+    /// What the decoder did about it.
+    pub kind: RepairKind,
+}
+
+/// A hole-aware decode result: the (partially reconstructed) cache plus
+/// full repair provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairedKv {
+    /// The reassembled cache; repaired regions hold policy-reconstructed
+    /// values, never undecoded noise.
+    pub cache: KvCache,
+    /// One record per repaired chunk (empty = clean decode).
+    pub repairs: Vec<ChunkRepair>,
+    /// Total entropy chunks in the stream (`2 × layers × groups`).
+    pub total_chunks: usize,
+}
+
+impl RepairedKv {
+    /// Whether every chunk decoded from delivered bytes.
+    pub fn is_clean(&self) -> bool {
+        self.repairs.is_empty()
+    }
+
+    /// Fraction of entropy chunks that needed repair, in `[0, 1]` — the
+    /// quantity the QoE model charges as a quality penalty.
+    pub fn repaired_fraction(&self) -> f64 {
+        self.repairs.len() as f64 / self.total_chunks.max(1) as f64
+    }
+
+    /// Chunks flagged for re-fetch, as `(is_k, layer, group)`.
+    pub fn pending_refetch(&self) -> Vec<(bool, usize, usize)> {
+        self.repairs
+            .iter()
+            .filter(|r| r.kind == RepairKind::PendingRefetch)
+            .map(|r| (r.is_k, r.layer, r.group))
+            .collect()
+    }
+}
+
+impl KvCodec {
+    /// Decodes a stream of which only the chunks marked arrived in
+    /// `arrivals` are trusted, applying `policy` to the rest. See the
+    /// module docs for the per-policy semantics. Errors only on container
+    /// geometry defects (a malformed *map or container*, not a damaged
+    /// chunk — damage is repaired and reported, never fatal).
+    pub fn decode_with_repairs(
+        &self,
+        enc: &EncodedKv,
+        arrivals: &ChunkArrivalMap,
+        policy: RepairPolicy,
+    ) -> Result<RepairedKv, CodecError> {
+        let (layers, tokens, channels) = (enc.layers, enc.tokens, enc.channels);
+        let layout = GroupLayout::new(enc.group_size, tokens);
+        self.check_geometry(enc, layout)?;
+        let groups = layout.num_groups();
+        if arrivals.layers() != layers || arrivals.groups() != groups {
+            return Err(CodecError::Geometry(format!(
+                "arrival map is {}×{} (layers×groups) but the stream is {layers}×{groups}",
+                arrivals.layers(),
+                arrivals.groups()
+            )));
+        }
+        let mut k = Tensor::zeros(&[layers, tokens, channels]);
+        let mut v = Tensor::zeros(&[layers, tokens, channels]);
+        let mut repairs: Vec<ChunkRepair> = Vec::new();
+        // `damaged[side][layer][group]`: lost chunks plus arrived-but-
+        // corrupt ones — the set the repair pass fills and the neighbor
+        // search must avoid.
+        let mut damaged = [
+            vec![vec![false; groups]; layers],
+            vec![vec![false; groups]; layers],
+        ];
+
+        for (side, (chunks, out)) in [(&enc.k_chunks, &mut k), (&enc.v_chunks, &mut v)]
+            .into_iter()
+            .enumerate()
+        {
+            let is_k = side == 0;
+            let data = out.data_mut();
+            for layer in 0..layers {
+                for group in 0..groups {
+                    let (start, end) = layout.group_range(group);
+                    let slice = &mut data[layer * tokens * channels + start * channels
+                        ..layer * tokens * channels + end * channels];
+                    if arrivals.is_lost(is_k, layer, group) {
+                        damaged[side][layer][group] = true;
+                        repairs.push(ChunkRepair {
+                            is_k,
+                            layer,
+                            group,
+                            cause: RepairCause::Lost,
+                            kind: RepairKind::ZeroFilled, // refined below
+                        });
+                        continue;
+                    }
+                    let (anchor_scales, delta_scales) = if is_k {
+                        (&enc.scales[0][layer], &enc.scales[1][layer])
+                    } else {
+                        (&enc.scales[2][layer], &enc.scales[3][layer])
+                    };
+                    if let Err(e) = self.decode_chunk(
+                        &chunks[layer][group],
+                        layer,
+                        layers,
+                        group,
+                        end - start,
+                        is_k,
+                        enc.delta_encoding,
+                        anchor_scales,
+                        delta_scales,
+                        slice,
+                    ) {
+                        // The failed decode may have partially written the
+                        // slice; scrub it so corruption never leaks.
+                        slice.fill(0.0);
+                        damaged[side][layer][group] = true;
+                        repairs.push(ChunkRepair {
+                            is_k,
+                            layer,
+                            group,
+                            cause: RepairCause::Corrupt(e),
+                            kind: RepairKind::ZeroFilled, // refined below
+                        });
+                    }
+                }
+            }
+        }
+
+        // Repair pass: refine the provisional ZeroFilled records.
+        for r in &mut repairs {
+            match policy {
+                RepairPolicy::ZeroFill => {}
+                RepairPolicy::Refetch => r.kind = RepairKind::PendingRefetch,
+                RepairPolicy::AnchorInterpolate => {
+                    let side = usize::from(!r.is_k);
+                    let row = &damaged[side][r.layer];
+                    let left = (0..r.group).rev().find(|&g| !row[g]);
+                    let right = (r.group + 1..groups).find(|&g| !row[g]);
+                    let out = if r.is_k { &mut k } else { &mut v };
+                    interpolate_group(out, layout, channels, r.layer, r.group, left, right);
+                    r.kind = if left.is_some() || right.is_some() {
+                        RepairKind::Interpolated { left, right }
+                    } else {
+                        RepairKind::ZeroFilled
+                    };
+                }
+            }
+        }
+
+        Ok(RepairedKv {
+            cache: KvCache::from_tensors(k, v),
+            repairs,
+            total_chunks: 2 * layers * groups,
+        })
+    }
+}
+
+/// Fills the token rows of one damaged group by interpolating, per
+/// channel, between the dequantized rows of the named neighbor groups
+/// (already decoded into `out`) — the left neighbor contributes its
+/// *last* token row and the right neighbor its *anchor* (first) row,
+/// i.e. the nearest decoded rows on each side, which token-wise locality
+/// (Insight 1) makes the most informative. With one neighbor that row is
+/// held flat; with none the rows stay zero. Every produced value is a
+/// convex combination of the two boundary rows, which is what bounds the
+/// reconstruction error by the neighbor-row distance.
+fn interpolate_group(
+    out: &mut Tensor,
+    layout: GroupLayout,
+    channels: usize,
+    layer: usize,
+    group: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+) {
+    let (start, end) = layout.group_range(group);
+    let tokens = layout.tokens;
+    let row_at = |data: &[f32], t: usize| -> Vec<f32> {
+        data[layer * tokens * channels + t * channels
+            ..layer * tokens * channels + (t + 1) * channels]
+            .to_vec()
+    };
+    let data = out.data_mut();
+    let (l_row, r_row, l_pos, r_pos) = match (left, right) {
+        (Some(l), Some(r)) => {
+            let lp = layout.group_range(l).1 - 1; // left neighbor's last row
+            let rp = layout.group_range(r).0; // right neighbor's anchor row
+            (row_at(data, lp), row_at(data, rp), lp, rp)
+        }
+        (Some(l), None) => {
+            let lp = layout.group_range(l).1 - 1;
+            let lr = row_at(data, lp);
+            (lr.clone(), lr, lp, lp)
+        }
+        (None, Some(r)) => {
+            let rp = layout.group_range(r).0;
+            let rr = row_at(data, rp);
+            (rr.clone(), rr, rp, rp)
+        }
+        (None, None) => return,
+    };
+    let span = (r_pos as f32 - l_pos as f32).max(1.0);
+    for t in start..end {
+        let alpha = if r_pos == l_pos {
+            0.0
+        } else {
+            ((t as f32 - l_pos as f32) / span).clamp(0.0, 1.0)
+        };
+        let row = &mut data[layer * tokens * channels + t * channels
+            ..layer * tokens * channels + (t + 1) * channels];
+        for (c, slot) in row.iter_mut().enumerate() {
+            *slot = (1.0 - alpha) * l_row[c] + alpha * r_row[c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::CodecConfig;
+    use crate::profile::CodecProfile;
+    use cachegen_llm::{SimModelConfig, SimTransformer};
+
+    fn setup() -> (KvCache, KvCodec) {
+        let m = SimTransformer::new(SimModelConfig::tiny(21));
+        let ctx: Vec<usize> = (0..50).map(|i| (i * 17) % 64).collect();
+        let cache = m.prefill(&ctx);
+        let cfg = CodecConfig::default();
+        let profile = CodecProfile::build(&cfg, &[&cache]);
+        (cache, KvCodec::new(cfg, profile))
+    }
+
+    #[test]
+    fn full_arrival_matches_plain_decode() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        for policy in [
+            RepairPolicy::ZeroFill,
+            RepairPolicy::AnchorInterpolate,
+            RepairPolicy::Refetch,
+        ] {
+            let out = codec.decode_with_repairs(&enc, &arrivals, policy).unwrap();
+            assert!(out.is_clean());
+            assert_eq!(out.repaired_fraction(), 0.0);
+            assert_eq!(out.cache, codec.decode(&enc), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn zero_fill_blanks_only_the_lost_region() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let clean = codec.decode(&enc);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        arrivals.mark_lost(true, 0, 1);
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::ZeroFill)
+            .unwrap();
+        assert_eq!(out.repairs.len(), 1);
+        assert_eq!(out.repairs[0].kind, RepairKind::ZeroFilled);
+        assert_eq!(out.repairs[0].cause, RepairCause::Lost);
+        let (start, end) = enc.layout().group_range(1);
+        for t in 0..cache.tokens() {
+            for c in 0..cache.channels() {
+                let got = out.cache.k().get(&[0, t, c]);
+                if (start..end).contains(&t) {
+                    assert_eq!(got, 0.0, "lost region must be zero");
+                } else {
+                    assert_eq!(got.to_bits(), clean.k().get(&[0, t, c]).to_bits());
+                }
+            }
+        }
+        assert_eq!(out.cache.v(), clean.v(), "V side untouched");
+    }
+
+    #[test]
+    fn interpolation_is_convex_between_neighbor_anchors() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let clean = codec.decode(&enc);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        arrivals.mark_lost(true, 1, 2);
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::AnchorInterpolate)
+            .unwrap();
+        assert_eq!(
+            out.repairs[0].kind,
+            RepairKind::Interpolated {
+                left: Some(1),
+                right: Some(3)
+            }
+        );
+        let layout = enc.layout();
+        let (start, end) = layout.group_range(2);
+        let al = layout.group_range(1).1 - 1; // left neighbor's last row
+        let ar = layout.group_range(3).0; // right neighbor's anchor row
+        for t in start..end {
+            for c in 0..cache.channels() {
+                let got = out.cache.k().get(&[1, t, c]);
+                let l = clean.k().get(&[1, al, c]);
+                let r = clean.k().get(&[1, ar, c]);
+                let (lo, hi) = (l.min(r), l.max(r));
+                assert!(
+                    (lo - 1e-5..=hi + 1e-5).contains(&got),
+                    "tok {t} ch {c}: {got} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_group_interpolates_one_sided() {
+        let (_, codec) = setup();
+        let cache = {
+            let m = SimTransformer::new(SimModelConfig::tiny(21));
+            m.prefill(&(0..50).map(|i| (i * 17) % 64).collect::<Vec<_>>())
+        };
+        let enc = codec.encode(&cache);
+        let clean = codec.decode(&enc);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        arrivals.mark_lost(false, 0, 0);
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::AnchorInterpolate)
+            .unwrap();
+        assert_eq!(
+            out.repairs[0].kind,
+            RepairKind::Interpolated {
+                left: None,
+                right: Some(1)
+            }
+        );
+        // One-sided repair holds the right neighbor's anchor row flat.
+        let ar = enc.layout().group_range(1).0;
+        let (start, end) = enc.layout().group_range(0);
+        for t in start..end {
+            for c in 0..cache.channels() {
+                assert_eq!(
+                    out.cache.v().get(&[0, t, c]).to_bits(),
+                    clean.v().get(&[0, ar, c]).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_losing_every_group_zero_fills() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        for g in 0..enc.num_groups() {
+            arrivals.mark_lost(true, 0, g);
+        }
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::AnchorInterpolate)
+            .unwrap();
+        assert!(out.repairs.iter().all(|r| r.kind == RepairKind::ZeroFilled));
+        assert!(out.cache.k().slab(0).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn refetch_flags_and_zero_fills() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        arrivals.mark_lost(true, 1, 0);
+        arrivals.mark_lost(false, 0, 3);
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::Refetch)
+            .unwrap();
+        assert_eq!(out.pending_refetch(), vec![(true, 1, 0), (false, 0, 3)]);
+        let (start, end) = enc.layout().group_range(0);
+        for t in start..end {
+            for c in 0..cache.channels() {
+                assert_eq!(out.cache.k().get(&[1, t, c]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_arrived_chunk_is_demoted_to_repair() {
+        let (cache, codec) = setup();
+        let mut enc = codec.encode(&cache);
+        let chunk = &mut enc.k_chunks[1][2];
+        chunk.truncate(chunk.len() / 2);
+        let arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::AnchorInterpolate)
+            .unwrap();
+        assert_eq!(out.repairs.len(), 1);
+        let r = &out.repairs[0];
+        assert!((r.is_k, r.layer, r.group) == (true, 1, 2));
+        assert!(matches!(r.cause, RepairCause::Corrupt(_)));
+        assert!(matches!(r.kind, RepairKind::Interpolated { .. }));
+        // No undecoded noise: values in the repaired region are finite and
+        // bounded by the neighbors, not range-coder garbage.
+        assert!(out.cache.k().data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn mismatched_arrival_map_is_a_geometry_error() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let arrivals = ChunkArrivalMap::full(enc.layers + 1, enc.num_groups());
+        assert!(matches!(
+            codec.decode_with_repairs(&enc, &arrivals, RepairPolicy::ZeroFill),
+            Err(CodecError::Geometry(_))
+        ));
+    }
+
+    #[test]
+    fn repaired_fraction_counts_chunks() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        arrivals.mark_lost(true, 0, 0);
+        arrivals.mark_lost(false, 1, 1);
+        assert_eq!(arrivals.lost_count(), 2);
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::ZeroFill)
+            .unwrap();
+        let expect = 2.0 / (2 * enc.layers * enc.num_groups()) as f64;
+        assert!((out.repaired_fraction() - expect).abs() < 1e-12);
+    }
+}

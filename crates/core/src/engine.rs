@@ -7,10 +7,12 @@
 //! transformer, holding one codec per encoding level (profiles are built
 //! offline from sample contexts, §5.2).
 
+use cachegen_codec::repair::{ChunkArrivalMap, RepairPolicy, RepairedKv};
 use cachegen_codec::{CodecConfig, CodecProfile, EncodedKv, KvCodec};
 use cachegen_kvstore::{ContextId, FetchedChunk, KvStore, StoredChunk};
 use cachegen_llm::{KvCache, SimModelConfig, SimTransformer};
-use cachegen_streamer::{ChunkPlan, ChunkSizes, LevelLadder};
+use cachegen_streamer::schedule::PacketId;
+use cachegen_streamer::{ChunkPlan, ChunkSchedule, ChunkSizes, LevelLadder};
 
 /// Engine-wide configuration.
 #[derive(Clone, Debug)]
@@ -140,6 +142,43 @@ impl CacheGenEngine {
         self.codecs[level].try_decode_parallel(enc)
     }
 
+    /// Hole-aware decode: entropy chunks the transport did not deliver
+    /// (per `arrivals`) are filled by `policy` and reported per chunk —
+    /// the stream degrades instead of stalling. See
+    /// [`cachegen_codec::repair`] for the policy semantics.
+    pub fn decode_with_repairs_at_level(
+        &self,
+        enc: &EncodedKv,
+        level: usize,
+        arrivals: &ChunkArrivalMap,
+        policy: RepairPolicy,
+    ) -> Result<RepairedKv, cachegen_codec::CodecError> {
+        self.codecs[level].decode_with_repairs(enc, arrivals, policy)
+    }
+
+    /// The priority-ordered packet schedule of one encoded stream chunk:
+    /// one packet per (side, layer, group) entropy chunk at its wire
+    /// size, container overhead folded into the head packet, early token
+    /// groups first.
+    pub fn packet_schedule(enc: &EncodedKv) -> ChunkSchedule {
+        let groups = enc.num_groups();
+        let mut entries = Vec::with_capacity(2 * enc.layers * groups);
+        for is_k in [true, false] {
+            for layer in 0..enc.layers {
+                for group in 0..groups {
+                    let mut bytes = enc.chunk_wire_bytes(is_k, layer, group);
+                    if is_k && layer == 0 && group == 0 {
+                        // The head packet (highest priority) carries the
+                        // container header + scale tables.
+                        bytes += enc.container_overhead_bytes();
+                    }
+                    entries.push((PacketId { group, layer, is_k }, bytes));
+                }
+            }
+        }
+        ChunkSchedule::priority_ordered(entries)
+    }
+
     /// The default medium level used before any throughput estimate (§5.3).
     pub fn default_level(&self) -> usize {
         self.config.ladder.default_medium()
@@ -173,7 +212,10 @@ impl CacheGenEngine {
 
     /// Offline encoding of a whole context at every level: returns the
     /// per-chunk encoded versions (`encoded[chunk][level]`) and the
-    /// [`ChunkPlan`] the streaming adapter consults.
+    /// [`ChunkPlan`] the streaming adapter consults. Every plan entry
+    /// carries its per-level packet schedule (one packet per (side,
+    /// layer, group) entropy chunk) so a lossy link delivers the chunk
+    /// packet by packet.
     pub fn encode_context(&self, cache: &KvCache) -> (Vec<Vec<EncodedKv>>, ChunkPlan) {
         let chunks = self.chunk_caches(cache);
         let mut encoded = Vec::with_capacity(chunks.len());
@@ -183,17 +225,26 @@ impl CacheGenEngine {
                 .map(|l| self.encode_at_level(chunk, l))
                 .collect();
             let mut level_bytes: Vec<u64> = versions.iter().map(EncodedKv::total_bytes).collect();
+            let mut schedules: Vec<ChunkSchedule> =
+                versions.iter().map(Self::packet_schedule).collect();
             // Guard the (rare, tiny-chunk) case where entropy-coding noise
             // makes a coarser level marginally larger: enforce monotone
-            // sizes so the plan invariant holds.
+            // sizes so the plan invariant holds (the schedule trims its
+            // lowest-priority packets to stay in sync).
             for i in 1..level_bytes.len() {
-                level_bytes[i] = level_bytes[i].min(level_bytes[i - 1]);
+                if level_bytes[i] > level_bytes[i - 1] {
+                    level_bytes[i] = level_bytes[i - 1];
+                    schedules[i].shrink_to(level_bytes[i]);
+                }
             }
-            sizes.push(ChunkSizes::new(
-                chunk.tokens(),
-                level_bytes,
-                chunk.tokens() as u64 * self.config.text_bytes_per_token,
-            ));
+            sizes.push(
+                ChunkSizes::new(
+                    chunk.tokens(),
+                    level_bytes,
+                    chunk.tokens() as u64 * self.config.text_bytes_per_token,
+                )
+                .with_schedules(schedules),
+            );
             encoded.push(versions);
         }
         (encoded, ChunkPlan::new(sizes))

@@ -1,4 +1,5 @@
-//! End-to-end functional context loading: encode → stream → decode.
+//! End-to-end functional context loading: encode → packetized stream →
+//! hole-aware decode.
 //!
 //! This glues the engine, the streaming adapter and the network simulator
 //! into the full CacheGen data path of Figure 2c: the context's KV
@@ -8,11 +9,22 @@
 //! contribute *exact* KV (the LLM recomputes them — we take the slice of
 //! the reference cache; the idealisation that preceding lossy chunks do not
 //! perturb the recomputed chunk is documented in DESIGN.md).
+//!
+//! On a per-packet-fault link every stream chunk travels as its packet
+//! schedule (one packet per (side, layer, group) entropy chunk); packets
+//! still missing after the retransmit budget are *repaired* by the
+//! configured [`RepairPolicy`] instead of stalling the stream, and
+//! [`RepairPolicy::Refetch`] runs a second pass that re-requests the holes
+//! after the first decode (TTFT keeps the first-pass finish; the re-fetch
+//! restores fidelity afterwards).
 
 use crate::engine::CacheGenEngine;
+use cachegen_codec::repair::{ChunkArrivalMap, ChunkRepair, RepairPolicy};
 use cachegen_llm::KvCache;
 use cachegen_net::Link;
-use cachegen_streamer::{simulate_stream, AdaptPolicy, StreamConfig, StreamOutcome, StreamParams};
+use cachegen_streamer::{
+    simulate_stream, AdaptPolicy, ChunkOutcome, StreamConfig, StreamOutcome, StreamParams,
+};
 
 /// Parameters for a context-loading run.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +41,12 @@ pub struct LoadParams {
     pub decode_bytes_per_sec: f64,
     /// GPU prefill-recompute speed for text chunks, seconds per token.
     pub recompute_sec_per_token: f64,
+    /// How holes left by a lossy link are filled (per-packet-fault links
+    /// only; clean and goodput-derated links never lose packets).
+    pub repair: RepairPolicy,
+    /// Packet retransmissions allowed per chunk before the repair policy
+    /// takes over. `usize::MAX` = stall-and-retry (never repair).
+    pub retransmit_budget: usize,
 }
 
 impl Default for LoadParams {
@@ -40,6 +58,8 @@ impl Default for LoadParams {
             concurrent_requests: 1,
             decode_bytes_per_sec: 8.0e9,
             recompute_sec_per_token: 1e-3,
+            repair: RepairPolicy::AnchorInterpolate,
+            retransmit_budget: 0,
         }
     }
 }
@@ -51,6 +71,16 @@ pub struct LoadOutcome {
     pub cache: KvCache,
     /// The streaming timeline (per-chunk configs, finish time, SLO).
     pub stream: StreamOutcome,
+    /// Repair provenance: `(stream chunk index, repair)` for every entropy
+    /// chunk that was reconstructed rather than decoded from delivered
+    /// bytes. Empty on clean links.
+    pub repairs: Vec<(usize, ChunkRepair)>,
+    /// Fraction of the stream's KV entropy chunks that needed repair.
+    pub repaired_fraction: f64,
+    /// When the [`RepairPolicy::Refetch`] second pass delivered the last
+    /// missing chunk (`None` when nothing was pending). The cache already
+    /// includes the re-fetched data; TTFT is still `stream.finish`.
+    pub refetch_finish: Option<f64>,
 }
 
 /// Loads a context's KV cache over `link` using the engine's offline
@@ -73,28 +103,97 @@ pub fn load_context(
         policy: params.policy,
         prior_throughput_bps: params.prior_throughput_bps,
         concurrent_requests: params.concurrent_requests,
+        retransmit_budget: params.retransmit_budget,
         ladder: &engine.config().ladder,
         decode_seconds: &decode_seconds,
         recompute_seconds: &recompute_seconds,
     };
     let stream = simulate_stream(&plan, link, &stream_params);
 
-    // Reassemble the cache chunk by chunk at the configurations chosen.
+    // Reassemble the cache chunk by chunk at the configurations chosen,
+    // repairing any holes the transport left.
     let mut chunks = Vec::with_capacity(stream.chunks.len());
+    let mut repairs: Vec<(usize, ChunkRepair)> = Vec::new();
+    let mut kv_chunk_total = 0usize;
+    let mut refetch: Vec<(usize, usize)> = Vec::new(); // (chunk index, level)
     let mut start = 0usize;
     for outcome in &stream.chunks {
         let tokens = plan.chunk(outcome.index).tokens;
         let chunk = match outcome.config {
-            StreamConfig::Level(l) => engine.decode_at_level(&encoded[outcome.index][l], l),
+            StreamConfig::Level(l) => {
+                let enc = &encoded[outcome.index][l];
+                kv_chunk_total += enc.num_chunks();
+                if outcome.lost.is_empty() {
+                    engine.decode_at_level(enc, l)
+                } else {
+                    let repaired = engine
+                        .decode_with_repairs_at_level(
+                            enc,
+                            l,
+                            &arrival_map(enc.layers, enc.num_groups(), outcome),
+                            params.repair,
+                        )
+                        .expect("stored stream has valid geometry");
+                    if !repaired.pending_refetch().is_empty() {
+                        refetch.push((outcome.index, l));
+                    }
+                    repairs.extend(repaired.repairs.into_iter().map(|r| (outcome.index, r)));
+                    repaired.cache
+                }
+            }
             StreamConfig::Text => reference.slice_tokens(start, start + tokens),
         };
         start += tokens;
         chunks.push(chunk);
     }
+
+    // Refetch second pass: re-request the missing packets after the first
+    // decode. The stream (and its TTFT) is already complete — this
+    // restores fidelity, competing for the same link.
+    let mut refetch_finish = None;
+    let mut t = stream
+        .chunks
+        .iter()
+        .map(|c| c.transfer_finish)
+        .fold(0.0f64, f64::max);
+    for (idx, level) in refetch {
+        let lost = &stream.chunks[idx].lost;
+        // Same batch scaling as the first pass: all B requests share the
+        // wire, so a re-fetched packet carries B copies.
+        let batch = params.concurrent_requests as u64;
+        let mut pending: Vec<u64> = lost.iter().map(|&(_, b)| b * batch).collect();
+        while !pending.is_empty() {
+            let res = link.send_packets(&pending, t);
+            t = res.wire_finish;
+            refetch_finish = Some(refetch_finish.unwrap_or(0.0f64).max(res.last_arrival));
+            pending = res.failed().iter().map(|&i| pending[i]).collect();
+        }
+        // All packets are now in hand: the chunk decodes bit-exact.
+        let enc = &encoded[idx][level];
+        chunks[idx] = engine.decode_at_level(enc, level);
+    }
+
+    let repaired_fraction = if kv_chunk_total == 0 {
+        0.0
+    } else {
+        repairs.len() as f64 / kv_chunk_total as f64
+    };
     LoadOutcome {
         cache: KvCache::concat_tokens(&chunks),
         stream,
+        repairs,
+        repaired_fraction,
+        refetch_finish,
     }
+}
+
+/// Builds the codec's arrival map from a chunk outcome's lost packets.
+fn arrival_map(layers: usize, groups: usize, outcome: &ChunkOutcome) -> ChunkArrivalMap {
+    let mut map = ChunkArrivalMap::full(layers, groups);
+    for &(id, _) in &outcome.lost {
+        map.mark_lost(id.is_k, id.layer, id.group);
+    }
+    map
 }
 
 #[cfg(test)]
@@ -216,6 +315,58 @@ mod tests {
             .iter()
             .all(|c| c.config == StreamConfig::Text));
         assert_eq!(out.cache, cache);
+    }
+
+    #[test]
+    fn refetch_restores_fidelity_after_first_decode() {
+        use cachegen_net::PacketFaults;
+        let e = engine();
+        let ctx: Vec<usize> = (0..90).map(|i| (i * 7) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let clean = {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0);
+            load_context(&e, &cache, &mut link, &LoadParams::default())
+        };
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.001)
+            .with_packet_faults(PacketFaults::loss(0.2), 9);
+        let p = LoadParams {
+            repair: RepairPolicy::Refetch,
+            retransmit_budget: 0,
+            ..LoadParams::default()
+        };
+        let out = load_context(&e, &cache, &mut link, &p);
+        assert!(!out.repairs.is_empty(), "20% loss must leave holes");
+        assert!(out
+            .repairs
+            .iter()
+            .all(|(_, r)| matches!(r.kind, cachegen_codec::RepairKind::PendingRefetch)));
+        // The second pass re-fetched every hole: the final cache is the
+        // bit-exact clean decode, and the catch-up finished after TTFT.
+        assert_eq!(out.cache, clean.cache);
+        let refetched = out.refetch_finish.expect("refetch pass ran");
+        assert!(refetched >= out.stream.finish);
+    }
+
+    #[test]
+    fn lossy_load_is_deterministic_per_seed() {
+        use cachegen_net::PacketFaults;
+        let e = engine();
+        let ctx: Vec<usize> = (0..60).map(|i| (i * 11) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let run = || {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+                .with_packet_faults(PacketFaults::loss(0.25), 3);
+            let p = LoadParams {
+                repair: RepairPolicy::ZeroFill,
+                ..LoadParams::default()
+            };
+            load_context(&e, &cache, &mut link, &p)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.stream.chunks, b.stream.chunks);
     }
 
     #[test]

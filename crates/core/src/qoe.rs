@@ -37,6 +37,34 @@ impl QoeModel {
         let decay = (-(ttft / self.half_life_secs) * std::f64::consts::LN_2).exp();
         1.0 + 4.0 * quality * decay
     }
+
+    /// MOS for a response whose stream needed loss repairs: repaired
+    /// entropy chunks count as a *quality* penalty, not a stall. A
+    /// `repaired_fraction` of the stream's chunks were reconstructed by a
+    /// policy whose `repair_effectiveness ∈ [0, 1]` says how much of the
+    /// original quality a repaired chunk retains (0 = zero-fill mutes the
+    /// tokens entirely, ~0.6 = neighbor-anchor interpolation, 1 = the
+    /// chunk was eventually re-fetched bit-exact). TTFT stays whatever
+    /// the first decode achieved — that is the whole point of degrading
+    /// instead of stalling.
+    pub fn mos_with_repairs(
+        &self,
+        ttft: f64,
+        quality: f64,
+        repaired_fraction: f64,
+        repair_effectiveness: f64,
+    ) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&repaired_fraction),
+            "repaired fraction must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&repair_effectiveness),
+            "repair effectiveness must be in [0,1]"
+        );
+        let effective = quality * (1.0 - repaired_fraction * (1.0 - repair_effectiveness));
+        self.mos(ttft, effective.clamp(0.0, 1.0))
+    }
 }
 
 #[cfg(test)]
@@ -66,6 +94,23 @@ mod tests {
         let full = m.mos(0.0, 1.0) - 1.0;
         let half = m.mos(2.0, 1.0) - 1.0;
         assert!((half / full - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repairs_penalize_quality_not_delay() {
+        let m = QoeModel::default();
+        let clean = m.mos(1.0, 0.95);
+        let zero_fill = m.mos_with_repairs(1.0, 0.95, 0.1, 0.0);
+        let interp = m.mos_with_repairs(1.0, 0.95, 0.1, 0.6);
+        let refetched = m.mos_with_repairs(1.0, 0.95, 0.1, 1.0);
+        assert!(zero_fill < interp && interp < clean);
+        assert!(
+            (refetched - clean).abs() < 1e-12,
+            "bit-exact repair is free"
+        );
+        // The penalty is bounded: a fully repaired stream at zero
+        // effectiveness scores like a zero-quality response, not below.
+        assert!(m.mos_with_repairs(1.0, 1.0, 1.0, 0.0) >= 1.0);
     }
 
     #[test]

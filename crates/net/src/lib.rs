@@ -9,9 +9,15 @@
 //! * [`BandwidthTrace`] — piecewise-constant available bandwidth over time,
 //!   with constructors for constant rates, the Figure 7 demo trace, and
 //!   seeded random traces (0.1–10 Gbps per chunk, §7.4).
-//! * [`Link`] — a trace plus propagation delay and optional fault injection
-//!   (loss-induced throughput derating, jitter), in the spirit of the
-//!   smoltcp examples' `--drop-chance` options.
+//! * [`Link`] — a trace plus propagation delay and one of two mutually
+//!   exclusive fault models: legacy goodput derating (loss-induced
+//!   throughput derating + jitter, in the spirit of the smoltcp examples'
+//!   `--drop-chance` options) or per-packet fault injection
+//!   (drop/reorder/duplicate/truncate of individually addressed chunk
+//!   packets — the loss-resilient transport substrate).
+//! * [`packet`] — packet batch delivery records ([`PacketFaults`],
+//!   [`Link::send_packets`]) consumed by the streamer's chunk schedule and
+//!   the codec's repair policies.
 //! * [`ThroughputEstimator`] — the streamer's bandwidth estimate: the
 //!   measured throughput of the previous chunk (§5.3), optionally smoothed.
 
@@ -19,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod link;
+pub mod packet;
 pub mod trace;
 
 pub use link::{Link, TransferResult};
+pub use packet::{PacketBatchResult, PacketDelivery, PacketFaults, PacketStatus};
 pub use trace::BandwidthTrace;
 
 /// The streamer's bandwidth estimator (§5.3): "CacheGen estimates the

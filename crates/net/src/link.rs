@@ -1,11 +1,27 @@
 //! A network link: bandwidth trace + propagation delay + fault injection.
 //!
-//! The link is what the KV streamer actually sends chunks over. Faults are
-//! modelled in the spirit of the smoltcp examples' `--drop-chance` fault
-//! injector: random loss forces retransmissions, which shows up as a
-//! derated effective throughput; jitter perturbs per-transfer goodput
-//! multiplicatively. Both are seeded and deterministic.
+//! The link is what the KV streamer actually sends chunks over. Two fault
+//! models exist and are **mutually exclusive** (a link is built in exactly
+//! one mode, and the constructors reject mixing them):
+//!
+//! * **Goodput derating** ([`Link::derate_goodput`]) — the legacy scalar
+//!   model, in the spirit of the smoltcp examples' `--drop-chance` fault
+//!   injector: random loss forces retransmissions, which shows up as a
+//!   derated effective throughput (`1 / (1 - loss)`); jitter perturbs
+//!   per-transfer goodput multiplicatively. Appropriate when the caller
+//!   treats a transfer as one opaque byte count and does *not* model
+//!   retransmission itself.
+//! * **Per-packet faults** ([`Link::with_packet_faults`]) — individually
+//!   addressed chunk packets are dropped / reordered / duplicated /
+//!   truncated ([`Link::send_packets`]); the caller models recovery
+//!   explicitly (retransmit budget, repair policies). [`Link::send`] on
+//!   such a link is clean — applying the derating *as well* would charge
+//!   for retransmissions twice, which is exactly the silent combination
+//!   the split forbids.
+//!
+//! Both modes are seeded and deterministic.
 
+use crate::packet::{PacketBatchResult, PacketDelivery, PacketFaults, PacketStatus};
 use crate::trace::BandwidthTrace;
 use cachegen_tensor::rng::seeded;
 use rand::rngs::StdRng;
@@ -38,17 +54,30 @@ impl TransferResult {
     }
 }
 
+/// Which fault model a [`Link`] runs — set once at construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FaultMode {
+    /// No faults.
+    Clean,
+    /// Legacy scalar model: loss derates goodput, jitter perturbs it.
+    Derate {
+        /// Packet-loss probability; retransmissions derate goodput by
+        /// `1 / (1 - loss)`.
+        loss: f64,
+        /// Multiplicative jitter half-width (0.1 = ±10% per transfer).
+        jitter: f64,
+    },
+    /// Per-packet fault injection for [`Link::send_packets`].
+    Packet(PacketFaults),
+}
+
 /// A simulated link.
 #[derive(Debug)]
 pub struct Link {
     trace: BandwidthTrace,
     /// One-way propagation delay added to every transfer, seconds.
     propagation: f64,
-    /// Packet-loss probability in [0, 1); retransmissions derate goodput by
-    /// `1 / (1 - loss)`.
-    loss: f64,
-    /// Multiplicative jitter half-width (0.1 = ±10% per transfer).
-    jitter: f64,
+    mode: FaultMode,
     rng: StdRng,
 }
 
@@ -59,20 +88,55 @@ impl Link {
         Link {
             trace,
             propagation,
-            loss: 0.0,
-            jitter: 0.0,
+            mode: FaultMode::Clean,
             rng: seeded(0),
         }
     }
 
-    /// Adds fault injection. `loss ∈ [0, 1)`, `jitter ∈ [0, 1)`.
-    pub fn with_faults(mut self, loss: f64, jitter: f64, seed: u64) -> Self {
+    /// Legacy scalar fault model: `loss ∈ [0, 1)` derates every
+    /// [`Link::send`]'s goodput by `1 / (1 - loss)` (implicit
+    /// retransmissions); `jitter ∈ [0, 1)` perturbs it multiplicatively.
+    ///
+    /// Panics if the link already has per-packet faults: a caller that
+    /// models retransmission explicitly must not *also* pay the implicit
+    /// derating.
+    pub fn derate_goodput(mut self, loss: f64, jitter: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
         assert!((0.0..1.0).contains(&jitter), "jitter must be in [0,1)");
-        self.loss = loss;
-        self.jitter = jitter;
+        assert!(
+            self.mode == FaultMode::Clean,
+            "fault mode already set: goodput derating cannot be combined with per-packet faults"
+        );
+        self.mode = FaultMode::Derate { loss, jitter };
         self.rng = seeded(seed);
         self
+    }
+
+    /// Per-packet fault injection for [`Link::send_packets`]. Mutually
+    /// exclusive with [`Link::derate_goodput`] (see the module docs).
+    pub fn with_packet_faults(mut self, faults: PacketFaults, seed: u64) -> Self {
+        faults.validate();
+        assert!(
+            self.mode == FaultMode::Clean,
+            "fault mode already set: per-packet faults cannot be combined with goodput derating"
+        );
+        self.mode = FaultMode::Packet(faults);
+        self.rng = seeded(seed);
+        self
+    }
+
+    /// The per-packet fault configuration, if the link is in packet mode.
+    pub fn packet_faults(&self) -> Option<&PacketFaults> {
+        match &self.mode {
+            FaultMode::Packet(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Whether the link injects per-packet faults (drop/reorder/duplicate/
+    /// truncate) — the mode [`Link::send_packets`] models precisely.
+    pub fn is_packet_mode(&self) -> bool {
+        matches!(self.mode, FaultMode::Packet(_))
     }
 
     /// The underlying bandwidth trace.
@@ -85,17 +149,23 @@ impl Link {
         self.propagation
     }
 
-    /// Sends `bytes` starting at virtual time `start`; returns the
-    /// completion record. Loss inflates the effective byte count (models
-    /// retransmission); jitter perturbs it both ways.
+    /// Sends `bytes` as one opaque transfer starting at virtual time
+    /// `start`; returns the completion record. In derating mode, loss
+    /// inflates the effective byte count (implicit retransmission) and
+    /// jitter perturbs it both ways. On a clean or per-packet-fault link
+    /// the transfer is exact — per-packet links charge loss through
+    /// [`Link::send_packets`] and explicit retransmissions instead, never
+    /// through a second, implicit derating.
     pub fn send(&mut self, bytes: u64, start: f64) -> TransferResult {
         let mut effective = bytes as f64;
-        if self.loss > 0.0 {
-            effective /= 1.0 - self.loss;
-        }
-        if self.jitter > 0.0 {
-            let j: f64 = self.rng.gen::<f64>() * 2.0 - 1.0; // [-1, 1)
-            effective *= 1.0 + j * self.jitter;
+        if let FaultMode::Derate { loss, jitter } = self.mode {
+            if loss > 0.0 {
+                effective /= 1.0 - loss;
+            }
+            if jitter > 0.0 {
+                let j: f64 = self.rng.gen::<f64>() * 2.0 - 1.0; // [-1, 1)
+                effective *= 1.0 + j * jitter;
+            }
         }
         let wire_bytes = effective.ceil().max(0.0) as u64;
         let dur = self.trace.transfer_seconds(wire_bytes, start) + self.propagation;
@@ -103,6 +173,101 @@ impl Link {
             start,
             finish: start + dur,
             bytes,
+        }
+    }
+
+    /// Transmits a batch of individually addressed packets serially over
+    /// the trace, starting at `start`. Each packet occupies the wire for
+    /// its payload's transfer time; the link's [`PacketFaults`] (if any)
+    /// are then applied per packet: drop and truncate spend wire time but
+    /// damage the delivery, duplicate costs a second transmission, and
+    /// reorder delays a packet's arrival by up to the whole batch's wire
+    /// span so it lands after later packets. Deterministic per seed.
+    ///
+    /// Panics on a goodput-derating link: the scalar derating already
+    /// charges for retransmissions, so combining it with explicit
+    /// per-packet recovery would double-count loss (the historical bug
+    /// this split removes).
+    pub fn send_packets(&mut self, sizes: &[u64], start: f64) -> PacketBatchResult {
+        let faults = match self.mode {
+            FaultMode::Clean => PacketFaults::none(),
+            FaultMode::Packet(f) => f,
+            FaultMode::Derate { .. } => panic!(
+                "send_packets on a goodput-derated link: derating and per-packet \
+                 faults must never be combined"
+            ),
+        };
+        let mut t = start;
+        let mut wire_bytes = 0u64;
+        let mut delivered_bytes = 0u64;
+        // First pass: wire occupancy + fault draws (arrival jitter needs
+        // the total span, so reorder delays are assigned in a second pass).
+        struct Draw {
+            bytes: u64,
+            status: PacketStatus,
+            wire_done: f64,
+            reorder_u: Option<f64>,
+        }
+        let mut draws: Vec<Draw> = Vec::with_capacity(sizes.len());
+        for &bytes in sizes {
+            let mut copies = 1u32;
+            if faults.duplicate > 0.0 && self.rng.gen::<f64>() < faults.duplicate {
+                copies = 2;
+            }
+            for _ in 0..copies {
+                t += self.trace.transfer_seconds(bytes, t);
+                wire_bytes += bytes;
+            }
+            let status = if faults.loss > 0.0 && self.rng.gen::<f64>() < faults.loss {
+                PacketStatus::Dropped
+            } else if faults.truncate > 0.0 && self.rng.gen::<f64>() < faults.truncate {
+                // A mid-packet cut: 25–75% of the payload arrives.
+                let frac = 0.25 + 0.5 * self.rng.gen::<f64>();
+                PacketStatus::Truncated {
+                    delivered: ((bytes as f64 * frac) as u64).min(bytes.saturating_sub(1)),
+                }
+            } else {
+                delivered_bytes += bytes;
+                PacketStatus::Delivered
+            };
+            let reorder_u = (faults.reorder > 0.0 && self.rng.gen::<f64>() < faults.reorder)
+                .then(|| self.rng.gen::<f64>());
+            draws.push(Draw {
+                bytes,
+                status,
+                wire_done: t,
+                reorder_u,
+            });
+        }
+        let wire_finish = t;
+        let span = (wire_finish - start).max(0.0);
+        let mut last_arrival = start;
+        let deliveries: Vec<PacketDelivery> = draws
+            .into_iter()
+            .enumerate()
+            .map(|(index, d)| {
+                let mut arrival = d.wire_done + self.propagation;
+                if let Some(u) = d.reorder_u {
+                    arrival += u * span;
+                }
+                if !matches!(d.status, PacketStatus::Dropped) {
+                    last_arrival = last_arrival.max(arrival);
+                }
+                PacketDelivery {
+                    index,
+                    bytes: d.bytes,
+                    status: d.status,
+                    arrival,
+                }
+            })
+            .collect();
+        PacketBatchResult {
+            deliveries,
+            start,
+            wire_finish,
+            last_arrival: last_arrival.max(wire_finish + self.propagation),
+            delivered_bytes,
+            wire_bytes,
         }
     }
 
@@ -138,7 +303,7 @@ mod tests {
     fn loss_derates_throughput() {
         let clean = Link::new(BandwidthTrace::constant(GBPS), 0.0).send(10_000_000, 0.0);
         let lossy = Link::new(BandwidthTrace::constant(GBPS), 0.0)
-            .with_faults(0.2, 0.0, 7)
+            .derate_goodput(0.2, 0.0, 7)
             .send(10_000_000, 0.0);
         assert!(lossy.seconds() > clean.seconds());
         // 20% loss → 1.25× retransmission overhead.
@@ -148,8 +313,8 @@ mod tests {
     #[test]
     fn jitter_is_bounded_and_deterministic() {
         let base = Link::new(BandwidthTrace::constant(GBPS), 0.0).send(10_000_000, 0.0);
-        let mut a = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.0, 0.3, 9);
-        let mut b = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.0, 0.3, 9);
+        let mut a = Link::new(BandwidthTrace::constant(GBPS), 0.0).derate_goodput(0.0, 0.3, 9);
+        let mut b = Link::new(BandwidthTrace::constant(GBPS), 0.0).derate_goodput(0.0, 0.3, 9);
         for _ in 0..10 {
             let ra = a.send(10_000_000, 0.0);
             let rb = b.send(10_000_000, 0.0);
@@ -167,5 +332,130 @@ mod tests {
         let mut est = crate::ThroughputEstimator::new();
         est.observe(r.bytes, r.seconds());
         assert!((est.bits_per_sec().unwrap() - 0.2 * GBPS).abs() / GBPS < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault mode already set")]
+    fn derating_after_packet_faults_is_rejected() {
+        let _ = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .with_packet_faults(PacketFaults::loss(0.1), 1)
+            .derate_goodput(0.1, 0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault mode already set")]
+    fn packet_faults_after_derating_is_rejected() {
+        let _ = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .derate_goodput(0.1, 0.0, 2)
+            .with_packet_faults(PacketFaults::loss(0.1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never be combined")]
+    fn send_packets_on_derated_link_is_rejected() {
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0).derate_goodput(0.2, 0.0, 3);
+        let _ = link.send_packets(&[1000], 0.0);
+    }
+
+    #[test]
+    fn packet_mode_send_does_not_derate() {
+        // The satellite fix: a caller that retransmits explicitly must not
+        // also pay the 1/(1-loss) implicit derating on opaque sends.
+        let clean = Link::new(BandwidthTrace::constant(GBPS), 0.0).send(10_000_000, 0.0);
+        let r = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .with_packet_faults(PacketFaults::loss(0.4), 5)
+            .send(10_000_000, 0.0);
+        assert_eq!(r.seconds(), clean.seconds());
+    }
+
+    #[test]
+    fn clean_packet_batch_delivers_everything_in_order() {
+        let mut link = Link::new(BandwidthTrace::constant(8e9), 0.01);
+        let sizes = [1_000_000u64, 2_000_000, 500_000];
+        let r = link.send_packets(&sizes, 1.0);
+        assert!(r.all_delivered());
+        assert_eq!(r.delivered_bytes, 3_500_000);
+        assert_eq!(r.wire_bytes, 3_500_000);
+        // 3.5 MB = 28 Mbit at 8 Gbps = 3.5 ms on the wire.
+        assert!((r.wire_finish - 1.0035).abs() < 1e-9);
+        assert!((r.last_arrival - 1.0135).abs() < 1e-9);
+        let arrivals: Vec<f64> = r.deliveries.iter().map(|d| d.arrival).collect();
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn packet_loss_is_deterministic_and_spends_wire_time() {
+        let run = || {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+                .with_packet_faults(PacketFaults::loss(0.3), 11);
+            link.send_packets(&vec![100_000u64; 50], 0.0)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce the same faults");
+        let lost = a.failed().len();
+        assert!((5..30).contains(&lost), "30% of 50 ≈ 15, got {lost}");
+        // Dropped packets still occupied the wire.
+        assert_eq!(a.wire_bytes, 5_000_000);
+        assert!(a.delivered_bytes < 5_000_000);
+        let clean =
+            Link::new(BandwidthTrace::constant(GBPS), 0.0).send_packets(&vec![100_000u64; 50], 0.0);
+        assert!((a.wire_finish - clean.wire_finish).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reorder_shuffles_arrivals_without_losing_payload() {
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_packet_faults(
+            PacketFaults {
+                reorder: 0.5,
+                ..PacketFaults::none()
+            },
+            13,
+        );
+        let r = link.send_packets(&vec![100_000u64; 40], 0.0);
+        assert!(r.all_delivered(), "reorder must not drop payload");
+        let arrivals: Vec<f64> = r.deliveries.iter().map(|d| d.arrival).collect();
+        assert!(
+            arrivals.windows(2).any(|w| w[0] > w[1]),
+            "at 50% reorder some packet must land out of order"
+        );
+        assert!(r.last_arrival >= r.wire_finish);
+    }
+
+    #[test]
+    fn truncation_delivers_a_strict_prefix() {
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_packet_faults(
+            PacketFaults {
+                truncate: 0.9,
+                ..PacketFaults::none()
+            },
+            17,
+        );
+        let r = link.send_packets(&[10_000u64; 20], 0.0);
+        let truncated: Vec<_> = r
+            .deliveries
+            .iter()
+            .filter_map(|d| match d.status {
+                PacketStatus::Truncated { delivered } => Some(delivered),
+                _ => None,
+            })
+            .collect();
+        assert!(!truncated.is_empty());
+        assert!(truncated.iter().all(|&d| d > 0 && d < 10_000));
+    }
+
+    #[test]
+    fn duplicates_cost_wire_bytes_only() {
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_packet_faults(
+            PacketFaults {
+                duplicate: 0.5,
+                ..PacketFaults::none()
+            },
+            19,
+        );
+        let r = link.send_packets(&vec![50_000u64; 30], 0.0);
+        assert!(r.all_delivered());
+        assert_eq!(r.delivered_bytes, 1_500_000, "payload counted once");
+        assert!(r.wire_bytes > 1_500_000, "duplicates occupy the wire");
     }
 }

@@ -1,0 +1,135 @@
+//! Per-packet delivery semantics: individually addressed chunk packets
+//! that a faulty link can drop, reorder, duplicate, or truncate.
+//!
+//! The codec's per-(layer, token-group) entropy chunks are independently
+//! decodable, so the transport does not have to be reliable: each chunk
+//! travels as its own packet, and whatever arrives intact decodes on its
+//! own (multiple-description coding over the fronthaul, PAPERS.md). This
+//! module is the wire model for that path: [`crate::Link::send_packets`]
+//! transmits a batch of packets serially over the bandwidth trace and
+//! applies the link's [`PacketFaults`] to each one — seeded, so every run
+//! is reproducible bit for bit.
+
+/// Fault probabilities applied independently to every packet of a
+/// [`crate::Link::send_packets`] batch. All probabilities are in `[0, 1)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PacketFaults {
+    /// Probability a packet is lost after transmission (wire time is
+    /// spent, nothing arrives — tail drop / checksum failure).
+    pub loss: f64,
+    /// Probability a packet is delayed past later packets: its arrival
+    /// gets an extra uniform delay of up to the whole batch's wire span,
+    /// so arrival order differs from send order.
+    pub reorder: f64,
+    /// Probability a packet is transmitted twice (the duplicate costs
+    /// wire time; the receiver deduplicates by packet index).
+    pub duplicate: f64,
+    /// Probability only a prefix of a packet arrives (mid-packet cut;
+    /// the delivered prefix is uniform in 25–75% of the payload).
+    pub truncate: f64,
+}
+
+impl PacketFaults {
+    /// No faults: every packet is delivered in order.
+    pub fn none() -> Self {
+        PacketFaults {
+            loss: 0.0,
+            reorder: 0.0,
+            duplicate: 0.0,
+            truncate: 0.0,
+        }
+    }
+
+    /// Loss-only faults.
+    pub fn loss(p: f64) -> Self {
+        PacketFaults {
+            loss: p,
+            ..Self::none()
+        }
+    }
+
+    /// Validates every probability is in `[0, 1)`.
+    pub(crate) fn validate(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("reorder", self.reorder),
+            ("duplicate", self.duplicate),
+            ("truncate", self.truncate),
+        ] {
+            assert!((0.0..1.0).contains(&p), "{name} must be in [0,1): {p}");
+        }
+    }
+}
+
+/// What happened to one packet of a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PacketStatus {
+    /// The full payload arrived.
+    Delivered,
+    /// Nothing arrived (wire time was still spent).
+    Dropped,
+    /// Only a prefix arrived; a truncated entropy chunk is not decodable
+    /// (the codec detects and reports it), so receivers treat this as a
+    /// loss with exact byte accounting.
+    Truncated {
+        /// Bytes of the payload that arrived.
+        delivered: u64,
+    },
+}
+
+impl PacketStatus {
+    /// Whether the packet's payload arrived complete.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, PacketStatus::Delivered)
+    }
+}
+
+/// Delivery record for one packet of a [`crate::Link::send_packets`]
+/// batch, in send (priority) order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PacketDelivery {
+    /// Index into the batch the caller sent.
+    pub index: usize,
+    /// Payload bytes the caller asked to send.
+    pub bytes: u64,
+    /// What arrived.
+    pub status: PacketStatus,
+    /// Virtual time the packet (or its surviving prefix) arrived at the
+    /// receiver. Meaningless for [`PacketStatus::Dropped`] (set to the
+    /// would-have-been arrival for timeline plots).
+    pub arrival: f64,
+}
+
+/// Outcome of one packet batch over a link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PacketBatchResult {
+    /// Per-packet records, in send order.
+    pub deliveries: Vec<PacketDelivery>,
+    /// Virtual time the batch started transmitting.
+    pub start: f64,
+    /// Virtual time the wire went idle (next send may start here).
+    pub wire_finish: f64,
+    /// Latest arrival among delivered (or truncated) packets; equals
+    /// `wire_finish + propagation` when nothing was reordered.
+    pub last_arrival: f64,
+    /// Payload bytes that arrived complete.
+    pub delivered_bytes: u64,
+    /// Bytes put on the wire (includes duplicates and dropped packets).
+    pub wire_bytes: u64,
+}
+
+impl PacketBatchResult {
+    /// Indices of packets that did not arrive complete, in send order.
+    pub fn failed(&self) -> Vec<usize> {
+        self.deliveries
+            .iter()
+            .filter(|d| !d.status.is_delivered())
+            .map(|d| d.index)
+            .collect()
+    }
+
+    /// Whether every packet arrived complete.
+    pub fn all_delivered(&self) -> bool {
+        self.deliveries.iter().all(|d| d.status.is_delivered())
+    }
+}

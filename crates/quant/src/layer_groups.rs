@@ -44,6 +44,30 @@ impl LayerGroupBins {
         LayerGroupBins { bins: vec![bin] }
     }
 
+    /// `n` layer groups with bins spaced evenly over the paper's span
+    /// (0.5 at the shallowest group to 1.5 at the deepest): the group-count
+    /// ablation axis of the Figure 15 harness. `evenly(3)` reproduces
+    /// [`LayerGroupBins::paper_default`] exactly; `evenly(1)` is the
+    /// uniform midpoint (1.0).
+    pub fn evenly(n: usize) -> Self {
+        Self::evenly_spanning(n, 0.5, 1.5)
+    }
+
+    /// `n` groups spaced evenly over `[first, last]` (`first <= last`,
+    /// both positive). With `n == 1` the single bin is the midpoint.
+    pub fn evenly_spanning(n: usize, first: f32, last: f32) -> Self {
+        assert!(n >= 1, "need at least one layer group");
+        assert!(
+            first > 0.0 && first <= last && last.is_finite(),
+            "need 0 < first <= last"
+        );
+        if n == 1 {
+            return Self::uniform((first + last) / 2.0);
+        }
+        let step = (last - first) / (n - 1) as f32;
+        Self::new((0..n).map(|i| first + step * i as f32).collect())
+    }
+
     /// Number of layer groups.
     pub fn num_groups(&self) -> usize {
         self.bins.len()
@@ -117,6 +141,26 @@ mod tests {
         }
         assert_eq!(b.bin_for_layer(0, n), 0.5);
         assert_eq!(b.bin_for_layer(n - 1, n), 1.5);
+    }
+
+    #[test]
+    fn evenly_matches_paper_default_at_three() {
+        assert_eq!(
+            LayerGroupBins::evenly(3).bins(),
+            LayerGroupBins::paper_default().bins()
+        );
+        assert_eq!(LayerGroupBins::evenly(1).bins(), &[1.0]);
+        let five = LayerGroupBins::evenly(5);
+        assert_eq!(five.num_groups(), 5);
+        assert_eq!(five.bins(), &[0.5, 0.75, 1.0, 1.25, 1.5]);
+        // Arbitrary N keeps the non-decreasing invariant and the span.
+        for n in 1..10 {
+            let b = LayerGroupBins::evenly(n);
+            assert_eq!(b.num_groups(), n);
+            assert!(b.bins().windows(2).all(|w| w[0] <= w[1]));
+            assert!(*b.bins().first().unwrap() >= 0.5 - 1e-6);
+            assert!(*b.bins().last().unwrap() <= 1.5 + 1e-6);
+        }
     }
 
     #[test]

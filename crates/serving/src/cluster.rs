@@ -8,6 +8,7 @@
 //! whenever a shard goes idle.
 
 use cachegen::engine::{CacheGenEngine, EngineConfig};
+use cachegen::RepairPolicy;
 use cachegen_llm::SimModelConfig;
 use cachegen_net::Link;
 use cachegen_streamer::AdaptPolicy;
@@ -15,7 +16,7 @@ use cachegen_workloads::ServingRequest;
 
 use crate::clock::EventQueue;
 use crate::metrics::{Disposition, RequestOutcome, ServingReport};
-use crate::queue::{Admission, QueuedRequest};
+use crate::queue::{Admission, EntryKind, QueuedRequest};
 use crate::ring::HashRing;
 use crate::shard::Shard;
 
@@ -51,6 +52,13 @@ pub struct ServingConfig {
     pub recompute_sec_per_token: f64,
     /// Quality proxy per encoding level, finest first (text counts as 1).
     pub level_quality: Vec<f64>,
+    /// How holes left by a lossy store link are repaired. Under
+    /// [`RepairPolicy::Refetch`] the cluster enqueues a re-fetch that
+    /// competes under the same admission watermarks as first fetches.
+    pub repair: RepairPolicy,
+    /// Packet retransmissions allowed per batch fetch before the repair
+    /// policy takes over (per-packet-fault links only).
+    pub retransmit_budget: usize,
 }
 
 impl Default for ServingConfig {
@@ -71,6 +79,8 @@ impl Default for ServingConfig {
             recompute_sec_per_token: 1e-3,
             // Matches the default 5-level ladder; coarser bins lose more.
             level_quality: vec![0.995, 0.98, 0.95, 0.91, 0.86],
+            repair: RepairPolicy::AnchorInterpolate,
+            retransmit_budget: 1,
         }
     }
 }
@@ -225,6 +235,7 @@ impl ServingCluster {
                         arrival: req.arrival,
                         prompt_tokens: req.prompt.len(),
                         degraded: false,
+                        kind: EntryKind::Query,
                     });
                     match decision {
                         Admission::Shed => {
@@ -276,7 +287,10 @@ impl ServingCluster {
     }
 
     /// Pops the next batch off a shard's queues and serves it, recording
-    /// outcomes and scheduling the completion event.
+    /// outcomes and scheduling the completion event. A batch headed by a
+    /// re-fetch entry pulls the missing bytes instead of running a full
+    /// fetch; a query batch satisfies any re-fetch riders for free (the
+    /// fresh transfer re-delivers the context).
     fn dispatch(
         &mut self,
         shard_id: usize,
@@ -290,18 +304,85 @@ impl ServingCluster {
             return;
         }
         let context_id = batch[0].context_id;
+        let queries: Vec<&QueuedRequest> = batch
+            .iter()
+            .filter(|q| q.kind == EntryKind::Query)
+            .collect();
+
+        if queries.is_empty() {
+            // Pure re-fetch batch: fill the holes a lossy transfer left.
+            let (bytes, restore) = batch
+                .iter()
+                .map(|q| match q.kind {
+                    EntryKind::Refetch {
+                        bytes,
+                        restore_quality,
+                    } => (bytes, restore_quality),
+                    EntryKind::Query => unreachable!("filtered above"),
+                })
+                .fold((0u64, 0.0f64), |(b, q), (nb, nq)| (b + nb, q.max(nq)));
+            let ready = shard.serve_refetch(context_id, bytes, restore, now);
+            shard.stats.refetches += 1;
+            shard.stats.busy_secs += ready - now;
+            shard.busy = true;
+            events.push(ready, Event::BatchDone { shard: shard_id });
+            return;
+        }
+
         // A batch degrades if any member crossed the watermark: under
         // saturation the whole transfer downshifts (the riders share it).
-        let degraded = batch.iter().any(|r| r.degraded);
+        let degraded = queries.iter().any(|r| r.degraded);
         let outcome = shard.serve_batch(context_id, degraded, now, &self.config);
         shard.stats.batches += 1;
         shard.stats.coalesced_requests += (batch.len() - 1) as u64;
-        shard.stats.busy_secs += outcome.ready - now;
+
+        // Re-fetch riders: a *miss* re-fetched the whole context, which
+        // satisfies them for free — but a cache *hit* served the resident
+        // (repaired) bitstream without touching the link, so the rider's
+        // missing bytes must still be pulled before the shard goes idle.
+        let mut ready = outcome.ready;
+        let (rider_bytes, rider_restore) = batch
+            .iter()
+            .filter_map(|q| match q.kind {
+                EntryKind::Refetch {
+                    bytes,
+                    restore_quality,
+                } => Some((bytes, restore_quality)),
+                EntryKind::Query => None,
+            })
+            .fold((0u64, 0.0f64), |(b, q), (nb, nq)| (b + nb, q.max(nq)));
+        if rider_bytes > 0 && outcome.cache_hit {
+            ready = shard.serve_refetch(context_id, rider_bytes, rider_restore, ready);
+            shard.stats.refetches += 1;
+        }
+        shard.stats.busy_secs += ready - now;
         shard.busy = true;
-        events.push(outcome.ready, Event::BatchDone { shard: shard_id });
+        events.push(ready, Event::BatchDone { shard: shard_id });
+
+        // Wire the repair loop: bytes the lossy link never delivered are
+        // re-requested through the *same* admission path as first fetches
+        // — under overload the re-fetch is degraded or shed like any
+        // arrival, and the context simply stays at its repaired quality.
+        if outcome.lost_bytes > 0 && self.config.repair == RepairPolicy::Refetch {
+            let decision = shard.queues.push(QueuedRequest {
+                index: usize::MAX,
+                tenant: queries[0].tenant,
+                context_id,
+                arrival: outcome.ready,
+                prompt_tokens: 0,
+                degraded: false,
+                kind: EntryKind::Refetch {
+                    bytes: outcome.lost_bytes,
+                    restore_quality: outcome.restore_quality,
+                },
+            });
+            if decision == Admission::Shed {
+                shard.stats.refetch_shed += 1;
+            }
+        }
 
         let coalesced = batch.len() > 1;
-        for q in &batch {
+        for q in &queries {
             let prefill = q.prompt_tokens as f64 * self.config.recompute_sec_per_token;
             let finish = outcome.ready + prefill;
             outcomes[q.index] = Some(RequestOutcome {
@@ -426,6 +507,130 @@ mod tests {
         // The warm cache carries over by design: the replay misses less.
         let misses = |r: &ServingReport| r.shards.iter().map(|s| s.cache.misses).sum::<u64>();
         assert!(misses(&second) < misses(&first));
+    }
+
+    #[test]
+    fn lossy_links_trigger_refetches_that_restore_cached_quality() {
+        use cachegen_net::PacketFaults;
+        let config = ServingConfig {
+            repair: RepairPolicy::Refetch,
+            retransmit_budget: 0,
+            ..ServingConfig::default()
+        };
+        let build = || {
+            let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+            let links = (0..config.num_shards)
+                .map(|s| {
+                    Link::new(BandwidthTrace::constant(5e6), 0.0)
+                        .with_packet_faults(PacketFaults::loss(0.25), 100 + s as u64)
+                })
+                .collect();
+            ServingCluster::build(
+                SimModelConfig::tiny(42),
+                EngineConfig::default(),
+                config.clone(),
+                &profile,
+                links,
+            )
+        };
+        let mut c = build();
+        let report = store_and_run(&mut c, 11, 80, 10.0);
+        let lost: u64 = report.shards.iter().map(|s| s.lost_bytes).sum();
+        let refetched: u64 = report.shards.iter().map(|s| s.refetched_bytes).sum();
+        let refetches: u64 = report.shards.iter().map(|s| s.refetches).sum();
+        assert!(lost > 0, "25% packet loss must lose bytes");
+        assert!(
+            refetches > 0 && refetched > 0,
+            "refetch policy must pull the holes back: {refetches} batches, {refetched} bytes"
+        );
+        // Damaged first fetches are quality-penalized (below the whole
+        // level-quality table) until their re-fetch lands.
+        let min_q = report
+            .completed()
+            .filter_map(|o| match o.disposition {
+                Disposition::Completed { quality, .. } => Some(quality),
+                _ => None,
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_q < 0.86,
+            "some request must observe repaired (penalized) quality, min {min_q}"
+        );
+        // Deterministic replay, loss and all.
+        let mut c2 = build();
+        let again = store_and_run(&mut c2, 11, 80, 10.0);
+        assert_eq!(report.outcomes, again.outcomes);
+
+        // A warm re-run hits the cache; the refetch restored the cached
+        // entries, so hit quality is back at the full level table.
+        let warm = store_and_run(&mut c, 11, 80, 10.0);
+        let warm_min = warm
+            .completed()
+            .filter_map(|o| match o.disposition {
+                Disposition::Completed { quality, .. } => Some(quality),
+                _ => None,
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            warm_min >= min_q,
+            "restored caches must not serve worse than the damaged run: {warm_min} vs {min_q}"
+        );
+    }
+
+    #[test]
+    fn refetch_rider_on_cache_hit_still_pulls_the_missing_bytes() {
+        use cachegen_net::PacketFaults;
+        use cachegen_workloads::ServingRequest;
+        // One shard, lossy link, Refetch policy. The first request misses
+        // and loses bytes (queuing a re-fetch); two more same-context
+        // requests arrive while the shard is busy, so the re-fetch rides
+        // a query-headed batch that *hits* the cache — the rider must
+        // still be served, not silently dropped.
+        let config = ServingConfig {
+            num_shards: 1,
+            num_tenants: 1,
+            repair: RepairPolicy::Refetch,
+            retransmit_budget: 0,
+            ..ServingConfig::default()
+        };
+        let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+        let links = vec![Link::new(BandwidthTrace::constant(5e6), 0.0)
+            .with_packet_faults(PacketFaults::loss(0.3), 5)];
+        let mut c = ServingCluster::build(
+            SimModelConfig::tiny(42),
+            EngineConfig::default(),
+            config,
+            &profile,
+            links,
+        );
+        let ctx: Vec<usize> = (0..90).map(|i| (i * 3) % 64).collect();
+        c.store_context(0, &ctx);
+        let req = |arrival: f64| ServingRequest {
+            arrival,
+            tenant: 0,
+            context_id: 0,
+            prompt: vec![1, 2, 3, 4],
+        };
+        let report = c.run(&[req(0.0), req(0.001), req(0.002)]);
+        let s = &report.shards[0];
+        assert!(s.lost_bytes > 0, "30% loss must lose bytes (seeded)");
+        assert!(
+            s.refetches >= 1 && s.refetched_bytes >= s.lost_bytes,
+            "the re-fetch rider must be served, not dropped: {} refetches, {} bytes",
+            s.refetches,
+            s.refetched_bytes
+        );
+        // Later requests coalesced onto cache hits; their recorded quality
+        // is the repaired one, but the cached entry is restored for the
+        // future (a warm re-run serves full level quality).
+        let warm = c.run(&[req(0.0)]);
+        let Disposition::Completed { quality, .. } = warm.outcomes[0].disposition else {
+            panic!("warm hit must complete");
+        };
+        assert!(
+            quality > 0.9,
+            "restored cache must serve undamaged quality, got {quality}"
+        );
     }
 
     #[test]

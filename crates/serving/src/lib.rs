@@ -15,7 +15,9 @@
 //!   past the first, requests are *degraded* to a coarser encoding level;
 //!   past the second they are *shed*. Dispatch is round-robin across
 //!   tenants and coalesces every queued request for the same context into
-//!   one batch.
+//!   one batch. Loss-repair *re-fetches* enter through the same
+//!   watermarks — under overload a re-fetch is degraded or shed like any
+//!   first fetch, and the context stays at its repaired quality.
 //! * [`shard`] — one shard: a [`cachegen::CacheGenEngine`] (with its
 //!   slice of the store), an [`cachegen_kvstore::LruKvCache`] of fetched
 //!   bitstreams, and the store→shard link. A batch fetches once; cache
@@ -71,6 +73,6 @@ pub use cachegen_kvstore::ContextId;
 pub use clock::EventQueue;
 pub use cluster::{ServingCluster, ServingConfig};
 pub use metrics::{percentile, Disposition, RequestOutcome, ServingReport, ShardSummary};
-pub use queue::{Admission, QueuedRequest, TenantQueues};
+pub use queue::{Admission, EntryKind, QueuedRequest, TenantQueues};
 pub use ring::HashRing;
-pub use shard::{BatchOutcome, Shard};
+pub use shard::{repair_effectiveness, BatchOutcome, Shard};

@@ -67,6 +67,15 @@ pub struct ShardSummary {
     pub busy_secs: f64,
     /// Bytes fetched from the store over the shard's link.
     pub bytes_fetched: u64,
+    /// Bytes a lossy transfer never delivered (repaired per policy).
+    pub lost_bytes: u64,
+    /// Loss-repair re-fetch batches served.
+    pub refetches: u64,
+    /// Re-fetches rejected at admission (queue full — the context stays
+    /// at its repaired quality).
+    pub refetch_shed: u64,
+    /// Bytes recovered by re-fetch batches.
+    pub refetched_bytes: u64,
     /// Local KV-cache statistics (hits avoid store fetches entirely).
     pub cache: CacheStats,
     /// Highest queue depth observed (the backpressure bound).

@@ -11,10 +11,30 @@
 
 use std::collections::VecDeque;
 
+/// What a queue entry asks the shard to do.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EntryKind {
+    /// A tenant query: fetch (or hit) the context, then prefill the
+    /// prompt suffix.
+    Query,
+    /// A loss-repair re-fetch: pull the entropy chunks a lossy transfer
+    /// never delivered. Competes under the *same* admission watermarks as
+    /// first fetches — under overload a re-fetch is degraded or shed like
+    /// any arrival (the context stays at its repaired quality).
+    Refetch {
+        /// Bytes still missing.
+        bytes: u64,
+        /// Quality the cached context returns to once the holes are
+        /// filled.
+        restore_quality: f64,
+    },
+}
+
 /// A request waiting in a shard queue.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueuedRequest {
-    /// Index into the run's request slice.
+    /// Index into the run's request slice (`usize::MAX` for internally
+    /// generated re-fetches, which have no outcome slot).
     pub index: usize,
     /// Tenant that issued it.
     pub tenant: usize,
@@ -26,6 +46,8 @@ pub struct QueuedRequest {
     pub prompt_tokens: usize,
     /// Whether admission degraded it (coarser level under pressure).
     pub degraded: bool,
+    /// Query or re-fetch.
+    pub kind: EntryKind,
 }
 
 /// Admission decision for one arriving request.
@@ -168,7 +190,32 @@ mod tests {
             arrival: index as f64,
             prompt_tokens: 4,
             degraded: false,
+            kind: EntryKind::Query,
         }
+    }
+
+    #[test]
+    fn refetch_entries_obey_the_same_watermarks() {
+        let mut q = TenantQueues::new(1, 2, 3);
+        let refetch = |index: usize| QueuedRequest {
+            kind: EntryKind::Refetch {
+                bytes: 1_000,
+                restore_quality: 0.99,
+            },
+            ..req(index, 0, 5)
+        };
+        assert_eq!(q.push(req(0, 0, 5)), Admission::Normal);
+        assert_eq!(q.push(refetch(1)), Admission::Normal);
+        assert_eq!(q.push(refetch(2)), Admission::Degraded);
+        assert_eq!(
+            q.push(refetch(3)),
+            Admission::Shed,
+            "full queue sheds re-fetches too"
+        );
+        // Re-fetches coalesce with queries of the same context.
+        let batch = q.pop_batch(8);
+        assert_eq!(batch.len(), 3);
+        assert!(matches!(batch[1].kind, EntryKind::Refetch { .. }));
     }
 
     #[test]

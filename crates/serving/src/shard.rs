@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use cachegen::engine::CacheGenEngine;
+use cachegen::RepairPolicy;
 use cachegen_kvstore::{ContextId, LruKvCache};
 use cachegen_net::Link;
 use cachegen_streamer::{simulate_stream_from, AdaptPolicy, ChunkPlan, StreamConfig, StreamParams};
@@ -25,10 +26,18 @@ use crate::queue::TenantQueues;
 pub struct BatchOutcome {
     /// Virtual time the batch's KV was ready in GPU memory.
     pub ready: f64,
-    /// Token-weighted quality proxy in [0, 1].
+    /// Token-weighted quality proxy in [0, 1], including any loss-repair
+    /// penalty.
     pub quality: f64,
     /// Whether the batch hit the local cache (no store fetch).
     pub cache_hit: bool,
+    /// Bytes the lossy transfer never delivered (repaired per the
+    /// configured policy; under [`RepairPolicy::Refetch`] the cluster
+    /// queues a re-fetch for them).
+    pub lost_bytes: u64,
+    /// Quality the context recovers to once a pending re-fetch fills the
+    /// holes (equals `quality` when nothing was lost).
+    pub restore_quality: f64,
 }
 
 /// One shard of the serving cluster.
@@ -77,11 +86,20 @@ impl Shard {
         }
     }
 
-    /// Stores a context on this shard (offline path): encodes every chunk
-    /// at every level into the shard's store and remembers the plan.
+    /// Stores a context on this shard (offline or streaming-ingest path):
+    /// encodes every chunk at every level into the shard's store and
+    /// remembers the plan. Re-storing an id (a chat append grew the
+    /// context) invalidates the locally cached bitstream — a hit must
+    /// never serve the stale, shorter context.
     pub fn store_context(&mut self, id: ContextId, tokens: &[usize]) {
         let plan = self.engine.store_kv(id, tokens);
-        self.plans.insert(id, plan);
+        let before = self.plans.insert(id, plan);
+        // Only a *changed* context invalidates: re-ingesting identical
+        // bytes (a warm-up pass) keeps the cache warm by design.
+        if before.is_some_and(|old| old != self.plans[&id]) {
+            self.cache.remove(id);
+            self.cached.remove(&id);
+        }
     }
 
     /// Whether this shard owns a context.
@@ -117,6 +135,8 @@ impl Shard {
                 ready: now + decode_seconds(meta.bytes),
                 quality: meta.quality,
                 cache_hit: true,
+                lost_bytes: 0,
+                restore_quality: meta.quality,
             };
         }
 
@@ -136,29 +156,48 @@ impl Shard {
             policy,
             prior_throughput_bps: cfg.prior_throughput_bps,
             concurrent_requests: 1,
+            retransmit_budget: cfg.retransmit_budget,
             ladder: &self.engine.config().ladder,
             decode_seconds: &decode_seconds,
             recompute_seconds: &recompute_seconds,
         };
         let out = simulate_stream_from(plan, &mut self.link, &params, now);
         self.stats.bytes_fetched += out.bytes_sent;
+        self.stats.lost_bytes += out.lost_bytes();
 
-        // Token-weighted quality of what was actually delivered.
+        // Token-weighted quality of what was actually delivered. Chunks
+        // with transport holes are charged the repair penalty: a lost
+        // fraction of the chunk retains only the policy's effectiveness
+        // (zero-fill mutes it, interpolation keeps most of it, refetch is
+        // zero *until* the re-fetch lands and restores the cached entry).
+        let effectiveness = repair_effectiveness(cfg.repair);
         let mut quality = 0.0f64;
+        let mut restore_quality = 0.0f64;
         let mut kv_tokens = 0usize;
         let mut total_tokens = 0usize;
         for c in &out.chunks {
             let tokens = plan.chunk(c.index).tokens;
             total_tokens += tokens;
             match c.config {
-                StreamConfig::Text => quality += tokens as f64,
+                StreamConfig::Text => {
+                    quality += tokens as f64;
+                    restore_quality += tokens as f64;
+                }
                 StreamConfig::Level(l) => {
-                    quality += tokens as f64 * cfg.quality_of_level(l);
+                    let base = cfg.quality_of_level(l);
+                    let lost_frac = if c.bytes == 0 {
+                        0.0
+                    } else {
+                        (c.lost_bytes() as f64 / c.bytes as f64).min(1.0)
+                    };
+                    quality += tokens as f64 * base * (1.0 - lost_frac * (1.0 - effectiveness));
+                    restore_quality += tokens as f64 * base;
                     kv_tokens += tokens;
                 }
             }
         }
         quality /= total_tokens.max(1) as f64;
+        restore_quality /= total_tokens.max(1) as f64;
 
         // Only a stream delivered entirely as KV bitstreams is cacheable:
         // text chunks are recomputed on the GPU and leave no bitstream, so
@@ -184,7 +223,58 @@ impl Shard {
             ready: out.finish,
             quality,
             cache_hit: false,
+            lost_bytes: out.lost_bytes(),
+            restore_quality,
         }
+    }
+
+    /// Serves a loss-repair re-fetch: pulls the missing bytes over the
+    /// shard's link and, if the context is still resident, restores its
+    /// cached quality. Returns when the re-fetched data was in hand. On a
+    /// per-packet-fault link the re-fetch rides the same faulty wire as
+    /// first fetches (resent until it lands — the re-fetch is the
+    /// reliability layer, so *it* stalls, never the original stream).
+    pub fn serve_refetch(
+        &mut self,
+        context_id: ContextId,
+        bytes: u64,
+        restore_quality: f64,
+        now: f64,
+    ) -> f64 {
+        let finish = if self.link.is_packet_mode() {
+            let mut t = now;
+            let mut arrival = now;
+            loop {
+                let res = self.link.send_packets(&[bytes], t);
+                t = res.wire_finish;
+                arrival = arrival.max(res.last_arrival);
+                self.stats.bytes_fetched += bytes;
+                if res.all_delivered() {
+                    break;
+                }
+                // NACK round trip before the resend, as in the streamer.
+                t = t.max(res.last_arrival + self.link.propagation());
+            }
+            arrival
+        } else {
+            self.stats.bytes_fetched += bytes;
+            self.link.send(bytes, now).finish
+        };
+        self.stats.refetched_bytes += bytes;
+        if let Some(meta) = self.cached.get_mut(&context_id) {
+            meta.quality = meta.quality.max(restore_quality);
+        }
+        finish
+    }
+}
+
+/// Fraction of a repaired chunk's quality the policy retains: zero-fill
+/// mutes the tokens, neighbor-anchor interpolation reconstructs most of
+/// their signal, and refetch is zero-fill until the re-fetch lands.
+pub fn repair_effectiveness(policy: RepairPolicy) -> f64 {
+    match policy {
+        RepairPolicy::ZeroFill | RepairPolicy::Refetch => 0.0,
+        RepairPolicy::AnchorInterpolate => 0.65,
     }
 }
 

@@ -16,6 +16,7 @@
 
 use crate::levels::{LevelLadder, StreamConfig};
 use crate::plan::ChunkPlan;
+use crate::schedule::{ChunkSchedule, PacketId};
 use cachegen_net::{Link, ThroughputEstimator};
 
 /// How the streamer picks per-chunk configurations.
@@ -41,6 +42,13 @@ pub struct StreamParams<'a> {
     pub prior_throughput_bps: Option<f64>,
     /// Number of concurrent requests sharing the stream (B in §5.3).
     pub concurrent_requests: usize,
+    /// Packet retransmissions allowed per chunk on a per-packet-fault
+    /// link (ignored elsewhere). `usize::MAX` reproduces the
+    /// stall-and-retry baseline: every loss is resent until the chunk is
+    /// complete, and TTFT absorbs the retry round trips. A finite budget
+    /// caps the stall and leaves the remainder to the codec's repair
+    /// policies (the packets still missing are reported per chunk).
+    pub retransmit_budget: usize,
     /// Level ladder (for quality ordering / default medium level).
     pub ladder: &'a LevelLadder,
     /// GPU decode time for a compressed chunk of a given wire size.
@@ -50,7 +58,7 @@ pub struct StreamParams<'a> {
 }
 
 /// Outcome for one streamed chunk.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChunkOutcome {
     /// Chunk index.
     pub index: usize,
@@ -65,6 +73,19 @@ pub struct ChunkOutcome {
     /// Virtual time this chunk's KV was ready in GPU memory (after decode
     /// or recompute).
     pub ready: f64,
+    /// Packets still missing after the retransmit budget was spent, with
+    /// their per-request payload bytes — the holes a [`cachegen-codec`]
+    /// repair policy fills. Empty on clean links and for text chunks.
+    pub lost: Vec<(PacketId, u64)>,
+    /// Packet retransmissions this chunk consumed.
+    pub retransmits: u32,
+}
+
+impl ChunkOutcome {
+    /// Per-request payload bytes that never arrived.
+    pub fn lost_bytes(&self) -> u64 {
+        self.lost.iter().map(|&(_, b)| b).sum()
+    }
 }
 
 /// Outcome of streaming a whole context.
@@ -83,6 +104,22 @@ pub struct StreamOutcome {
 }
 
 impl StreamOutcome {
+    /// Per-request payload bytes lost across all chunks (holes left for
+    /// the repair policy after the retransmit budget ran out).
+    pub fn lost_bytes(&self) -> u64 {
+        self.chunks.iter().map(ChunkOutcome::lost_bytes).sum()
+    }
+
+    /// Number of packets lost across all chunks.
+    pub fn lost_packets(&self) -> usize {
+        self.chunks.iter().map(|c| c.lost.len()).sum()
+    }
+
+    /// Packet retransmissions spent across all chunks.
+    pub fn retransmits(&self) -> u32 {
+        self.chunks.iter().map(|c| c.retransmits).sum()
+    }
+
     /// Fraction of chunks sent at each configuration — a compact quality
     /// proxy (text = lossless, finer levels = better).
     pub fn config_histogram(&self, n_levels: usize) -> Vec<(StreamConfig, usize)> {
@@ -185,6 +222,74 @@ fn choose_config(
     }
 }
 
+/// Result of delivering one chunk's packet schedule over a lossy link.
+struct PacketDeliveryOutcome {
+    /// Virtual time the chunk's data was in hand (last surviving arrival).
+    finish: f64,
+    /// Virtual time the wire went idle (next transfer may start).
+    wire_free: f64,
+    /// Packets (and their per-request bytes) still missing after the
+    /// budget ran out, in priority order.
+    lost: Vec<(PacketId, u64)>,
+    /// Retransmissions spent.
+    retransmits: u32,
+    /// Payload bytes that arrived complete (batch-scaled, feeds the
+    /// throughput estimator).
+    delivered_bytes: u64,
+}
+
+/// Delivers one chunk schedule packet by packet: send the whole schedule,
+/// learn what failed one NACK round trip after the batch lands, resend
+/// the highest-priority failures while the budget lasts, and report the
+/// rest as lost. The priority order means the context's early token
+/// groups are both sent and repaired first.
+fn deliver_packets(
+    sched: &ChunkSchedule,
+    link: &mut Link,
+    start: f64,
+    batch: u64,
+    mut budget: usize,
+) -> PacketDeliveryOutcome {
+    let mut pending: Vec<(PacketId, u64)> = sched.entries().to_vec();
+    let mut wire_t = start;
+    let mut finish = start;
+    let mut lost = Vec::new();
+    let mut retransmits = 0u32;
+    let mut delivered_bytes = 0u64;
+    loop {
+        let sizes: Vec<u64> = pending.iter().map(|&(_, b)| b * batch).collect();
+        let res = link.send_packets(&sizes, wire_t);
+        wire_t = res.wire_finish;
+        finish = finish.max(res.last_arrival);
+        delivered_bytes += res.delivered_bytes;
+        let failed = res.failed();
+        if failed.is_empty() {
+            break;
+        }
+        if budget == 0 {
+            lost.extend(failed.iter().map(|&i| pending[i]));
+            break;
+        }
+        // The sender only learns what failed after the receiver has seen
+        // the batch and a NACK traveled back — that round trip is what
+        // makes stall-and-retry expensive on long-haul links.
+        let nack_at = res.last_arrival + link.propagation();
+        let resend = failed.len().min(budget);
+        lost.extend(failed[resend..].iter().map(|&i| pending[i]));
+        pending = failed[..resend].iter().map(|&i| pending[i]).collect();
+        budget -= resend;
+        retransmits += resend as u32;
+        wire_t = wire_t.max(nack_at);
+    }
+    PacketDeliveryOutcome {
+        finish,
+        wire_free: wire_t,
+        lost,
+        retransmits,
+        delivered_bytes,
+    }
+}
+
 /// Streams a planned context over a link starting at virtual time zero.
 pub fn simulate_stream(
     plan: &ChunkPlan,
@@ -225,19 +330,32 @@ pub fn simulate_stream_from(
         let bytes = chunk.bytes_for(cfg);
         // All B requests share the link, so the wire carries B copies of
         // this chunk index before the next (§5.3 batching).
-        let result = link.send(bytes * batch, t);
-        estimator.observe(result.bytes, result.seconds());
+        let transfer_start = t;
+        let (finish, wire_free, lost, retransmits) = match cfg {
+            StreamConfig::Level(l) if link.is_packet_mode() => {
+                let fallback = ChunkSchedule::single(bytes);
+                let sched = chunk.schedule_for(l).unwrap_or(&fallback);
+                let d = deliver_packets(sched, link, t, batch, params.retransmit_budget);
+                estimator.observe(d.delivered_bytes, (d.wire_free - t).max(1e-12));
+                (d.finish, d.wire_free, d.lost, d.retransmits)
+            }
+            _ => {
+                let result = link.send(bytes * batch, t);
+                estimator.observe(result.bytes, result.seconds());
+                (result.finish, result.finish, Vec::new(), 0)
+            }
+        };
         let ready = match cfg {
             StreamConfig::Level(_) => {
                 // Decode pipelines with the next transfer but serialises on
                 // the decode kernel (§6).
-                let start = result.finish.max(decoder_free);
+                let start = finish.max(decoder_free);
                 let done = start + (params.decode_seconds)(bytes) * batch as f64;
                 decoder_free = done;
                 done
             }
             StreamConfig::Text => {
-                let start = result.finish.max(gpu_free);
+                let start = finish.max(gpu_free);
                 let done = start + (params.recompute_seconds)(chunk.tokens) * batch as f64;
                 gpu_free = done;
                 done
@@ -247,12 +365,14 @@ pub fn simulate_stream_from(
             index: i,
             config: cfg,
             bytes,
-            transfer_start: t,
-            transfer_finish: result.finish,
+            transfer_start,
+            transfer_finish: finish,
             ready,
+            lost,
+            retransmits,
         });
         bytes_sent += bytes;
-        t = result.finish;
+        t = wire_free;
     }
     let finish = chunks.iter().map(|c| c.ready).fold(start, f64::max);
     let slo_met = params.slo.map(|s| finish - start <= s).unwrap_or(true);
@@ -302,6 +422,7 @@ mod tests {
             policy,
             prior_throughput_bps: Some(2.0 * GBPS),
             concurrent_requests: 1,
+            retransmit_budget: 0,
             ladder,
             decode_seconds: decode,
             recompute_seconds: recompute,
@@ -528,6 +649,148 @@ mod tests {
             late.finish - 2.0,
             early.finish
         );
+    }
+
+    /// A plan whose chunks carry per-(layer, group) packet schedules:
+    /// 2 chunks × 1 level, 2 layers × 2 groups × K/V = 8 packets each.
+    fn packet_plan() -> ChunkPlan {
+        let chunk = || {
+            let entries: Vec<(PacketId, u64)> = (0..2)
+                .flat_map(|group| {
+                    (0..2).flat_map(move |layer| {
+                        [true, false].map(|is_k| (PacketId { group, layer, is_k }, 125_000u64))
+                    })
+                })
+                .collect();
+            ChunkSizes::new(100, vec![1_000_000], 400)
+                .with_schedules(vec![ChunkSchedule::priority_ordered(entries)])
+        };
+        ChunkPlan::new(vec![chunk(), chunk()])
+    }
+
+    #[test]
+    fn lossy_packet_stream_reports_losses_instead_of_stalling() {
+        use cachegen_net::PacketFaults;
+        let plan = packet_plan();
+        let ladder = LevelLadder::new(vec![1.0]);
+        let clean_finish = {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.01);
+            let p = params(
+                None,
+                AdaptPolicy::FixedLevel(0),
+                &ladder,
+                &fast_decode,
+                &slow_recompute,
+            );
+            simulate_stream(&plan, &mut link, &p).finish
+        };
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.01)
+            .with_packet_faults(PacketFaults::loss(0.3), 42);
+        let p = params(
+            None,
+            AdaptPolicy::FixedLevel(0),
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
+        let out = simulate_stream(&plan, &mut link, &p);
+        assert!(out.lost_packets() > 0, "30% loss must leave holes");
+        assert_eq!(out.lost_bytes(), out.lost_packets() as u64 * 125_000);
+        assert!(out.retransmits() == 0, "budget 0 never retransmits");
+        // Zero-budget delivery costs no retry round trips: finish stays
+        // within a propagation delay of the clean run.
+        assert!(
+            out.finish <= clean_finish + 0.05,
+            "lossy {} vs clean {clean_finish}",
+            out.finish
+        );
+    }
+
+    #[test]
+    fn retransmit_budget_recovers_packets_and_costs_round_trips() {
+        use cachegen_net::PacketFaults;
+        let plan = packet_plan();
+        let ladder = LevelLadder::new(vec![1.0]);
+        let run = |budget: usize| {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.02)
+                .with_packet_faults(PacketFaults::loss(0.3), 7);
+            let mut p = params(
+                None,
+                AdaptPolicy::FixedLevel(0),
+                &ladder,
+                &fast_decode,
+                &slow_recompute,
+            );
+            p.retransmit_budget = budget;
+            simulate_stream(&plan, &mut link, &p)
+        };
+        let none = run(0);
+        let stall = run(usize::MAX);
+        assert_eq!(stall.lost_packets(), 0, "infinite budget recovers all");
+        assert!(stall.retransmits() > 0);
+        assert!(
+            stall.finish > none.finish,
+            "stall-and-retry {} must pay for its round trips vs {}",
+            stall.finish,
+            none.finish
+        );
+        // Same seed, same budget → identical timeline.
+        let again = run(usize::MAX);
+        assert_eq!(stall.chunks, again.chunks);
+    }
+
+    #[test]
+    fn lost_packets_preserve_priority_order() {
+        use cachegen_net::PacketFaults;
+        let plan = packet_plan();
+        let ladder = LevelLadder::new(vec![1.0]);
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .with_packet_faults(PacketFaults::loss(0.5), 3);
+        let p = params(
+            None,
+            AdaptPolicy::FixedLevel(0),
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
+        let out = simulate_stream(&plan, &mut link, &p);
+        for c in &out.chunks {
+            let keys: Vec<_> = c
+                .lost
+                .iter()
+                .map(|(id, _)| (id.group, id.layer, !id.is_k))
+                .collect();
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "lost packets must stay in priority order: {keys:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_without_schedules_fall_back_to_whole_chunk_packets() {
+        use cachegen_net::PacketFaults;
+        // gb_plan has no packet geometry: each chunk is one packet, so a
+        // loss drops the whole chunk's bytes.
+        let plan = gb_plan();
+        let ladder = LevelLadder::new(vec![1.0, 2.0, 4.0]);
+        let mut link = Link::new(BandwidthTrace::constant(8.0 * GBPS), 0.0)
+            .with_packet_faults(PacketFaults::loss(0.4), 21);
+        let p = params(
+            None,
+            AdaptPolicy::FixedLevel(0),
+            &ladder,
+            &fast_decode,
+            &slow_recompute,
+        );
+        let out = simulate_stream(&plan, &mut link, &p);
+        for c in &out.chunks {
+            assert!(c.lost.len() <= 1);
+            if let Some(&(id, bytes)) = c.lost.first() {
+                assert_eq!(bytes, c.bytes, "whole-chunk packet");
+                assert_eq!((id.group, id.layer, id.is_k), (0, 0, true));
+            }
+        }
     }
 
     #[test]

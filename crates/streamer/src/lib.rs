@@ -10,10 +10,15 @@
 //!
 //! * [`levels`] — the ordered ladder of encoding levels.
 //! * [`plan`] — chunk geometry and the offline per-chunk/per-level size
-//!   table the adapter consults.
+//!   table the adapter consults, including per-level packet schedules.
+//! * [`schedule`] — the anchor-group-aligned, priority-ordered packet
+//!   schedule a lossy link delivers chunk by chunk (early token groups
+//!   and shallow layers first).
 //! * [`adapter`] — Algorithm 1 plus the virtual-time streaming simulation
-//!   (transfer pipelined with decode, §6) and concurrent-request batching
-//!   (Figure 12).
+//!   (transfer pipelined with decode, §6), concurrent-request batching
+//!   (Figure 12), and packetized delivery with a retransmit budget on
+//!   per-packet-fault links (whatever is still missing is reported per
+//!   chunk for the codec's repair policies).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +26,11 @@
 pub mod adapter;
 pub mod levels;
 pub mod plan;
+pub mod schedule;
 
 pub use adapter::{
     simulate_stream, simulate_stream_from, AdaptPolicy, ChunkOutcome, StreamOutcome, StreamParams,
 };
 pub use levels::{LevelLadder, StreamConfig};
 pub use plan::{ChunkPlan, ChunkSizes};
+pub use schedule::{ChunkSchedule, PacketId};

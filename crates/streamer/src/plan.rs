@@ -12,6 +12,8 @@
 //!   [`cachegen_llm::ModelSpec`]'s KV byte counts (how the GB-scale figures
 //!   are produced).
 
+use crate::schedule::ChunkSchedule;
+
 /// Default chunk length in tokens (§5.3).
 pub const DEFAULT_CHUNK_TOKENS: usize = 1_500;
 
@@ -25,10 +27,15 @@ pub struct ChunkSizes {
     pub level_bytes: Vec<u64>,
     /// Wire bytes of the raw text fallback.
     pub text_bytes: u64,
+    /// Per-level packet schedules (the per-(layer, group) entropy-chunk
+    /// framing a lossy link delivers packet by packet). Empty when the
+    /// plan was built analytically — the streamer then falls back to a
+    /// one-packet schedule per chunk.
+    schedules: Vec<ChunkSchedule>,
 }
 
 impl ChunkSizes {
-    /// Validates and constructs.
+    /// Validates and constructs (no packet geometry: analytic scale).
     pub fn new(tokens: usize, level_bytes: Vec<u64>, text_bytes: u64) -> Self {
         assert!(tokens > 0, "chunk must cover at least one token");
         assert!(!level_bytes.is_empty(), "need at least one level size");
@@ -40,7 +47,34 @@ impl ChunkSizes {
             tokens,
             level_bytes,
             text_bytes,
+            schedules: Vec::new(),
         }
+    }
+
+    /// Attaches one packet schedule per level (functional scale: built
+    /// from the actual encoded chunks). Each schedule's total must equal
+    /// the level's byte count so the analytic and packetized paths agree.
+    pub fn with_schedules(mut self, schedules: Vec<ChunkSchedule>) -> Self {
+        assert_eq!(
+            schedules.len(),
+            self.level_bytes.len(),
+            "need one schedule per level"
+        );
+        for (l, s) in schedules.iter().enumerate() {
+            assert_eq!(
+                s.total_bytes(),
+                self.level_bytes[l],
+                "schedule bytes must match level {l} size"
+            );
+        }
+        self.schedules = schedules;
+        self
+    }
+
+    /// The packet schedule of one level, if the plan carries packet
+    /// geometry.
+    pub fn schedule_for(&self, level: usize) -> Option<&ChunkSchedule> {
+        self.schedules.get(level)
     }
 
     /// Wire size of a streaming configuration.

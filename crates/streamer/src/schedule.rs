@@ -1,0 +1,182 @@
+//! The per-chunk packet schedule: which entropy chunks a stream chunk
+//! ships, in what priority order, at what byte sizes.
+//!
+//! The codec splits every stream chunk into independently decodable
+//! per-(layer, token-group) entropy chunks (wire v2, §5.2). The transport
+//! sends each as its own packet, so a damaged or late packet degrades only
+//! its own token range. The schedule fixes two contracts:
+//!
+//! * **Anchor-group alignment** — every packet covers exactly one
+//!   (side, layer, group) entropy chunk, so boundaries always fall on
+//!   anchor-group multiples and any delivered subset decodes.
+//! * **Priority order** — packets are sent early-token-groups first (then
+//!   shallow layers first, K before V), so the context's head — which the
+//!   first generated tokens attend to hardest — lands, and is repaired,
+//!   first.
+
+/// Address of one packet: which entropy chunk of the stream chunk it
+/// carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId {
+    /// Token-group index within the stream chunk.
+    pub group: usize,
+    /// Transformer layer.
+    pub layer: usize,
+    /// K-side (true) or V-side.
+    pub is_k: bool,
+}
+
+impl PacketId {
+    /// Priority key: early groups, then shallow layers, then K before V.
+    fn priority(&self) -> (usize, usize, u8) {
+        (self.group, self.layer, u8::from(!self.is_k))
+    }
+}
+
+/// The priority-ordered packet schedule of one stream chunk at one
+/// encoding level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChunkSchedule {
+    /// `(id, payload bytes)` in send order.
+    entries: Vec<(PacketId, u64)>,
+}
+
+impl ChunkSchedule {
+    /// Builds a schedule from unordered entries, sorting them into
+    /// priority order (early groups / shallow layers / K first). Every
+    /// entry must be a distinct chunk address.
+    pub fn priority_ordered(mut entries: Vec<(PacketId, u64)>) -> Self {
+        assert!(!entries.is_empty(), "schedule needs at least one packet");
+        entries.sort_by_key(|(id, _)| id.priority());
+        assert!(
+            entries.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate packet address in schedule"
+        );
+        ChunkSchedule { entries }
+    }
+
+    /// A degenerate one-packet schedule covering the whole stream chunk —
+    /// the fallback for analytically built plans that carry no per-chunk
+    /// packet geometry (loss then means whole-chunk loss).
+    pub fn single(bytes: u64) -> Self {
+        ChunkSchedule {
+            entries: vec![(
+                PacketId {
+                    group: 0,
+                    layer: 0,
+                    is_k: true,
+                },
+                bytes,
+            )],
+        }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total payload bytes across packets.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|(_, b)| b).sum()
+    }
+
+    /// The `(address, bytes)` of packet `i` in send order.
+    pub fn entry(&self, i: usize) -> (PacketId, u64) {
+        self.entries[i]
+    }
+
+    /// All entries in send (priority) order.
+    pub fn entries(&self) -> &[(PacketId, u64)] {
+        &self.entries
+    }
+
+    /// Payload sizes in send order (the shape [`cachegen_net::Link::
+    /// send_packets`] consumes).
+    pub fn packet_sizes(&self) -> Vec<u64> {
+        self.entries.iter().map(|&(_, b)| b).collect()
+    }
+
+    /// Shrinks the schedule's total to `target` bytes by trimming packets
+    /// from the lowest-priority end (used when a plan's monotone-size
+    /// clamp nudges a level's byte count below the raw encoded total).
+    /// Every packet keeps at least one byte.
+    pub fn shrink_to(&mut self, target: u64) {
+        let mut excess = self.total_bytes().saturating_sub(target);
+        for (_, bytes) in self.entries.iter_mut().rev() {
+            if excess == 0 {
+                break;
+            }
+            let cut = excess.min(bytes.saturating_sub(1));
+            *bytes -= cut;
+            excess -= cut;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(group: usize, layer: usize, is_k: bool) -> PacketId {
+        PacketId { group, layer, is_k }
+    }
+
+    #[test]
+    fn priority_is_group_then_layer_then_k_first() {
+        let sched = ChunkSchedule::priority_ordered(vec![
+            (id(1, 0, true), 10),
+            (id(0, 1, false), 20),
+            (id(0, 0, false), 30),
+            (id(0, 0, true), 40),
+            (id(0, 1, true), 50),
+        ]);
+        let order: Vec<PacketId> = sched.entries().iter().map(|&(i, _)| i).collect();
+        assert_eq!(
+            order,
+            vec![
+                id(0, 0, true),
+                id(0, 0, false),
+                id(0, 1, true),
+                id(0, 1, false),
+                id(1, 0, true),
+            ]
+        );
+        assert_eq!(sched.total_bytes(), 150);
+        assert_eq!(sched.packet_sizes(), vec![40, 30, 50, 20, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate packet address")]
+    fn duplicate_addresses_rejected() {
+        let _ = ChunkSchedule::priority_ordered(vec![(id(0, 0, true), 1), (id(0, 0, true), 2)]);
+    }
+
+    #[test]
+    fn single_packet_fallback() {
+        let s = ChunkSchedule::single(999);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 999);
+    }
+
+    #[test]
+    fn shrink_trims_low_priority_packets_first() {
+        let mut s = ChunkSchedule::priority_ordered(vec![
+            (id(0, 0, true), 100),
+            (id(1, 0, true), 100),
+            (id(2, 0, true), 100),
+        ]);
+        s.shrink_to(210);
+        assert_eq!(s.total_bytes(), 210);
+        assert_eq!(s.entry(0).1, 100, "head packet untouched");
+        assert_eq!(s.entry(2).1, 10, "tail packet trimmed first");
+        // Shrinking below len() bottoms out at one byte per packet.
+        s.shrink_to(0);
+        assert_eq!(s.total_bytes(), 3);
+    }
+}

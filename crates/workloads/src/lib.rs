@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod ingest;
 pub mod multitenant;
 pub mod stats;
 
 pub use generator::{ContextSample, MarkovTextGen};
+pub use ingest::{AppendRound, ChatAppendGen, ChatSession, IngestWorkload};
 pub use multitenant::{MultiTenantWorkload, ServingRequest, SharedPrefixGen};
 pub use stats::LengthStats;
 

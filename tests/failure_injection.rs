@@ -24,15 +24,16 @@ fn engine() -> (CacheGenEngine, Vec<usize>) {
     (engine, ctx)
 }
 
-/// A 20%-loss, 20%-jitter link slows the stream but the load still
-/// completes and the cache is intact.
+/// A 20%-loss, 20%-jitter goodput-derated link slows the stream but the
+/// load still completes and the cache is intact (the legacy fault model:
+/// loss shows up as implicit-retransmission delay, never damage).
 #[test]
 fn lossy_jittery_link_still_completes() {
     let (engine, ctx) = engine();
     let cache = engine.calculate_kv(&ctx);
     let mut clean = Link::new(BandwidthTrace::constant(GBPS), 0.0);
     let t_clean = load_context(&engine, &cache, &mut clean, &LoadParams::default());
-    let mut lossy = Link::new(BandwidthTrace::constant(GBPS), 0.0).with_faults(0.2, 0.2, 77);
+    let mut lossy = Link::new(BandwidthTrace::constant(GBPS), 0.0).derate_goodput(0.2, 0.2, 77);
     let t_lossy = load_context(&engine, &cache, &mut lossy, &LoadParams::default());
     assert_eq!(t_lossy.cache.tokens(), ctx.len());
     assert!(
@@ -43,6 +44,10 @@ fn lossy_jittery_link_still_completes() {
     );
     // Delivered payload is identical — loss shows up as delay, not damage.
     assert_eq!(t_lossy.cache, t_clean.cache);
+    assert!(
+        t_lossy.repairs.is_empty(),
+        "derated links never leave holes"
+    );
 }
 
 /// The adapter still meets the SLO on a lossy link by downshifting harder.
@@ -59,12 +64,45 @@ fn adapter_compensates_for_loss() {
         recompute_sec_per_token: 0.5,
         ..LoadParams::default()
     };
-    let mut lossy = Link::new(BandwidthTrace::constant(bw), 0.0).with_faults(0.3, 0.0, 5);
+    let mut lossy = Link::new(BandwidthTrace::constant(bw), 0.0).derate_goodput(0.3, 0.0, 5);
     let out = load_context(&engine, &cache, &mut lossy, &p);
     assert!(
         out.stream.slo_met,
         "adapter should absorb 30% loss: finish {}",
         out.stream.finish
+    );
+}
+
+/// On a per-packet-fault link, holes are repaired — the load completes at
+/// the clean link's pace with provenance for every damaged chunk, and the
+/// cache contains no undecoded noise.
+#[test]
+fn packet_loss_degrades_instead_of_stalling() {
+    use cachegen::RepairPolicy;
+    use cachegen_net::PacketFaults;
+    let (engine, ctx) = engine();
+    let cache = engine.calculate_kv(&ctx);
+    let mut clean = Link::new(BandwidthTrace::constant(GBPS), 0.0);
+    let t_clean = load_context(&engine, &cache, &mut clean, &LoadParams::default());
+    let mut lossy = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+        .with_packet_faults(PacketFaults::loss(0.15), 77);
+    let p = LoadParams {
+        repair: RepairPolicy::AnchorInterpolate,
+        retransmit_budget: 0,
+        ..LoadParams::default()
+    };
+    let t_lossy = load_context(&engine, &cache, &mut lossy, &p);
+    assert_eq!(t_lossy.cache.tokens(), ctx.len());
+    assert!(!t_lossy.repairs.is_empty(), "15% loss must need repairs");
+    assert!(t_lossy.repaired_fraction > 0.0 && t_lossy.repaired_fraction < 1.0);
+    assert!(t_lossy.cache.k().data().iter().all(|x| x.is_finite()));
+    assert!(t_lossy.cache.v().data().iter().all(|x| x.is_finite()));
+    // No stall: the damaged stream finishes within a whisker of clean.
+    assert!(
+        t_lossy.stream.finish <= t_clean.stream.finish * 1.1 + 0.05,
+        "repair path must not stall: {} vs {}",
+        t_lossy.stream.finish,
+        t_clean.stream.finish
     );
 }
 

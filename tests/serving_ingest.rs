@@ -1,0 +1,82 @@
+//! Streaming-ingest integration: chat sessions append token deltas to
+//! their stored contexts between queries, and the serving cluster keeps
+//! serving the grown contexts correctly (ROADMAP "Workload breadth").
+
+use cachegen::EngineConfig;
+use cachegen_llm::SimModelConfig;
+use cachegen_net::{BandwidthTrace, Link};
+use cachegen_serving::{Disposition, ServingCluster, ServingConfig};
+use cachegen_workloads::{workload_rng, ChatAppendGen};
+
+const TENANTS: usize = 2;
+
+fn build_cluster() -> ServingCluster {
+    let cfg = ServingConfig {
+        num_shards: 2,
+        num_tenants: TENANTS,
+        ..ServingConfig::default()
+    };
+    let links = (0..cfg.num_shards)
+        .map(|_| Link::new(BandwidthTrace::constant(5e6), 0.0))
+        .collect();
+    let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+    ServingCluster::build(
+        SimModelConfig::tiny(42),
+        EngineConfig::default(),
+        cfg,
+        &profile,
+        links,
+    )
+}
+
+#[test]
+fn chat_append_sessions_serve_growing_contexts() {
+    let workload = ChatAppendGen::new(64, 4, 60, 20)
+        .with_rounds(3)
+        .generate(&mut workload_rng(17), TENANTS);
+    let mut cluster = build_cluster();
+
+    let mut ttft_by_round: Vec<f64> = Vec::new();
+    for round in 0..workload.num_rounds() {
+        // Ingest: re-store every session's grown context under its stable
+        // id (the append only extends the token axis — group alignment
+        // means the head chunks re-encode byte-identically).
+        for s in 0..workload.sessions.len() {
+            let ctx = workload.context_at(s, round);
+            cluster.store_context(workload.sessions[s].context_id, &ctx);
+        }
+        let report = cluster.run(&workload.round_requests(round));
+        assert_eq!(report.outcomes.len(), 4, "one query per session");
+        for o in &report.outcomes {
+            let Disposition::Completed { ttft, quality, .. } = o.disposition else {
+                panic!("ingest rounds are not overloaded; nothing sheds");
+            };
+            assert!(ttft > 0.0 && quality > 0.8, "ttft {ttft} quality {quality}");
+        }
+        let mean: f64 = report.ttfts(None).iter().sum::<f64>() / report.completed().count() as f64;
+        ttft_by_round.push(mean);
+    }
+    // Growing contexts cost more to load: the last round's mean TTFT must
+    // exceed the first round's (60 → 120 tokens of context).
+    assert!(
+        ttft_by_round[2] > ttft_by_round[0],
+        "ttfts must grow with context length: {ttft_by_round:?}"
+    );
+
+    // Deterministic end to end: regenerate + replay gives identical TTFTs.
+    let workload2 = ChatAppendGen::new(64, 4, 60, 20)
+        .with_rounds(3)
+        .generate(&mut workload_rng(17), TENANTS);
+    let mut cluster2 = build_cluster();
+    let mut replay: Vec<f64> = Vec::new();
+    for round in 0..workload2.num_rounds() {
+        for s in 0..workload2.sessions.len() {
+            let ctx = workload2.context_at(s, round);
+            cluster2.store_context(workload2.sessions[s].context_id, &ctx);
+        }
+        let report = cluster2.run(&workload2.round_requests(round));
+        let mean: f64 = report.ttfts(None).iter().sum::<f64>() / report.completed().count() as f64;
+        replay.push(mean);
+    }
+    assert_eq!(ttft_by_round, replay, "ingest replay must be bit-identical");
+}
