@@ -5,7 +5,7 @@
 use cachegen_net::trace::{BandwidthTrace, GBPS};
 use cachegen_net::Link;
 use cachegen_streamer::{
-    simulate_stream, AdaptPolicy, ChunkPlan, ChunkSizes, LevelLadder, StreamParams,
+    simulate_stream, AdaptPolicy, ChunkPlan, ChunkSizes, FecOverhead, LevelLadder, StreamParams,
 };
 use cachegen_tensor::rng::seeded;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -42,6 +42,7 @@ fn bench_streaming(c: &mut Criterion) {
                 prior_throughput_bps: Some(5.0 * GBPS),
                 concurrent_requests: 1,
                 retransmit_budget: 0,
+                fec_overhead: FecOverhead::Off,
                 ladder: &ladder,
                 decode_seconds: &decode,
                 recompute_seconds: &recompute,
@@ -58,6 +59,7 @@ fn bench_streaming(c: &mut Criterion) {
                 prior_throughput_bps: None,
                 concurrent_requests: 1,
                 retransmit_budget: 0,
+                fec_overhead: FecOverhead::Off,
                 ladder: &ladder,
                 decode_seconds: &decode,
                 recompute_seconds: &recompute,

@@ -5,7 +5,8 @@ use cachegen_llm::{ModelSpec, SimModelConfig};
 use cachegen_net::trace::{BandwidthTrace, GBPS};
 use cachegen_net::Link;
 use cachegen_streamer::{
-    simulate_stream, AdaptPolicy, ChunkPlan, ChunkSizes, LevelLadder, StreamConfig, StreamParams,
+    simulate_stream, AdaptPolicy, ChunkPlan, ChunkSizes, FecOverhead, LevelLadder, StreamConfig,
+    StreamParams,
 };
 use cachegen_workloads::{workload_rng, Dataset};
 
@@ -86,6 +87,7 @@ pub fn fig7() {
             prior_throughput_bps: Some(bw0),
             concurrent_requests: 1,
             retransmit_budget: 0,
+            fec_overhead: FecOverhead::Off,
             ladder: lad,
             decode_seconds: &decode_secs,
             recompute_seconds: &recompute_secs,
@@ -174,6 +176,7 @@ pub fn fig13() {
                     prior_throughput_bps: Some(5.0 * GBPS),
                     concurrent_requests: 1,
                     retransmit_budget: 0,
+                    fec_overhead: FecOverhead::Off,
                     ladder: lad,
                     decode_seconds: &decode_secs,
                     recompute_seconds: &recompute_secs,

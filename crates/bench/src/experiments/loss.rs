@@ -1,17 +1,35 @@
-//! Loss sweep: TTFT and QoE vs chunk-packet loss rate, per repair policy.
+//! Loss sweep: TTFT and QoE vs chunk-packet loss rate, per recovery arm.
 //!
 //! Extends the paper with the loss-resilient transport: every per-(layer,
 //! token-group) entropy chunk travels as its own packet over a link that
-//! drops and reorders packets (seeded, deterministic). The baseline
-//! stall-and-retry transport (infinite retransmit budget) pays a NACK
-//! round trip per retry round and its TTFT balloons with the loss rate;
-//! the repair policies decode what arrived and fill the holes — TTFT
-//! stays at the lossless pace and the damage shows up as a bounded
-//! quality penalty instead (multiple-description coding, PAPERS.md).
+//! drops and reorders packets (seeded, deterministic). Three recovery
+//! families compete:
+//!
+//! * **retransmit** — the stall-and-retry baseline (infinite retransmit
+//!   budget): every loss is resent, each retry round pays a NACK round
+//!   trip, and TTFT balloons with the loss rate;
+//! * **repair** — decode what arrived and fill the holes per
+//!   [`RepairPolicy`]: TTFT stays at the lossless pace, damage becomes a
+//!   bounded quality penalty (and, under `Refetch`, is restored after
+//!   TTFT);
+//! * **FEC** — XOR parity packets ride the schedule so most losses are
+//!   recovered *before* the repair ladder ever triggers: retransmit-free
+//!   TTFT like repair, but the recovered chunks are byte-identical — the
+//!   quality penalty and the re-fetch load largely disappear, at a
+//!   bounded (≤15%) bandwidth overhead.
+//!
+//! `loss_sweep_fast` runs a reduced corpus and *asserts* the frontier
+//! invariant so CI pins it: at 10% loss, loss-induced TTFT inflation is
+//! FEC ≤ repair ≪ retransmit (raw TTFTs are not comparable across arms —
+//! FEC pays its parity bytes on the wire, which is priced separately as
+//! bandwidth overhead), and FEC strictly shrinks both the repaired
+//! surface at TTFT and the re-fetch load.
 
 use crate::harness::section;
 use cachegen::qoe::QoeModel;
-use cachegen::{load_context, CacheGenEngine, EngineConfig, LoadParams, RepairPolicy};
+use cachegen::{
+    load_context, CacheGenEngine, EngineConfig, FecOverhead, LoadOutcome, LoadParams, RepairPolicy,
+};
 use cachegen_llm::SimModelConfig;
 use cachegen_net::{BandwidthTrace, Link, PacketFaults};
 use cachegen_streamer::AdaptPolicy;
@@ -24,39 +42,38 @@ const PROPAGATION: f64 = 0.1;
 /// Seed for the fault draws (the sweep is bit-reproducible).
 const SEED: u64 = 77;
 
-/// One sweep cell.
-struct Cell {
-    ttft: f64,
-    repaired_pct: f64,
-    mse: f32,
-    mos: f64,
-}
-
-/// Shared scenario: an engine, a LongChat-style context (token-wise
-/// locality is what makes neighbor interpolation informative, Insight 1),
-/// and its reference cache.
-pub(crate) fn scenario() -> (CacheGenEngine, cachegen_llm::KvCache) {
+/// Shared scenario: an engine, a LongChat-style context of `tokens`
+/// tokens (token-wise locality is what makes neighbor interpolation
+/// informative, Insight 1), and its reference cache.
+pub(crate) fn scenario_sized(tokens: usize) -> (CacheGenEngine, cachegen_llm::KvCache) {
     use cachegen_workloads::{workload_rng, Dataset};
     let mut rng = workload_rng(900);
-    let profile = Dataset::LongChat.generate(&mut rng, 512, 150).tokens;
+    let profile = Dataset::LongChat.generate(&mut rng, 512, tokens).tokens;
     let engine = CacheGenEngine::build(
         SimModelConfig::llama7b_sim(42),
         EngineConfig::default(),
         &[profile],
     );
-    let ctx = Dataset::LongChat.generate(&mut rng, 512, 150).tokens;
+    let ctx = Dataset::LongChat.generate(&mut rng, 512, tokens).tokens;
     let reference = engine.calculate_kv(&ctx);
     (engine, reference)
 }
 
-/// Runs one (loss, policy, budget) cell. Exposed to the acceptance test.
-pub(crate) fn run_cell(
+/// The full-size scenario used by the sweep and the acceptance tests.
+pub(crate) fn scenario() -> (CacheGenEngine, cachegen_llm::KvCache) {
+    scenario_sized(150)
+}
+
+/// Runs one (loss, policy, budget, fec) cell. Exposed to the acceptance
+/// tests.
+pub(crate) fn run_cell_fec(
     engine: &CacheGenEngine,
     reference: &cachegen_llm::KvCache,
     loss: f64,
     repair: RepairPolicy,
     retransmit_budget: usize,
-) -> (f64, f64, f32) {
+    fec: FecOverhead,
+) -> LoadOutcome {
     let faults = PacketFaults {
         loss,
         reorder: 0.05,
@@ -69,9 +86,29 @@ pub(crate) fn run_cell(
         prior_throughput_bps: Some(BW_BPS),
         repair,
         retransmit_budget,
+        fec_overhead: fec,
         ..LoadParams::default()
     };
-    let out = load_context(engine, reference, &mut link, &params);
+    load_context(engine, reference, &mut link, &params)
+}
+
+/// Legacy cell shape used by older callers: (TTFT, repaired fraction,
+/// MSE).
+pub(crate) fn run_cell(
+    engine: &CacheGenEngine,
+    reference: &cachegen_llm::KvCache,
+    loss: f64,
+    repair: RepairPolicy,
+    retransmit_budget: usize,
+) -> (f64, f64, f32) {
+    let out = run_cell_fec(
+        engine,
+        reference,
+        loss,
+        repair,
+        retransmit_budget,
+        FecOverhead::Off,
+    );
     (
         out.stream.finish,
         out.repaired_fraction,
@@ -79,53 +116,245 @@ pub(crate) fn run_cell(
     )
 }
 
+/// One arm of the sweep.
+struct Arm {
+    name: &'static str,
+    repair: RepairPolicy,
+    budget: usize,
+    fec: FecOverhead,
+    /// Repair effectiveness for the MOS model (bit-exact recovery = 1).
+    effectiveness: f64,
+}
+
 /// The `loss_sweep` experiment: the figures-binary entry point.
 pub fn loss_sweep() {
-    section("Loss sweep: TTFT/QoE vs chunk loss, per repair policy (llama-7b sim, 150 tokens)");
+    section("Loss sweep: TTFT/QoE vs chunk loss — FEC vs repair vs retransmit (llama-7b sim)");
     let (engine, reference) = scenario();
     let qoe = QoeModel::default();
     // Base quality of the fetched encoding level (level 2 of the default
-    // ladder) and per-policy repair effectiveness for the MOS model.
+    // ladder) for the MOS model.
     let base_quality = 0.95;
-    // The repair arms take delivery in a single pass (budget 0): a retry
-    // round would cost a NACK round trip, which is exactly the stall the
-    // policies exist to avoid.
-    let arms: [(&str, RepairPolicy, usize, f64); 4] = [
-        ("stall-and-retry", RepairPolicy::ZeroFill, usize::MAX, 0.0),
-        ("zero-fill", RepairPolicy::ZeroFill, 0, 0.0),
-        ("anchor-interp", RepairPolicy::AnchorInterpolate, 0, 0.65),
-        ("refetch", RepairPolicy::Refetch, 0, 1.0),
+    // The repair/FEC arms take delivery in a single pass (budget 0): a
+    // retry round would cost a NACK round trip, which is exactly the
+    // stall the policies exist to avoid.
+    let arms = [
+        Arm {
+            name: "stall-and-retry",
+            repair: RepairPolicy::ZeroFill,
+            budget: usize::MAX,
+            fec: FecOverhead::Off,
+            effectiveness: 0.0,
+        },
+        Arm {
+            name: "zero-fill",
+            repair: RepairPolicy::ZeroFill,
+            budget: 0,
+            fec: FecOverhead::Off,
+            effectiveness: 0.0,
+        },
+        Arm {
+            name: "anchor-interp",
+            repair: RepairPolicy::AnchorInterpolate,
+            budget: 0,
+            fec: FecOverhead::Off,
+            effectiveness: 0.65,
+        },
+        Arm {
+            name: "refetch",
+            repair: RepairPolicy::Refetch,
+            budget: 0,
+            fec: FecOverhead::Off,
+            effectiveness: 1.0,
+        },
+        Arm {
+            name: "fec+interp",
+            repair: RepairPolicy::AnchorInterpolate,
+            budget: 0,
+            fec: FecOverhead::paper_default(),
+            effectiveness: 0.65,
+        },
+        Arm {
+            name: "fec+refetch",
+            repair: RepairPolicy::Refetch,
+            budget: 0,
+            fec: FecOverhead::paper_default(),
+            effectiveness: 1.0,
+        },
     ];
     let losses = [0.0, 0.02, 0.05, 0.10, 0.20];
 
+    // At 0% loss the repair policy and budget are irrelevant, so one
+    // lossless baseline per distinct FEC config covers every arm.
     let lossless_ttft = run_cell(&engine, &reference, 0.0, RepairPolicy::ZeroFill, 0).0;
-    println!("lossless TTFT: {lossless_ttft:.3} s\n");
+    let lossless_fec_ttft = run_cell_fec(
+        &engine,
+        &reference,
+        0.0,
+        RepairPolicy::ZeroFill,
+        0,
+        FecOverhead::paper_default(),
+    )
+    .stream
+    .finish;
+    println!("lossless TTFT (no FEC): {lossless_ttft:.3} s\n");
     println!(
-        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>7}",
-        "policy", "loss", "ttft (s)", "vs clean", "repaired", "MOS"
+        "{:<16} {:>6} {:>9} {:>9} {:>9} {:>7} {:>9} {:>7}",
+        "arm", "loss", "ttft (s)", "vs clean", "repaired", "fec-rec", "overhead", "MOS"
     );
-    for (name, policy, budget, effectiveness) in arms {
+    for arm in &arms {
+        // "vs clean" compares each arm against *its own* 0%-loss TTFT, so
+        // the FEC arms' parity wire time does not masquerade as a
+        // loss-induced stall (it is accounted in the overhead column).
+        let arm_lossless = if arm.fec == FecOverhead::Off {
+            lossless_ttft
+        } else {
+            lossless_fec_ttft
+        };
         for &loss in &losses {
-            let (ttft, repaired, mse) = run_cell(&engine, &reference, loss, policy, budget);
-            let cell = Cell {
+            let out = run_cell_fec(
+                &engine,
+                &reference,
+                loss,
+                arm.repair,
+                arm.budget,
+                arm.fec.clone(),
+            );
+            let ttft = out.stream.finish;
+            let overhead = out.parity_bytes as f64 / out.stream.bytes_sent.max(1) as f64;
+            let mos = qoe.mos_with_repairs(
                 ttft,
-                repaired_pct: 100.0 * repaired,
-                mse,
-                mos: qoe.mos_with_repairs(ttft, base_quality, repaired, effectiveness),
-            };
+                base_quality,
+                out.repaired_fraction.min(1.0),
+                arm.effectiveness,
+            );
             println!(
-                "{name:<16} {:>5.0}% {:>9.3} {:>8.2}x {:>9.1}% {:>7.2}   (mse {:.4})",
+                "{:<16} {:>5.0}% {:>9.3} {:>8.2}x {:>8.1}% {:>7} {:>8.1}% {:>7.2}   (mse {:.4})",
+                arm.name,
                 100.0 * loss,
-                cell.ttft,
-                cell.ttft / lossless_ttft,
-                cell.repaired_pct,
-                cell.mos,
-                cell.mse
+                ttft,
+                ttft / arm_lossless,
+                100.0 * out.repaired_fraction,
+                out.fec_recovered.len(),
+                100.0 * overhead,
+                mos,
+                reference.mse(&out.cache),
             );
         }
         println!();
     }
     println!("(stall-and-retry recovers every packet but pays a NACK round trip per retry");
     println!(" round; the repair policies hold TTFT at the lossless pace and take the loss");
-    println!(" as a bounded quality penalty — refetch restores fidelity after TTFT.)");
+    println!(" as a bounded quality penalty; FEC recovers most losses byte-identically");
+    println!(" before the repair ladder triggers, for <=15% bandwidth overhead. 'repaired'");
+    println!(" is the byte-weighted fraction of the *final* cache that is policy-");
+    println!(" reconstructed — refetch arms end at 0% because the second pass restores");
+    println!(" bit-exact data after TTFT.)");
+}
+
+/// The frontier cells `loss_sweep_fast` asserts on (also reusable from
+/// tests): FEC ladder, repair-only ladder, and stall-and-retry at one
+/// loss rate, plus each arm's own lossless TTFT.
+pub(crate) struct Frontier {
+    pub fec: LoadOutcome,
+    pub fec_lossless_ttft: f64,
+    pub repair: LoadOutcome,
+    pub repair_lossless_ttft: f64,
+    pub retransmit: LoadOutcome,
+    pub retransmit_lossless_ttft: f64,
+}
+
+pub(crate) fn frontier_at(
+    engine: &CacheGenEngine,
+    reference: &cachegen_llm::KvCache,
+    loss: f64,
+) -> Frontier {
+    let fec_cfg = FecOverhead::paper_default();
+    let cell = |l: f64, repair, budget, fec: &FecOverhead| {
+        run_cell_fec(engine, reference, l, repair, budget, fec.clone())
+    };
+    // At 0% loss the policy/budget are irrelevant: one lossless baseline
+    // per distinct FEC config.
+    let lossless_off = cell(0.0, RepairPolicy::ZeroFill, 0, &FecOverhead::Off)
+        .stream
+        .finish;
+    Frontier {
+        fec: cell(loss, RepairPolicy::Refetch, 0, &fec_cfg),
+        fec_lossless_ttft: cell(0.0, RepairPolicy::Refetch, 0, &fec_cfg).stream.finish,
+        repair: cell(loss, RepairPolicy::Refetch, 0, &FecOverhead::Off),
+        repair_lossless_ttft: lossless_off,
+        retransmit: cell(loss, RepairPolicy::ZeroFill, usize::MAX, &FecOverhead::Off),
+        retransmit_lossless_ttft: lossless_off,
+    }
+}
+
+/// Fast-mode sweep for the CI loop: a small corpus, one loss rate, and a
+/// hard assertion of the FEC frontier invariant so the headline cannot
+/// silently regress.
+pub fn loss_sweep_fast() {
+    section("Loss sweep (fast): FEC frontier invariant at 10% packet loss (small corpus)");
+    let (engine, reference) = scenario_sized(90);
+    let f = frontier_at(&engine, &reference, 0.10);
+
+    // Loss-induced TTFT inflation per arm (each vs its own lossless
+    // pace: parity wire time is bandwidth overhead, not a stall).
+    let infl_fec = f.fec.stream.finish / f.fec_lossless_ttft;
+    let infl_repair = f.repair.stream.finish / f.repair_lossless_ttft;
+    let infl_retx = f.retransmit.stream.finish / f.retransmit_lossless_ttft;
+    let overhead = f.fec.parity_bytes as f64 / f.fec.stream.bytes_sent.max(1) as f64;
+    println!("TTFT inflation at 10% loss:  fec {infl_fec:.3}x  repair {infl_repair:.3}x  retransmit {infl_retx:.3}x");
+    println!(
+        "fec arm: {} packets recovered by parity, {} left to repair, {:.1}% bandwidth overhead, repaired_fraction {:.4}",
+        f.fec.fec_recovered.len(),
+        f.fec.repairs.len(),
+        100.0 * overhead,
+        f.fec.repaired_fraction,
+    );
+    println!(
+        "repair arm: {} holes repaired at TTFT, {} lost bytes re-fetched after TTFT",
+        f.repair.repairs.len(),
+        f.repair.stream.lost_bytes(),
+    );
+
+    // The frontier invariant: FEC TTFT <= repair TTFT (inflation-wise,
+    // both at the lossless pace; epsilon covers reorder jitter) <<
+    // retransmit TTFT.
+    assert!(
+        infl_fec <= infl_repair + 0.02,
+        "FEC TTFT inflation {infl_fec} must not exceed repair {infl_repair}"
+    );
+    assert!(
+        infl_repair + 0.02 < infl_retx && infl_retx > 1.5,
+        "retransmit must stall: {infl_retx}x vs repair {infl_repair}x"
+    );
+    // FEC strictly shrinks the repaired surface and the re-fetch load.
+    assert!(
+        !f.fec.fec_recovered.is_empty(),
+        "10% loss must exercise parity recovery"
+    );
+    assert!(
+        f.fec.repairs.len() < f.repair.repairs.len(),
+        "FEC must leave fewer holes to repair: {} vs {}",
+        f.fec.repairs.len(),
+        f.repair.repairs.len()
+    );
+    assert!(
+        f.fec.stream.lost_bytes() < f.repair.stream.lost_bytes(),
+        "FEC must shrink the re-fetch load"
+    );
+    // Full ladder: the final cache is bit-exact and the parity budget
+    // stays within the 15% envelope.
+    assert!(
+        f.fec.repaired_fraction == 0.0,
+        "refetch rung must restore the FEC arm's residual"
+    );
+    assert!(
+        overhead <= 0.15,
+        "parity overhead {overhead} exceeds the 15% envelope"
+    );
+    assert_eq!(
+        f.fec.stream.retransmits(),
+        0,
+        "the FEC arm never consumes the retransmit budget"
+    );
+    println!("frontier invariant holds: fec <= repair << retransmit");
 }

@@ -35,6 +35,7 @@ pub const ALL: &[&str] = &[
     "appE",
     "serving",
     "loss_sweep",
+    "loss_sweep_fast",
 ];
 
 /// Runs one experiment by name; panics on unknown names (the binary
@@ -62,6 +63,7 @@ pub fn run(name: &str) {
         "appE" => cost::app_e(),
         "serving" => serving::serving(),
         "loss_sweep" => loss::loss_sweep(),
+        "loss_sweep_fast" => loss::loss_sweep_fast(),
         other => panic!("unknown experiment {other}; valid: {ALL:?}"),
     }
 }

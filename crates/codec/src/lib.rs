@@ -87,6 +87,40 @@
 //!    repaired bytes as a quality penalty — nothing is silently decoded
 //!    as noise.
 //!
+//! ## FEC parity packets and the recovery ladder
+//!
+//! With forward error correction enabled, the transport also emits
+//! **XOR parity packets** alongside the data packets. Parity is purely a
+//! wire-level artifact — it never appears in the [`EncodedKv`] container
+//! above, so stored bitstreams are unchanged and FEC off (`k = ∞`) is
+//! bit-identical to the plain transport. Layout per stream chunk:
+//!
+//! * The schedule's `n` data packets (priority order: early token groups,
+//!   shallow layers, K before V) are striped into parity groups of at
+//!   most `k` members with **interleaver stride `g = ceil(n / k)`**:
+//!   packet `i` joins group `i mod g`, so a burst of up to `g`
+//!   consecutive drops degrades into at most one loss per group. The
+//!   head half of the priority order may be protected denser (`ceil(k /
+//!   2)`, `FecOverhead::PerLevel`).
+//! * Each group's parity packet is the byte-wise XOR of its members
+//!   (zero-padded to the longest), sized to the group's max member, and
+//!   rides the wire **immediately after its group's last data packet** —
+//!   after the data of its group, before the next group's tail.
+//!
+//! The receive path then runs a three-rung recovery ladder:
+//!
+//! 1. **FEC** — a group that lost exactly one data packet (and kept its
+//!    parity) is XOR-reconstructed byte-identically; the chunk is marked
+//!    recovered in the arrival map and decodes like an arrival, reported
+//!    as [`repair::RepairCause::RecoveredByFec`] provenance with no
+//!    quality penalty.
+//! 2. **Repair** — groups with ≥ 2 losses fall back to the
+//!    [`RepairPolicy`] chain above (after whatever retransmit budget the
+//!    streamer had).
+//! 3. **Refetch** — under [`RepairPolicy::Refetch`] the remaining holes
+//!    are re-requested after the first decode; TTFT keeps the first-pass
+//!    finish and fidelity is restored when the re-fetch lands.
+//!
 //! **Compatibility**: version 1 (monolithic per-layer WNC streams) is no
 //! longer written or read; [`EncodedKv::from_bytes`] rejects it
 //! explicitly. Stored contexts must be re-encoded — profiles are built

@@ -50,13 +50,18 @@ pub enum RepairPolicy {
 
 /// Which per-(side, layer, group) entropy chunks of one [`EncodedKv`]
 /// arrived intact. Built by the transport (lost, late, or truncated
-/// packets are marked), consumed by [`KvCodec::decode_with_repairs`].
+/// packets are marked lost; packets reconstructed by XOR parity are
+/// marked recovered), consumed by [`KvCodec::decode_with_repairs`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChunkArrivalMap {
     layers: usize,
     groups: usize,
     /// `lost[side][layer * groups + group]`, side 0 = K, 1 = V.
     lost: [Vec<bool>; 2],
+    /// Chunks whose packet was dropped but whose bytes FEC reconstructed
+    /// byte-identically — they decode like arrivals and are reported with
+    /// [`RepairCause::RecoveredByFec`] provenance, not repaired.
+    recovered: [Vec<bool>; 2],
 }
 
 impl ChunkArrivalMap {
@@ -67,6 +72,7 @@ impl ChunkArrivalMap {
             layers,
             groups,
             lost: [vec![false; layers * groups], vec![false; layers * groups]],
+            recovered: [vec![false; layers * groups], vec![false; layers * groups]],
         }
     }
 
@@ -81,14 +87,41 @@ impl ChunkArrivalMap {
     }
 
     /// Marks one chunk as not delivered (dropped, truncated, or late).
+    /// Clears any recovered mark: lost wins (the caller decided FEC could
+    /// not reconstruct it after all).
     pub fn mark_lost(&mut self, is_k: bool, layer: usize, group: usize) {
         let i = self.idx(layer, group);
         self.lost[usize::from(!is_k)][i] = true;
+        self.recovered[usize::from(!is_k)][i] = false;
+    }
+
+    /// Marks one chunk as FEC-recovered: its packet was dropped but XOR
+    /// parity reconstructed the bytes exactly, so it decodes like an
+    /// arrival and only provenance is recorded. A chunk already marked
+    /// lost stays lost.
+    pub fn mark_recovered(&mut self, is_k: bool, layer: usize, group: usize) {
+        let i = self.idx(layer, group);
+        if !self.lost[usize::from(!is_k)][i] {
+            self.recovered[usize::from(!is_k)][i] = true;
+        }
     }
 
     /// Whether a chunk is marked lost.
     pub fn is_lost(&self, is_k: bool, layer: usize, group: usize) -> bool {
         self.lost[usize::from(!is_k)][self.idx(layer, group)]
+    }
+
+    /// Whether a chunk is marked FEC-recovered.
+    pub fn is_recovered(&self, is_k: bool, layer: usize, group: usize) -> bool {
+        self.recovered[usize::from(!is_k)][self.idx(layer, group)]
+    }
+
+    /// Number of chunks marked FEC-recovered.
+    pub fn recovered_count(&self) -> usize {
+        self.recovered
+            .iter()
+            .map(|side| side.iter().filter(|&&r| r).count())
+            .sum()
     }
 
     /// Number of chunks marked lost.
@@ -120,13 +153,18 @@ impl ChunkArrivalMap {
     }
 }
 
-/// Why a chunk needed repair.
+/// Why a chunk needed repair — or, for [`RepairCause::RecoveredByFec`],
+/// why it carries provenance despite decoding byte-identically.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RepairCause {
     /// The transport never delivered it (marked lost in the arrival map).
     Lost,
     /// It arrived but failed to decode; the defect is attached.
     Corrupt(CodecError),
+    /// Its packet was dropped but XOR parity reconstructed the bytes
+    /// exactly before decoding — no repair happened, no quality penalty
+    /// applies; the record exists so the recovery is auditable.
+    RecoveredByFec,
 }
 
 /// What the decoder put in a repaired chunk's place.
@@ -144,6 +182,9 @@ pub enum RepairKind {
     },
     /// Rows zero-filled and the chunk flagged for re-fetch.
     PendingRefetch,
+    /// Rows decoded byte-identically from FEC-reconstructed bytes — the
+    /// kind paired with [`RepairCause::RecoveredByFec`].
+    Intact,
 }
 
 /// Per-chunk repair provenance: one record per entropy chunk that did
@@ -172,12 +213,18 @@ pub struct RepairedKv {
     pub cache: KvCache,
     /// One record per repaired chunk (empty = clean decode).
     pub repairs: Vec<ChunkRepair>,
+    /// One record per chunk decoded from FEC-reconstructed bytes
+    /// ([`RepairCause::RecoveredByFec`] / [`RepairKind::Intact`]): these
+    /// decoded byte-identically and carry no quality penalty — they are
+    /// provenance, not repairs.
+    pub fec_recovered: Vec<ChunkRepair>,
     /// Total entropy chunks in the stream (`2 × layers × groups`).
     pub total_chunks: usize,
 }
 
 impl RepairedKv {
-    /// Whether every chunk decoded from delivered bytes.
+    /// Whether every chunk decoded from delivered (or FEC-recovered)
+    /// bytes — i.e. no policy-reconstructed content anywhere.
     pub fn is_clean(&self) -> bool {
         self.repairs.is_empty()
     }
@@ -200,10 +247,13 @@ impl RepairedKv {
 
 impl KvCodec {
     /// Decodes a stream of which only the chunks marked arrived in
-    /// `arrivals` are trusted, applying `policy` to the rest. See the
-    /// module docs for the per-policy semantics. Errors only on container
-    /// geometry defects (a malformed *map or container*, not a damaged
-    /// chunk — damage is repaired and reported, never fatal).
+    /// `arrivals` are trusted, applying `policy` to the rest. Chunks
+    /// marked FEC-recovered decode like arrivals (their bytes were XOR-
+    /// reconstructed exactly) and are reported as
+    /// [`RepairCause::RecoveredByFec`] provenance. See the module docs
+    /// for the per-policy semantics. Errors only on container geometry
+    /// defects (a malformed *map or container*, not a damaged chunk —
+    /// damage is repaired and reported, never fatal).
     pub fn decode_with_repairs(
         &self,
         enc: &EncodedKv,
@@ -224,6 +274,7 @@ impl KvCodec {
         let mut k = Tensor::zeros(&[layers, tokens, channels]);
         let mut v = Tensor::zeros(&[layers, tokens, channels]);
         let mut repairs: Vec<ChunkRepair> = Vec::new();
+        let mut fec_recovered: Vec<ChunkRepair> = Vec::new();
         // `damaged[side][layer][group]`: lost chunks plus arrived-but-
         // corrupt ones — the set the repair pass fills and the neighbor
         // search must avoid.
@@ -259,7 +310,7 @@ impl KvCodec {
                     } else {
                         (&enc.scales[2][layer], &enc.scales[3][layer])
                     };
-                    if let Err(e) = self.decode_chunk(
+                    match self.decode_chunk(
                         &chunks[layer][group],
                         layer,
                         layers,
@@ -271,17 +322,31 @@ impl KvCodec {
                         delta_scales,
                         slice,
                     ) {
-                        // The failed decode may have partially written the
-                        // slice; scrub it so corruption never leaks.
-                        slice.fill(0.0);
-                        damaged[side][layer][group] = true;
-                        repairs.push(ChunkRepair {
-                            is_k,
-                            layer,
-                            group,
-                            cause: RepairCause::Corrupt(e),
-                            kind: RepairKind::ZeroFilled, // refined below
-                        });
+                        // An FEC-recovered chunk decoded byte-identically:
+                        // record the recovery, charge no repair.
+                        Ok(()) if arrivals.is_recovered(is_k, layer, group) => {
+                            fec_recovered.push(ChunkRepair {
+                                is_k,
+                                layer,
+                                group,
+                                cause: RepairCause::RecoveredByFec,
+                                kind: RepairKind::Intact,
+                            });
+                        }
+                        Ok(()) => {}
+                        Err(e) => {
+                            // The failed decode may have partially written
+                            // the slice; scrub it so corruption never leaks.
+                            slice.fill(0.0);
+                            damaged[side][layer][group] = true;
+                            repairs.push(ChunkRepair {
+                                is_k,
+                                layer,
+                                group,
+                                cause: RepairCause::Corrupt(e),
+                                kind: RepairKind::ZeroFilled, // refined below
+                            });
+                        }
                     }
                 }
             }
@@ -311,6 +376,7 @@ impl KvCodec {
         Ok(RepairedKv {
             cache: KvCache::from_tensors(k, v),
             repairs,
+            fec_recovered,
             total_chunks: 2 * layers * groups,
         })
     }
@@ -567,6 +633,51 @@ mod tests {
             codec.decode_with_repairs(&enc, &arrivals, RepairPolicy::ZeroFill),
             Err(CodecError::Geometry(_))
         ));
+    }
+
+    #[test]
+    fn fec_recovered_chunks_decode_intact_with_provenance() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let clean = codec.decode(&enc);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        arrivals.mark_recovered(true, 0, 1);
+        arrivals.mark_recovered(false, 1, 2);
+        assert_eq!(arrivals.recovered_count(), 2);
+        for policy in [
+            RepairPolicy::ZeroFill,
+            RepairPolicy::AnchorInterpolate,
+            RepairPolicy::Refetch,
+        ] {
+            let out = codec.decode_with_repairs(&enc, &arrivals, policy).unwrap();
+            assert!(out.is_clean(), "recovery is not a repair ({policy:?})");
+            assert_eq!(out.repaired_fraction(), 0.0);
+            assert_eq!(out.cache, clean, "recovered bytes decode identically");
+            assert_eq!(out.fec_recovered.len(), 2);
+            assert!(out
+                .fec_recovered
+                .iter()
+                .all(|r| r.cause == RepairCause::RecoveredByFec && r.kind == RepairKind::Intact));
+        }
+    }
+
+    #[test]
+    fn lost_mark_wins_over_recovered() {
+        let (cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        let mut arrivals = ChunkArrivalMap::full(enc.layers, enc.num_groups());
+        arrivals.mark_recovered(true, 0, 1);
+        arrivals.mark_lost(true, 0, 1);
+        assert!(arrivals.is_lost(true, 0, 1));
+        assert!(!arrivals.is_recovered(true, 0, 1));
+        // And marking recovered after lost does not resurrect the chunk.
+        arrivals.mark_recovered(true, 0, 1);
+        assert!(arrivals.is_lost(true, 0, 1));
+        let out = codec
+            .decode_with_repairs(&enc, &arrivals, RepairPolicy::ZeroFill)
+            .unwrap();
+        assert_eq!(out.repairs.len(), 1);
+        assert!(out.fec_recovered.is_empty());
     }
 
     #[test]

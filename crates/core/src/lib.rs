@@ -39,9 +39,11 @@
 //! * [`engine`] — [`CacheGenEngine`]: the §6 interfaces (`calculate_kv`,
 //!   `store_kv`, `get_kv`, `generate_with_kv`) plus multi-level encoding.
 //! * [`pipeline`] — functional end-to-end context loading: offline encode →
-//!   adaptive packetized streaming over a simulated link → hole-aware
-//!   per-chunk decode (lost packets repaired per [`RepairPolicy`], never
-//!   stalled on) → reassembled (lossy) KV cache ready for generation.
+//!   adaptive packetized streaming over a simulated link → the
+//!   FEC→repair→refetch recovery ladder (XOR parity recovers single
+//!   losses per group byte-identically; what remains is repaired per
+//!   [`RepairPolicy`], never stalled on) → reassembled (lossy) KV cache
+//!   ready for generation.
 //! * [`ttft`] — the analytic TTFT model at real-model scale (Figures 8,
 //!   11, 12, 19 are produced with it, using compression ratios measured on
 //!   the functional codec).
@@ -57,6 +59,7 @@ pub mod qoe;
 pub mod ttft;
 
 pub use cachegen_codec::repair::RepairPolicy;
+pub use cachegen_streamer::FecOverhead;
 pub use engine::{CacheGenEngine, EngineConfig};
 pub use pipeline::{load_context, LoadOutcome, LoadParams};
 pub use ttft::{LoadMethod, TtftBreakdown, TtftModel};

@@ -11,9 +11,13 @@
 //! perturb the recomputed chunk is documented in DESIGN.md).
 //!
 //! On a per-packet-fault link every stream chunk travels as its packet
-//! schedule (one packet per (side, layer, group) entropy chunk); packets
+//! schedule (one packet per (side, layer, group) entropy chunk), and the
+//! receive path runs the FEC→repair→refetch recovery ladder: XOR parity
+//! ([`FecOverhead`]) first reconstructs every parity group that lost
+//! exactly one packet — byte-identical, no NACK, no budget — then packets
 //! still missing after the retransmit budget are *repaired* by the
-//! configured [`RepairPolicy`] instead of stalling the stream, and
+//! configured [`RepairPolicy`] instead of stalling the stream (only
+//! groups with ≥ 2 losses ever reach this rung), and
 //! [`RepairPolicy::Refetch`] runs a second pass that re-requests the holes
 //! after the first decode (TTFT keeps the first-pass finish; the re-fetch
 //! restores fidelity afterwards).
@@ -23,11 +27,12 @@ use cachegen_codec::repair::{ChunkArrivalMap, ChunkRepair, RepairPolicy};
 use cachegen_llm::KvCache;
 use cachegen_net::Link;
 use cachegen_streamer::{
-    simulate_stream, AdaptPolicy, ChunkOutcome, StreamConfig, StreamOutcome, StreamParams,
+    simulate_stream, AdaptPolicy, ChunkOutcome, FecOverhead, StreamConfig, StreamOutcome,
+    StreamParams,
 };
 
 /// Parameters for a context-loading run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LoadParams {
     /// SLO on context-loading time, seconds.
     pub slo: Option<f64>,
@@ -47,6 +52,10 @@ pub struct LoadParams {
     /// Packet retransmissions allowed per chunk before the repair policy
     /// takes over. `usize::MAX` = stall-and-retry (never repair).
     pub retransmit_budget: usize,
+    /// Forward-error-correction parity density per encoding level: the
+    /// first rung of the recovery ladder. [`FecOverhead::Off`] (the
+    /// default) reproduces the pre-FEC transport bit for bit.
+    pub fec_overhead: FecOverhead,
 }
 
 impl Default for LoadParams {
@@ -60,6 +69,7 @@ impl Default for LoadParams {
             recompute_sec_per_token: 1e-3,
             repair: RepairPolicy::AnchorInterpolate,
             retransmit_budget: 0,
+            fec_overhead: FecOverhead::Off,
         }
     }
 }
@@ -71,12 +81,30 @@ pub struct LoadOutcome {
     pub cache: KvCache,
     /// The streaming timeline (per-chunk configs, finish time, SLO).
     pub stream: StreamOutcome,
-    /// Repair provenance: `(stream chunk index, repair)` for every entropy
-    /// chunk that was reconstructed rather than decoded from delivered
-    /// bytes. Empty on clean links.
+    /// Repair provenance at TTFT time: `(stream chunk index, repair)` for
+    /// every entropy chunk that was policy-reconstructed rather than
+    /// decoded from delivered bytes when the stream finished (a chunk the
+    /// Refetch second pass later restored keeps its record here — the
+    /// record says what the cache looked like at TTFT). Empty on clean
+    /// links.
     pub repairs: Vec<(usize, ChunkRepair)>,
-    /// Fraction of the stream's KV entropy chunks that needed repair.
+    /// FEC provenance: `(stream chunk index, record)` for every entropy
+    /// chunk whose packet was dropped but XOR parity reconstructed
+    /// byte-identically ([`cachegen_codec::RepairCause::RecoveredByFec`]).
+    /// These decode intact and carry no quality penalty.
+    pub fec_recovered: Vec<(usize, ChunkRepair)>,
+    /// Fraction of the stream's KV payload bytes whose content in the
+    /// *returned cache* is policy-reconstructed rather than decoded from
+    /// delivered, FEC-recovered, or re-fetched bits. Weighted by packet
+    /// byte length — a lost head packet, which also carries the stream
+    /// chunk's container (header + scale tables), weighs accordingly
+    /// instead of counting as just one of `2 × layers × groups` chunks —
+    /// and reflecting the final cache: chunks the Refetch second pass
+    /// restored bit-exact contribute zero.
     pub repaired_fraction: f64,
+    /// Per-request parity payload bytes the stream put on the wire (the
+    /// FEC bandwidth overhead on top of `stream.bytes_sent`).
+    pub parity_bytes: u64,
     /// When the [`RepairPolicy::Refetch`] second pass delivered the last
     /// missing chunk (`None` when nothing was pending). The cache already
     /// includes the re-fetched data; TTFT is still `stream.finish`.
@@ -104,17 +132,27 @@ pub fn load_context(
         prior_throughput_bps: params.prior_throughput_bps,
         concurrent_requests: params.concurrent_requests,
         retransmit_budget: params.retransmit_budget,
+        fec_overhead: params.fec_overhead.clone(),
         ladder: &engine.config().ladder,
         decode_seconds: &decode_seconds,
         recompute_seconds: &recompute_seconds,
     };
     let stream = simulate_stream(&plan, link, &stream_params);
 
-    // Reassemble the cache chunk by chunk at the configurations chosen,
-    // repairing any holes the transport left.
+    // Reassemble the cache chunk by chunk at the configurations chosen.
+    // Recovery ladder, in order: packets XOR parity already reconstructed
+    // decode intact (FEC provenance only); what is still missing after
+    // the retransmit budget — only parity groups that took ≥ 2 losses —
+    // is repaired per policy; Refetch holes are restored in a second pass
+    // below.
     let mut chunks = Vec::with_capacity(stream.chunks.len());
     let mut repairs: Vec<(usize, ChunkRepair)> = Vec::new();
-    let mut kv_chunk_total = 0usize;
+    let mut fec_recovered: Vec<(usize, ChunkRepair)> = Vec::new();
+    // Per stream chunk: payload bytes whose content is currently
+    // policy-reconstructed (the numerator of `repaired_fraction`; a
+    // completed re-fetch zeroes its chunk's entry).
+    let mut repaired_bytes = vec![0u64; plan.num_chunks()];
+    let mut kv_bytes_total = 0u64;
     let mut refetch: Vec<(usize, usize)> = Vec::new(); // (chunk index, level)
     let mut start = 0usize;
     for outcome in &stream.chunks {
@@ -122,8 +160,8 @@ pub fn load_context(
         let chunk = match outcome.config {
             StreamConfig::Level(l) => {
                 let enc = &encoded[outcome.index][l];
-                kv_chunk_total += enc.num_chunks();
-                if outcome.lost.is_empty() {
+                kv_bytes_total += outcome.bytes;
+                if outcome.lost.is_empty() && outcome.fec_recovered.is_empty() {
                     engine.decode_at_level(enc, l)
                 } else {
                     let repaired = engine
@@ -137,7 +175,14 @@ pub fn load_context(
                     if !repaired.pending_refetch().is_empty() {
                         refetch.push((outcome.index, l));
                     }
+                    repaired_bytes[outcome.index] = outcome.lost_bytes();
                     repairs.extend(repaired.repairs.into_iter().map(|r| (outcome.index, r)));
+                    fec_recovered.extend(
+                        repaired
+                            .fec_recovered
+                            .into_iter()
+                            .map(|r| (outcome.index, r)),
+                    );
                     repaired.cache
                 }
             }
@@ -168,30 +213,39 @@ pub fn load_context(
             refetch_finish = Some(refetch_finish.unwrap_or(0.0f64).max(res.last_arrival));
             pending = res.failed().iter().map(|&i| pending[i]).collect();
         }
-        // All packets are now in hand: the chunk decodes bit-exact.
+        // All packets are now in hand: the chunk decodes bit-exact, and
+        // no policy-reconstructed bytes remain in it.
         let enc = &encoded[idx][level];
         chunks[idx] = engine.decode_at_level(enc, level);
+        repaired_bytes[idx] = 0;
     }
 
-    let repaired_fraction = if kv_chunk_total == 0 {
+    let repaired_fraction = if kv_bytes_total == 0 {
         0.0
     } else {
-        repairs.len() as f64 / kv_chunk_total as f64
+        repaired_bytes.iter().sum::<u64>() as f64 / kv_bytes_total as f64
     };
+    let parity_bytes = stream.parity_bytes();
     LoadOutcome {
         cache: KvCache::concat_tokens(&chunks),
         stream,
         repairs,
+        fec_recovered,
         repaired_fraction,
+        parity_bytes,
         refetch_finish,
     }
 }
 
-/// Builds the codec's arrival map from a chunk outcome's lost packets.
+/// Builds the codec's arrival map from a chunk outcome's lost and
+/// FEC-recovered packets.
 fn arrival_map(layers: usize, groups: usize, outcome: &ChunkOutcome) -> ChunkArrivalMap {
     let mut map = ChunkArrivalMap::full(layers, groups);
     for &(id, _) in &outcome.lost {
         map.mark_lost(id.is_k, id.layer, id.group);
+    }
+    for &(id, _) in &outcome.fec_recovered {
+        map.mark_recovered(id.is_k, id.layer, id.group);
     }
     map
 }

@@ -1,0 +1,284 @@
+//! Systematic XOR-parity forward error correction over packet batches.
+//!
+//! The loss-resilient transport ships every entropy chunk as its own
+//! packet; PR 4 recovered holes *reactively* (repair policies, refetch).
+//! This module adds the proactive half: the sender groups the data
+//! packets of one schedule into **parity groups** of at most `k` members
+//! and emits one XOR parity packet per group. Any *single* loss inside a
+//! group is then recovered at the receiver by XOR-ing the parity with the
+//! surviving members — no NACK round trip, no retransmission (the
+//! redundancy-at-the-sender argument of MDC fronthaul coding, PAPERS.md).
+//!
+//! Three properties make the scheme useful on real loss patterns:
+//!
+//! * **Striped interleaving** — group membership is assigned round-robin
+//!   with stride `g = ceil(n / k)` (member `i` joins group `i mod g`), so
+//!   *consecutive* packets always land in *different* groups: a burst of
+//!   up to `g` drops degrades into `≤ 1` loss per group, each of which is
+//!   single-loss recoverable. An i.i.d. interleaver permutation would do
+//!   no better against bursts and would cost a permutation table on the
+//!   wire.
+//! * **Size-outlier exclusion** — XOR parity must be as long as its
+//!   group's *longest* member, so one oversized packet (the
+//!   container-bearing head packet is ~10× the median at small scale)
+//!   would blow the parity budget of its whole group. Packets larger
+//!   than [`OUTLIER_FACTOR`]× the schedule median are therefore left
+//!   unprotected ([`FecGroups::group_of`] returns `None`) and rely on
+//!   the retransmit/repair/refetch rungs instead; everyone else gets
+//!   parity at ≈ `1/k` overhead.
+//! * **Systematic coding** — data packets travel unmodified; parity is
+//!   additional. FEC off (`k = ∞`) is therefore bit-identical to the
+//!   plain transport.
+//!
+//! Recovery is pure XOR and thus order-independent: the receiver dedups
+//! packets by index (the transport already does — duplicates are
+//! delivered once) and XORs the parity with every surviving member, in
+//! any order, truncating to the lost packet's known length. Groups with
+//! two or more losses are *not* recoverable here (one equation per
+//! group); those fall back to the repair/refetch ladder.
+
+/// Packets larger than this multiple of the schedule's median size are
+/// excluded from parity protection (see the module docs). At real scale
+/// only the container-bearing head packet (~10× the median) trips this;
+/// at toy scale the container amortizes enough to stay protected.
+pub const OUTLIER_FACTOR: u64 = 4;
+
+/// Assignment of `n` data packets to striped XOR parity groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FecGroups {
+    /// `assignment[i]` = parity group of data packet `i` (`None` =
+    /// unprotected size outlier).
+    assignment: Vec<Option<usize>>,
+    /// `groups[j]` = member data-packet indices of group `j`, ascending.
+    groups: Vec<Vec<usize>>,
+}
+
+impl FecGroups {
+    /// Stripes `n` equally-trusted data packets into groups of at most
+    /// `k` members each: `g = ceil(n / k)` groups, packet `i` → group
+    /// `i % g`, so any burst of up to `g` consecutive packets loses at
+    /// most one member per group.
+    pub fn striped(n: usize, k: usize) -> Self {
+        assert!(n >= 1, "need at least one data packet");
+        Self::build(&(0..n).collect::<Vec<_>>(), n, k, false)
+    }
+
+    /// Two-tier striping: the *head* half of the sequence (the schedule's
+    /// highest-priority packets — early token groups, shallow layers) is
+    /// protected at the denser `ceil(k / 2)`, the tail at `k`.
+    pub fn striped_tiered(n: usize, k: usize) -> Self {
+        assert!(n >= 1, "need at least one data packet");
+        Self::build(&(0..n).collect::<Vec<_>>(), n, k, true)
+    }
+
+    /// Striping over a sized schedule with outlier exclusion: packets
+    /// larger than [`OUTLIER_FACTOR`]× the median size stay unprotected
+    /// (their parity would cost as much as resending them); the rest are
+    /// striped — tiered (head half denser) when `tiered` is set.
+    pub fn striped_sized(sizes: &[u64], k: usize, tiered: bool) -> Self {
+        assert!(!sizes.is_empty(), "need at least one data packet");
+        let median = {
+            let mut s = sizes.to_vec();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        let protected: Vec<usize> = (0..sizes.len())
+            .filter(|&i| sizes[i] <= median.saturating_mul(OUTLIER_FACTOR))
+            .collect();
+        Self::build(&protected, sizes.len(), k, tiered)
+    }
+
+    /// Builds the grouping over the `protected` member indices (ascending
+    /// positions within the original `n`-packet sequence).
+    fn build(protected: &[usize], n: usize, k: usize, tiered: bool) -> Self {
+        assert!(k >= 1, "parity group size must be >= 1");
+        let mut assignment: Vec<Option<usize>> = vec![None; n];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut stripe = |members: &[usize], k: usize| {
+            if members.is_empty() {
+                return;
+            }
+            let g = members.len().div_ceil(k);
+            let base = groups.len();
+            groups.extend(std::iter::repeat_with(Vec::new).take(g));
+            for (pos, &i) in members.iter().enumerate() {
+                assignment[i] = Some(base + pos % g);
+                groups[base + pos % g].push(i);
+            }
+        };
+        if tiered && protected.len() >= 2 {
+            let head = protected.len() / 2;
+            stripe(&protected[..head], k.div_ceil(2));
+            stripe(&protected[head..], k);
+        } else {
+            stripe(protected, k);
+        }
+        FecGroups { assignment, groups }
+    }
+
+    /// Number of data packets covered (protected or not).
+    pub fn num_packets(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of parity groups (= parity packets emitted).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The parity group of data packet `i` (`None` = unprotected).
+    pub fn group_of(&self, i: usize) -> Option<usize> {
+        self.assignment[i]
+    }
+
+    /// Member data-packet indices of group `j`, ascending.
+    pub fn members(&self, j: usize) -> &[usize] {
+        &self.groups[j]
+    }
+
+    /// Wire size of each group's parity packet given the data packet
+    /// sizes: XOR parity must cover the longest member, so the parity
+    /// payload is the group's max member size.
+    pub fn parity_sizes(&self, data_sizes: &[u64]) -> Vec<u64> {
+        assert_eq!(data_sizes.len(), self.num_packets(), "size/packet mismatch");
+        self.groups
+            .iter()
+            .map(|m| m.iter().map(|&i| data_sizes[i]).max().unwrap_or(0))
+            .collect()
+    }
+
+    /// Total parity bytes for the given data packet sizes.
+    pub fn parity_bytes(&self, data_sizes: &[u64]) -> u64 {
+        self.parity_sizes(data_sizes).iter().sum()
+    }
+}
+
+/// XOR parity payload of one group: byte-wise XOR of all member payloads,
+/// each zero-padded to the longest member.
+pub fn xor_parity(payloads: &[&[u8]]) -> Vec<u8> {
+    let len = payloads.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut parity = vec![0u8; len];
+    for p in payloads {
+        for (slot, &b) in parity.iter_mut().zip(p.iter()) {
+            *slot ^= b;
+        }
+    }
+    parity
+}
+
+/// Recovers the single lost member of a parity group byte-identically:
+/// XORs the parity with every *surviving* member payload (in any order —
+/// XOR commutes, which is what makes recovery deterministic under
+/// reordered delivery) and truncates to the lost packet's known length.
+/// The caller must have deduplicated packets by index first.
+pub fn xor_recover(survivors: &[&[u8]], parity: &[u8], lost_len: usize) -> Vec<u8> {
+    assert!(
+        lost_len <= parity.len(),
+        "lost packet ({lost_len} B) cannot exceed the parity payload ({} B)",
+        parity.len()
+    );
+    let mut out = parity.to_vec();
+    for p in survivors {
+        assert!(p.len() <= out.len(), "survivor longer than parity");
+        for (slot, &b) in out.iter_mut().zip(p.iter()) {
+            *slot ^= b;
+        }
+    }
+    out.truncate(lost_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striping_bounds_group_size_and_spreads_bursts() {
+        let fec = FecGroups::striped(10, 4);
+        assert_eq!(fec.num_groups(), 3); // ceil(10/4)
+        for j in 0..fec.num_groups() {
+            assert!(fec.members(j).len() <= 4);
+        }
+        // Any 3 consecutive packets land in 3 distinct groups.
+        for start in 0..8 {
+            let gs: Vec<_> = (start..start + 3)
+                .map(|i| fec.group_of(i).unwrap())
+                .collect();
+            assert!(gs[0] != gs[1] && gs[1] != gs[2] && gs[0] != gs[2]);
+        }
+    }
+
+    #[test]
+    fn tiered_striping_protects_the_head_denser() {
+        let fec = FecGroups::striped_tiered(20, 8);
+        // Head 10 packets at k=4 → 3 groups; tail 10 at k=8 → 2 groups.
+        assert_eq!(fec.num_groups(), 5);
+        assert!((0..10).all(|i| fec.group_of(i).unwrap() < 3));
+        assert!((10..20).all(|i| fec.group_of(i).unwrap() >= 3));
+        // Head groups are smaller (denser parity) than tail groups.
+        assert!((0..3).all(|j| fec.members(j).len() <= 4));
+        assert!((3..5).all(|j| fec.members(j).len() <= 8));
+    }
+
+    #[test]
+    fn size_outliers_are_left_unprotected() {
+        // A container-heavy head packet (10× the median) plus 9 regular
+        // packets: the head is excluded, everyone else striped.
+        let mut sizes = vec![3000u64];
+        sizes.extend(std::iter::repeat_n(300u64, 9));
+        let fec = FecGroups::striped_sized(&sizes, 4, true);
+        assert_eq!(fec.group_of(0), None, "outlier unprotected");
+        assert!((1..10).all(|i| fec.group_of(i).is_some()));
+        // Parity never pays the outlier's bytes.
+        assert!(fec.parity_sizes(&sizes).iter().all(|&p| p == 300));
+        // Uniform sizes: nothing excluded.
+        let uniform = FecGroups::striped_sized(&[250u64; 8], 4, false);
+        assert!((0..8).all(|i| uniform.group_of(i).is_some()));
+    }
+
+    #[test]
+    fn every_protected_packet_is_in_exactly_one_group() {
+        for (n, k, tiered) in [(1, 1, false), (7, 3, false), (23, 5, true), (2, 9, true)] {
+            let fec = if tiered {
+                FecGroups::striped_tiered(n, k)
+            } else {
+                FecGroups::striped(n, k)
+            };
+            let mut seen = vec![false; n];
+            for j in 0..fec.num_groups() {
+                for &i in fec.members(j) {
+                    assert!(!seen[i], "packet {i} in two groups");
+                    seen[i] = true;
+                    assert_eq!(fec.group_of(i), Some(j));
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every packet grouped");
+        }
+    }
+
+    #[test]
+    fn parity_sizes_cover_the_longest_member() {
+        let fec = FecGroups::striped(4, 2); // stride 2: {0,2}, {1,3}
+        let sizes = [10u64, 500, 30, 7];
+        assert_eq!(fec.parity_sizes(&sizes), vec![30, 500]);
+        assert_eq!(fec.parity_bytes(&sizes), 530);
+    }
+
+    #[test]
+    fn xor_recovers_any_single_loss_byte_identically() {
+        let a: Vec<u8> = (0..50).collect();
+        let b: Vec<u8> = (0..20).map(|x| x * 3).collect();
+        let c: Vec<u8> = (0..35).map(|x| 255 - x).collect();
+        let parity = xor_parity(&[&a, &b, &c]);
+        assert_eq!(parity.len(), 50);
+        assert_eq!(xor_recover(&[&b, &c], &parity, a.len()), a);
+        assert_eq!(xor_recover(&[&a, &c], &parity, b.len()), b);
+        assert_eq!(xor_recover(&[&c, &a], &parity, b.len()), b, "order-free");
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be >= 1")]
+    fn zero_k_rejected() {
+        let _ = FecGroups::striped(4, 0);
+    }
+}

@@ -17,17 +17,24 @@
 //!   packets — the loss-resilient transport substrate).
 //! * [`packet`] — packet batch delivery records ([`PacketFaults`],
 //!   [`Link::send_packets`]) consumed by the streamer's chunk schedule and
-//!   the codec's repair policies.
+//!   the codec's repair policies, including burst drops (consecutive
+//!   packets lost together).
+//! * [`fec`] — systematic XOR-parity forward error correction: striped
+//!   parity groups ([`FecGroups`]) whose single losses are recovered at
+//!   the receiver without a retransmission, and the byte-level
+//!   [`fec::xor_parity`]/[`fec::xor_recover`] primitives.
 //! * [`ThroughputEstimator`] — the streamer's bandwidth estimate: the
 //!   measured throughput of the previous chunk (§5.3), optionally smoothed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fec;
 pub mod link;
 pub mod packet;
 pub mod trace;
 
+pub use fec::FecGroups;
 pub use link::{Link, TransferResult};
 pub use packet::{PacketBatchResult, PacketDelivery, PacketFaults, PacketStatus};
 pub use trace::BandwidthTrace;

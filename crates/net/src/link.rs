@@ -209,6 +209,9 @@ impl Link {
             reorder_u: Option<f64>,
         }
         let mut draws: Vec<Draw> = Vec::with_capacity(sizes.len());
+        // Drop bursts span packets: once one starts, the next `burst_len
+        // - 1` packets of the batch are dropped without further draws.
+        let mut burst_left = 0usize;
         for &bytes in sizes {
             let mut copies = 1u32;
             if faults.duplicate > 0.0 && self.rng.gen::<f64>() < faults.duplicate {
@@ -218,7 +221,16 @@ impl Link {
                 t += self.trace.transfer_seconds(bytes, t);
                 wire_bytes += bytes;
             }
-            let status = if faults.loss > 0.0 && self.rng.gen::<f64>() < faults.loss {
+            let in_burst = if burst_left > 0 {
+                burst_left -= 1;
+                true
+            } else if faults.burst_start > 0.0 && self.rng.gen::<f64>() < faults.burst_start {
+                burst_left = faults.burst_len - 1;
+                true
+            } else {
+                false
+            };
+            let status = if in_burst || (faults.loss > 0.0 && self.rng.gen::<f64>() < faults.loss) {
                 PacketStatus::Dropped
             } else if faults.truncate > 0.0 && self.rng.gen::<f64>() < faults.truncate {
                 // A mid-packet cut: 25–75% of the payload arrives.
@@ -442,6 +454,37 @@ mod tests {
             .collect();
         assert!(!truncated.is_empty());
         assert!(truncated.iter().all(|&d| d > 0 && d < 10_000));
+    }
+
+    #[test]
+    fn burst_drops_consecutive_packets() {
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .with_packet_faults(PacketFaults::burst(0.05, 4), 23);
+        let r = link.send_packets(&vec![10_000u64; 60], 0.0);
+        let dropped: Vec<usize> = r.failed();
+        assert!(!dropped.is_empty(), "5% burst starts over 60 packets");
+        // Drops come in runs of (up to) 4 consecutive indices: every
+        // dropped packet is adjacent to another unless it ends a burst
+        // cut short by the batch boundary.
+        let mut runs = Vec::new();
+        let mut run = 1usize;
+        for w in dropped.windows(2) {
+            if w[1] == w[0] + 1 {
+                run += 1;
+            } else {
+                runs.push(run);
+                run = 1;
+            }
+        }
+        runs.push(run);
+        assert!(
+            runs.iter().any(|&r| r >= 4),
+            "bursts of 4 must appear: runs {runs:?}"
+        );
+        // Same seed reproduces the same bursts.
+        let mut link2 = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .with_packet_faults(PacketFaults::burst(0.05, 4), 23);
+        assert_eq!(link2.send_packets(&vec![10_000u64; 60], 0.0), r);
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub struct PacketFaults {
     /// Probability only a prefix of a packet arrives (mid-packet cut;
     /// the delivered prefix is uniform in 25–75% of the payload).
     pub truncate: f64,
+    /// Probability a *drop burst* starts at a packet: that packet and the
+    /// next `burst_len - 1` packets of the batch are all dropped
+    /// (congestion tail-drop / link flap). Independent of `loss`, which
+    /// stays the i.i.d. component.
+    pub burst_start: f64,
+    /// Length of a drop burst once started (ignored while `burst_start`
+    /// is zero; must be ≥ 1 otherwise).
+    pub burst_len: usize,
 }
 
 impl PacketFaults {
@@ -37,6 +45,8 @@ impl PacketFaults {
             reorder: 0.0,
             duplicate: 0.0,
             truncate: 0.0,
+            burst_start: 0.0,
+            burst_len: 1,
         }
     }
 
@@ -48,6 +58,16 @@ impl PacketFaults {
         }
     }
 
+    /// Burst-loss-only faults: a burst of `len` consecutive drops starts
+    /// at each packet with probability `p`.
+    pub fn burst(p: f64, len: usize) -> Self {
+        PacketFaults {
+            burst_start: p,
+            burst_len: len,
+            ..Self::none()
+        }
+    }
+
     /// Validates every probability is in `[0, 1)`.
     pub(crate) fn validate(&self) {
         for (name, p) in [
@@ -55,9 +75,14 @@ impl PacketFaults {
             ("reorder", self.reorder),
             ("duplicate", self.duplicate),
             ("truncate", self.truncate),
+            ("burst_start", self.burst_start),
         ] {
             assert!((0.0..1.0).contains(&p), "{name} must be in [0,1): {p}");
         }
+        assert!(
+            self.burst_start == 0.0 || self.burst_len >= 1,
+            "burst_len must be >= 1 when bursts are enabled"
+        );
     }
 }
 

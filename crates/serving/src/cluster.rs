@@ -11,7 +11,7 @@ use cachegen::engine::{CacheGenEngine, EngineConfig};
 use cachegen::RepairPolicy;
 use cachegen_llm::SimModelConfig;
 use cachegen_net::Link;
-use cachegen_streamer::AdaptPolicy;
+use cachegen_streamer::{AdaptPolicy, FecOverhead};
 use cachegen_workloads::ServingRequest;
 
 use crate::clock::EventQueue;
@@ -59,6 +59,20 @@ pub struct ServingConfig {
     /// Packet retransmissions allowed per batch fetch before the repair
     /// policy takes over (per-packet-fault links only).
     pub retransmit_budget: usize,
+    /// Default forward-error-correction parity density on store→shard
+    /// links: XOR parity recovers single-loss groups before the
+    /// retransmit budget or the repair/refetch ladder is consulted, so a
+    /// lossy link stops flooding the shard queues with re-fetch entries.
+    pub fec_overhead: FecOverhead,
+    /// Per-tenant FEC overrides (`tenant_fec[t] = Some(knob)`), letting
+    /// tenants buy more (or less) parity than the cluster default. The
+    /// lead tenant of a batch decides the batch's parity.
+    pub tenant_fec: Vec<Option<FecOverhead>>,
+    /// Parity used for batches admitted *degraded*: under backpressure
+    /// admission can shrink parity (e.g. [`FecOverhead::Off`]) instead of
+    /// only coarsening the quantization level. `None` keeps the tenant's
+    /// normal knob.
+    pub degraded_fec: Option<FecOverhead>,
 }
 
 impl Default for ServingConfig {
@@ -81,6 +95,9 @@ impl Default for ServingConfig {
             level_quality: vec![0.995, 0.98, 0.95, 0.91, 0.86],
             repair: RepairPolicy::AnchorInterpolate,
             retransmit_budget: 1,
+            fec_overhead: FecOverhead::Off,
+            tenant_fec: Vec::new(),
+            degraded_fec: None,
         }
     }
 }
@@ -89,6 +106,21 @@ impl ServingConfig {
     /// Quality proxy of one encoding level (clamped to the table).
     pub fn quality_of_level(&self, level: usize) -> f64 {
         self.level_quality[level.min(self.level_quality.len() - 1)]
+    }
+
+    /// The FEC parity knob a batch runs with: the degraded override when
+    /// admission degraded the batch (parity is a backpressure dial too),
+    /// else the lead tenant's override, else the cluster default.
+    pub fn fec_for(&self, tenant: usize, degraded: bool) -> &FecOverhead {
+        if degraded {
+            if let Some(f) = &self.degraded_fec {
+                return f;
+            }
+        }
+        self.tenant_fec
+            .get(tenant)
+            .and_then(Option::as_ref)
+            .unwrap_or(&self.fec_overhead)
     }
 
     fn validate(&self) {
@@ -332,7 +364,8 @@ impl ServingCluster {
         // A batch degrades if any member crossed the watermark: under
         // saturation the whole transfer downshifts (the riders share it).
         let degraded = queries.iter().any(|r| r.degraded);
-        let outcome = shard.serve_batch(context_id, degraded, now, &self.config);
+        let fec = self.config.fec_for(queries[0].tenant, degraded);
+        let outcome = shard.serve_batch(context_id, degraded, now, &self.config, fec);
         shard.stats.batches += 1;
         shard.stats.coalesced_requests += (batch.len() - 1) as u64;
 
@@ -631,6 +664,33 @@ mod tests {
             quality > 0.9,
             "restored cache must serve undamaged quality, got {quality}"
         );
+    }
+
+    #[test]
+    fn fec_for_resolves_degraded_then_tenant_then_default() {
+        let cfg = ServingConfig {
+            fec_overhead: FecOverhead::Uniform(8),
+            tenant_fec: vec![None, Some(FecOverhead::Uniform(4)), None],
+            degraded_fec: Some(FecOverhead::Off),
+            ..ServingConfig::default()
+        };
+        // Normal admission: tenant override wins, else the cluster default.
+        assert_eq!(cfg.fec_for(0, false), &FecOverhead::Uniform(8));
+        assert_eq!(cfg.fec_for(1, false), &FecOverhead::Uniform(4));
+        assert_eq!(
+            cfg.fec_for(3, false),
+            &FecOverhead::Uniform(8),
+            "past the table"
+        );
+        // Degraded admission: parity shrinks regardless of tenant knob.
+        assert_eq!(cfg.fec_for(0, true), &FecOverhead::Off);
+        assert_eq!(cfg.fec_for(1, true), &FecOverhead::Off);
+        // Without a degraded override, degraded batches keep their knob.
+        let keep = ServingConfig {
+            tenant_fec: vec![Some(FecOverhead::Uniform(4))],
+            ..ServingConfig::default()
+        };
+        assert_eq!(keep.fec_for(0, true), &FecOverhead::Uniform(4));
     }
 
     #[test]

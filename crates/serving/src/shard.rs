@@ -15,7 +15,9 @@ use cachegen::engine::CacheGenEngine;
 use cachegen::RepairPolicy;
 use cachegen_kvstore::{ContextId, LruKvCache};
 use cachegen_net::Link;
-use cachegen_streamer::{simulate_stream_from, AdaptPolicy, ChunkPlan, StreamConfig, StreamParams};
+use cachegen_streamer::{
+    simulate_stream_from, AdaptPolicy, ChunkPlan, FecOverhead, StreamConfig, StreamParams,
+};
 
 use crate::cluster::ServingConfig;
 use crate::metrics::ShardSummary;
@@ -114,13 +116,16 @@ impl Shard {
 
     /// Serves one same-context batch starting at virtual time `now`,
     /// returning when its KV was ready and at what quality. `degraded`
-    /// forces the backpressure level regardless of the adapter policy.
+    /// forces the backpressure level regardless of the adapter policy;
+    /// `fec` is the batch's parity knob (the cluster resolves the
+    /// per-tenant/degraded override before dispatch).
     pub fn serve_batch(
         &mut self,
         context_id: ContextId,
         degraded: bool,
         now: f64,
         cfg: &ServingConfig,
+        fec: &FecOverhead,
     ) -> BatchOutcome {
         let plan = &self.plans[&context_id];
         let n_levels = self.engine.num_levels();
@@ -157,12 +162,15 @@ impl Shard {
             prior_throughput_bps: cfg.prior_throughput_bps,
             concurrent_requests: 1,
             retransmit_budget: cfg.retransmit_budget,
+            fec_overhead: fec.clone(),
             ladder: &self.engine.config().ladder,
             decode_seconds: &decode_seconds,
             recompute_seconds: &recompute_seconds,
         };
         let out = simulate_stream_from(plan, &mut self.link, &params, now);
-        self.stats.bytes_fetched += out.bytes_sent;
+        self.stats.bytes_fetched += out.bytes_sent + out.parity_bytes();
+        self.stats.parity_bytes += out.parity_bytes();
+        self.stats.fec_recovered_packets += out.fec_recovered_packets() as u64;
         self.stats.lost_bytes += out.lost_bytes();
 
         // Token-weighted quality of what was actually delivered. Chunks
@@ -303,9 +311,9 @@ mod tests {
         let ctx: Vec<usize> = (0..90).map(|i| (i * 3) % 64).collect();
         s.store_context(5, &ctx);
         assert!(s.owns(5));
-        let miss = s.serve_batch(5, false, 0.0, &cfg);
+        let miss = s.serve_batch(5, false, 0.0, &cfg, &cfg.fec_overhead);
         assert!(!miss.cache_hit);
-        let hit = s.serve_batch(5, false, miss.ready, &cfg);
+        let hit = s.serve_batch(5, false, miss.ready, &cfg, &cfg.fec_overhead);
         assert!(hit.cache_hit);
         assert!(
             hit.ready - miss.ready < miss.ready,
@@ -323,12 +331,12 @@ mod tests {
         let mut s = shard(&cfg);
         let ctx: Vec<usize> = (0..90).map(|i| (i * 5) % 64).collect();
         s.store_context(9, &ctx);
-        let normal = s.serve_batch(9, false, 0.0, &cfg);
+        let normal = s.serve_batch(9, false, 0.0, &cfg, &cfg.fec_overhead);
         let fetched_normal = s.stats.bytes_fetched;
 
         let mut s2 = shard(&cfg);
         s2.store_context(9, &ctx);
-        let degraded = s2.serve_batch(9, true, 0.0, &cfg);
+        let degraded = s2.serve_batch(9, true, 0.0, &cfg, &cfg.fec_overhead);
         assert!(
             s2.stats.bytes_fetched < fetched_normal,
             "degraded fetch {} vs normal {}",
@@ -348,10 +356,10 @@ mod tests {
         let mut s = shard(&cfg);
         let ctx: Vec<usize> = (0..60).map(|i| (i * 11) % 64).collect();
         s.store_context(3, &ctx);
-        let first = s.serve_batch(3, false, 0.0, &cfg);
+        let first = s.serve_batch(3, false, 0.0, &cfg, &cfg.fec_overhead);
         assert!(!first.cache_hit);
         assert!((first.quality - 1.0).abs() < 1e-9, "text is lossless");
-        let second = s.serve_batch(3, false, first.ready, &cfg);
+        let second = s.serve_batch(3, false, first.ready, &cfg, &cfg.fec_overhead);
         assert!(!second.cache_hit, "text fallback leaves no bitstream");
     }
 }

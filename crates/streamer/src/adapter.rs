@@ -16,8 +16,8 @@
 
 use crate::levels::{LevelLadder, StreamConfig};
 use crate::plan::ChunkPlan;
-use crate::schedule::{ChunkSchedule, PacketId};
-use cachegen_net::{Link, ThroughputEstimator};
+use crate::schedule::{ChunkSchedule, FecOverhead, PacketId, WirePacket};
+use cachegen_net::{FecGroups, Link, ThroughputEstimator};
 
 /// How the streamer picks per-chunk configurations.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -49,6 +49,13 @@ pub struct StreamParams<'a> {
     /// caps the stall and leaves the remainder to the codec's repair
     /// policies (the packets still missing are reported per chunk).
     pub retransmit_budget: usize,
+    /// Forward-error-correction parity density per encoding level
+    /// (per-packet-fault links only). Parity packets ride the schedule's
+    /// wire order; any parity group that loses exactly one data packet is
+    /// recovered at the receiver *before* the retransmit budget or the
+    /// repair policies are consulted. [`FecOverhead::Off`] reproduces the
+    /// pre-FEC transport bit for bit.
+    pub fec_overhead: FecOverhead,
     /// Level ladder (for quality ordering / default medium level).
     pub ladder: &'a LevelLadder,
     /// GPU decode time for a compressed chunk of a given wire size.
@@ -73,10 +80,18 @@ pub struct ChunkOutcome {
     /// Virtual time this chunk's KV was ready in GPU memory (after decode
     /// or recompute).
     pub ready: f64,
-    /// Packets still missing after the retransmit budget was spent, with
-    /// their per-request payload bytes — the holes a [`cachegen-codec`]
-    /// repair policy fills. Empty on clean links and for text chunks.
+    /// Packets still missing after FEC recovery and the retransmit budget,
+    /// with their per-request payload bytes — the holes a
+    /// [`cachegen-codec`] repair policy fills. Empty on clean links and
+    /// for text chunks.
     pub lost: Vec<(PacketId, u64)>,
+    /// Packets the transport dropped but XOR parity recovered
+    /// byte-identically at the receiver — they consumed neither the
+    /// retransmit budget nor a repair. Empty with [`FecOverhead::Off`].
+    pub fec_recovered: Vec<(PacketId, u64)>,
+    /// Per-request parity payload bytes this chunk put on the wire (the
+    /// FEC bandwidth overhead; zero with [`FecOverhead::Off`]).
+    pub parity_bytes: u64,
     /// Packet retransmissions this chunk consumed.
     pub retransmits: u32,
 }
@@ -85,6 +100,11 @@ impl ChunkOutcome {
     /// Per-request payload bytes that never arrived.
     pub fn lost_bytes(&self) -> u64 {
         self.lost.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Per-request payload bytes FEC recovered without retransmission.
+    pub fn fec_recovered_bytes(&self) -> u64 {
+        self.fec_recovered.iter().map(|&(_, b)| b).sum()
     }
 }
 
@@ -118,6 +138,17 @@ impl StreamOutcome {
     /// Packet retransmissions spent across all chunks.
     pub fn retransmits(&self) -> u32 {
         self.chunks.iter().map(|c| c.retransmits).sum()
+    }
+
+    /// Packets recovered by XOR parity across all chunks.
+    pub fn fec_recovered_packets(&self) -> usize {
+        self.chunks.iter().map(|c| c.fec_recovered.len()).sum()
+    }
+
+    /// Per-request parity payload bytes sent across all chunks (the FEC
+    /// bandwidth overhead on top of [`StreamOutcome::bytes_sent`]).
+    pub fn parity_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.parity_bytes).sum()
     }
 
     /// Fraction of chunks sent at each configuration — a compact quality
@@ -223,68 +254,147 @@ fn choose_config(
 }
 
 /// Result of delivering one chunk's packet schedule over a lossy link.
-struct PacketDeliveryOutcome {
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleDelivery {
     /// Virtual time the chunk's data was in hand (last surviving arrival).
-    finish: f64,
+    pub finish: f64,
     /// Virtual time the wire went idle (next transfer may start).
-    wire_free: f64,
-    /// Packets (and their per-request bytes) still missing after the
-    /// budget ran out, in priority order.
-    lost: Vec<(PacketId, u64)>,
+    pub wire_free: f64,
+    /// Packets (and their per-request bytes) still missing after FEC
+    /// recovery and the retransmit budget.
+    pub lost: Vec<(PacketId, u64)>,
+    /// Packets XOR parity recovered byte-identically (no retransmission,
+    /// no repair).
+    pub fec_recovered: Vec<(PacketId, u64)>,
+    /// Per-request parity payload bytes put on the wire.
+    pub parity_bytes: u64,
     /// Retransmissions spent.
-    retransmits: u32,
-    /// Payload bytes that arrived complete (batch-scaled, feeds the
-    /// throughput estimator).
-    delivered_bytes: u64,
+    pub retransmits: u32,
+    /// Data payload bytes that arrived complete (batch-scaled, parity
+    /// excluded — the elapsed time still covers the parity
+    /// transmissions, so the throughput estimator measures effective
+    /// *data* goodput and level predictions price the overhead in).
+    pub delivered_bytes: u64,
 }
 
-/// Delivers one chunk schedule packet by packet: send the whole schedule,
-/// learn what failed one NACK round trip after the batch lands, resend
-/// the highest-priority failures while the budget lasts, and report the
-/// rest as lost. The priority order means the context's early token
-/// groups are both sent and repaired first.
-fn deliver_packets(
+/// Delivers one chunk schedule packet by packet: send the whole wire
+/// order (data in priority order, each FEC group's parity right after its
+/// last member), recover every single-loss parity group by XOR at the
+/// receiver, then — only for what FEC could not reconstruct — learn the
+/// failures one NACK round trip after the batch lands and resend the
+/// highest-priority ones while the budget lasts. Whatever remains is
+/// reported as lost for the codec's repair policies. The priority order
+/// means the context's early token groups are both sent and repaired
+/// first; with `fec = None` the delivery is bit-identical to the pre-FEC
+/// transport (same packets, same fault draws, same timeline).
+pub fn deliver_schedule(
     sched: &ChunkSchedule,
     link: &mut Link,
     start: f64,
     batch: u64,
     mut budget: usize,
-) -> PacketDeliveryOutcome {
-    let mut pending: Vec<(PacketId, u64)> = sched.entries().to_vec();
-    let mut wire_t = start;
-    let mut finish = start;
+    fec: Option<&FecGroups>,
+) -> ScheduleDelivery {
+    let wire = sched.wire_packets(fec);
+    let parity_bytes = wire
+        .iter()
+        .filter(|p| matches!(p, WirePacket::Parity { .. }))
+        .map(WirePacket::bytes)
+        .sum();
     let mut lost = Vec::new();
+    let mut fec_recovered = Vec::new();
     let mut retransmits = 0u32;
+
+    // Round 0: the full wire order, parity included.
+    let sizes: Vec<u64> = wire.iter().map(|p| p.bytes() * batch).collect();
+    let res = link.send_packets(&sizes, start);
+    let mut wire_t = res.wire_finish;
+    let mut finish = start.max(res.last_arrival);
+    let mut last_arrival = res.last_arrival;
+    // Only *data* payload counts as delivered: the elapsed time still
+    // includes the parity transmissions, so the throughput estimator
+    // measures effective data goodput and the adapter's level choices
+    // automatically price the parity overhead in.
     let mut delivered_bytes = 0u64;
-    loop {
+
+    let mut parity_ok = fec.map(|f| vec![false; f.num_groups()]);
+    let mut failed_data: Vec<usize> = Vec::new();
+    for (slot, d) in wire.iter().zip(&res.deliveries) {
+        match *slot {
+            WirePacket::Data { index, bytes, .. } => {
+                if d.status.is_delivered() {
+                    delivered_bytes += bytes * batch;
+                } else {
+                    failed_data.push(index);
+                }
+            }
+            WirePacket::Parity { group, .. } => {
+                if let (true, Some(ok)) = (d.status.is_delivered(), parity_ok.as_mut()) {
+                    ok[group] = true;
+                }
+            }
+        }
+    }
+
+    // FEC recovery pass, *before* any retransmission: a group that lost
+    // exactly one data member and kept its parity is XOR-reconstructed at
+    // the receiver — no NACK, no budget. Groups with ≥ 2 losses (or a
+    // lost parity) fall through to retransmit/repair.
+    let mut pending: Vec<(PacketId, u64)> = match (fec, parity_ok.as_ref()) {
+        (Some(f), Some(ok)) => {
+            let mut lost_in_group: Vec<Vec<usize>> = vec![Vec::new(); f.num_groups()];
+            let mut still = Vec::new();
+            for &i in &failed_data {
+                match f.group_of(i) {
+                    Some(g) => lost_in_group[g].push(i),
+                    // Unprotected size outlier: straight to the
+                    // retransmit/repair rungs.
+                    None => still.push(i),
+                }
+            }
+            for (g, members) in lost_in_group.into_iter().enumerate() {
+                if members.len() == 1 && ok[g] {
+                    fec_recovered.push(sched.entry(members[0]));
+                } else {
+                    still.extend(members);
+                }
+            }
+            still.sort_unstable();
+            still.into_iter().map(|i| sched.entry(i)).collect()
+        }
+        _ => failed_data.into_iter().map(|i| sched.entry(i)).collect(),
+    };
+    fec_recovered.sort_unstable_by_key(|&(id, _)| id);
+
+    // Retransmit rounds: the sender only learns what failed after the
+    // receiver has seen the batch and a NACK traveled back — that round
+    // trip is what makes stall-and-retry expensive on long-haul links.
+    // Parity is fire-and-forget; only data is retransmitted.
+    while !pending.is_empty() {
+        if budget == 0 {
+            lost.extend(pending);
+            break;
+        }
+        let nack_at = last_arrival + link.propagation();
+        let resend = pending.len().min(budget);
+        lost.extend(pending.drain(resend..));
+        budget -= resend;
+        retransmits += resend as u32;
+        wire_t = wire_t.max(nack_at);
         let sizes: Vec<u64> = pending.iter().map(|&(_, b)| b * batch).collect();
         let res = link.send_packets(&sizes, wire_t);
         wire_t = res.wire_finish;
         finish = finish.max(res.last_arrival);
+        last_arrival = res.last_arrival;
         delivered_bytes += res.delivered_bytes;
-        let failed = res.failed();
-        if failed.is_empty() {
-            break;
-        }
-        if budget == 0 {
-            lost.extend(failed.iter().map(|&i| pending[i]));
-            break;
-        }
-        // The sender only learns what failed after the receiver has seen
-        // the batch and a NACK traveled back — that round trip is what
-        // makes stall-and-retry expensive on long-haul links.
-        let nack_at = res.last_arrival + link.propagation();
-        let resend = failed.len().min(budget);
-        lost.extend(failed[resend..].iter().map(|&i| pending[i]));
-        pending = failed[..resend].iter().map(|&i| pending[i]).collect();
-        budget -= resend;
-        retransmits += resend as u32;
-        wire_t = wire_t.max(nack_at);
+        pending = res.failed().iter().map(|&i| pending[i]).collect();
     }
-    PacketDeliveryOutcome {
+    ScheduleDelivery {
         finish,
         wire_free: wire_t,
         lost,
+        fec_recovered,
+        parity_bytes,
         retransmits,
         delivered_bytes,
     }
@@ -331,18 +441,33 @@ pub fn simulate_stream_from(
         // All B requests share the link, so the wire carries B copies of
         // this chunk index before the next (§5.3 batching).
         let transfer_start = t;
-        let (finish, wire_free, lost, retransmits) = match cfg {
+        let (finish, wire_free, lost, fec_recovered, parity_bytes, retransmits) = match cfg {
             StreamConfig::Level(l) if link.is_packet_mode() => {
                 let fallback = ChunkSchedule::single(bytes);
                 let sched = chunk.schedule_for(l).unwrap_or(&fallback);
-                let d = deliver_packets(sched, link, t, batch, params.retransmit_budget);
+                let fec = params.fec_overhead.groups_for(l, &sched.packet_sizes());
+                let d = deliver_schedule(
+                    sched,
+                    link,
+                    t,
+                    batch,
+                    params.retransmit_budget,
+                    fec.as_ref(),
+                );
                 estimator.observe(d.delivered_bytes, (d.wire_free - t).max(1e-12));
-                (d.finish, d.wire_free, d.lost, d.retransmits)
+                (
+                    d.finish,
+                    d.wire_free,
+                    d.lost,
+                    d.fec_recovered,
+                    d.parity_bytes,
+                    d.retransmits,
+                )
             }
             _ => {
                 let result = link.send(bytes * batch, t);
                 estimator.observe(result.bytes, result.seconds());
-                (result.finish, result.finish, Vec::new(), 0)
+                (result.finish, result.finish, Vec::new(), Vec::new(), 0, 0)
             }
         };
         let ready = match cfg {
@@ -369,6 +494,8 @@ pub fn simulate_stream_from(
             transfer_finish: finish,
             ready,
             lost,
+            fec_recovered,
+            parity_bytes,
             retransmits,
         });
         bytes_sent += bytes;
@@ -423,6 +550,7 @@ mod tests {
             prior_throughput_bps: Some(2.0 * GBPS),
             concurrent_requests: 1,
             retransmit_budget: 0,
+            fec_overhead: FecOverhead::Off,
             ladder,
             decode_seconds: decode,
             recompute_seconds: recompute,
@@ -765,6 +893,78 @@ mod tests {
                 "lost packets must stay in priority order: {keys:?}"
             );
         }
+    }
+
+    #[test]
+    fn fec_recovers_single_losses_without_retransmission() {
+        use cachegen_net::PacketFaults;
+        let plan = packet_plan();
+        let ladder = LevelLadder::new(vec![1.0]);
+        let run = |fec: FecOverhead| {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.01)
+                .with_packet_faults(PacketFaults::loss(0.08), 42);
+            let mut p = params(
+                None,
+                AdaptPolicy::FixedLevel(0),
+                &ladder,
+                &fast_decode,
+                &slow_recompute,
+            );
+            p.fec_overhead = fec;
+            simulate_stream(&plan, &mut link, &p)
+        };
+        let off = run(FecOverhead::Off);
+        let on = run(FecOverhead::Uniform(2));
+        assert!(off.lost_packets() > 0, "8% loss over 16 packets (seeded)");
+        assert_eq!(off.parity_bytes(), 0);
+        assert_eq!(off.fec_recovered_packets(), 0);
+        assert!(on.parity_bytes() > 0, "parity rides the wire");
+        assert!(
+            on.fec_recovered_packets() > 0,
+            "k=2 parity must recover seeded single losses"
+        );
+        assert!(
+            on.lost_packets() < on.fec_recovered_packets() + off.lost_packets(),
+            "recovery must not invent losses"
+        );
+        assert_eq!(on.retransmits(), 0, "FEC recovery never spends budget");
+        // A recovered packet never also shows up as lost.
+        for c in &on.chunks {
+            for &(id, _) in &c.fec_recovered {
+                assert!(!c.lost.iter().any(|&(l, _)| l == id));
+            }
+        }
+    }
+
+    #[test]
+    fn fec_recovery_saves_the_retransmit_budget_and_its_round_trips() {
+        use cachegen_net::PacketFaults;
+        let plan = packet_plan();
+        let ladder = LevelLadder::new(vec![1.0]);
+        let run = |fec: FecOverhead| {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.05)
+                .with_packet_faults(PacketFaults::loss(0.15), 11);
+            let mut p = params(
+                None,
+                AdaptPolicy::FixedLevel(0),
+                &ladder,
+                &fast_decode,
+                &slow_recompute,
+            );
+            p.retransmit_budget = usize::MAX;
+            p.fec_overhead = fec;
+            simulate_stream(&plan, &mut link, &p)
+        };
+        let off = run(FecOverhead::Off);
+        let on = run(FecOverhead::Uniform(2));
+        assert_eq!(off.lost_packets(), 0, "infinite budget recovers all");
+        assert_eq!(on.lost_packets(), 0);
+        assert!(
+            on.retransmits() < off.retransmits(),
+            "FEC must absorb most retransmissions: {} vs {}",
+            on.retransmits(),
+            off.retransmits()
+        );
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //!   table the adapter consults, including per-level packet schedules.
 //! * [`schedule`] — the anchor-group-aligned, priority-ordered packet
 //!   schedule a lossy link delivers chunk by chunk (early token groups
-//!   and shallow layers first).
+//!   and shallow layers first), including the per-level FEC parity
+//!   density ([`FecOverhead`]) and the parity-interleaved wire order.
 //! * [`adapter`] — Algorithm 1 plus the virtual-time streaming simulation
 //!   (transfer pipelined with decode, §6), concurrent-request batching
-//!   (Figure 12), and packetized delivery with a retransmit budget on
-//!   per-packet-fault links (whatever is still missing is reported per
-//!   chunk for the codec's repair policies).
+//!   (Figure 12), and packetized delivery with XOR-parity FEC recovery
+//!   and a retransmit budget on per-packet-fault links (whatever is still
+//!   missing after both is reported per chunk for the codec's repair
+//!   policies).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +31,9 @@ pub mod plan;
 pub mod schedule;
 
 pub use adapter::{
-    simulate_stream, simulate_stream_from, AdaptPolicy, ChunkOutcome, StreamOutcome, StreamParams,
+    deliver_schedule, simulate_stream, simulate_stream_from, AdaptPolicy, ChunkOutcome,
+    ScheduleDelivery, StreamOutcome, StreamParams,
 };
 pub use levels::{LevelLadder, StreamConfig};
 pub use plan::{ChunkPlan, ChunkSizes};
-pub use schedule::{ChunkSchedule, PacketId};
+pub use schedule::{ChunkSchedule, FecOverhead, PacketId, WirePacket};

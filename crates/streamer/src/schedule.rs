@@ -13,6 +13,107 @@
 //!   shallow layers first, K before V), so the context's head — which the
 //!   first generated tokens attend to hardest — lands, and is repaired,
 //!   first.
+//!
+//! With forward error correction enabled ([`FecOverhead`]), the schedule
+//! additionally emits one XOR **parity packet** per striped parity group
+//! ([`cachegen_net::FecGroups`]): parity rides in its own priority class,
+//! right after its group's last data packet and before the next group's
+//! tail, so a group becomes recoverable the moment its members (or all
+//! but one of them, plus the parity) have landed.
+
+use cachegen_net::FecGroups;
+
+/// Per-level forward-error-correction overhead: how many data packets
+/// each XOR parity packet covers (`k`). Smaller `k` = denser parity =
+/// more recoverable losses = more bandwidth overhead (≈ `1/k`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FecOverhead {
+    /// No parity packets (`k = ∞`): the wire output is bit-identical to
+    /// the plain packetized transport.
+    Off,
+    /// One parity per `k` data packets at every encoding level, striped
+    /// uniformly across the schedule.
+    Uniform(usize),
+    /// `k` per encoding level, finest first (the last entry is reused for
+    /// deeper levels). Within each schedule the head half of the priority
+    /// order — early token groups, shallow layers, the container-bearing
+    /// head packet — is protected at the denser `ceil(k / 2)`
+    /// ([`FecGroups::striped_tiered`]): the packets the first generated
+    /// tokens attend to hardest carry the most redundancy.
+    PerLevel(Vec<usize>),
+}
+
+impl FecOverhead {
+    /// The workspace default: modest overhead (~8–14% parity bytes) that
+    /// recovers the majority of i.i.d. losses at 5–10% and converts
+    /// bursts up to the interleaver stride into recoverable
+    /// single-per-group losses. Finer levels (bigger streams, more
+    /// packets) get denser parity.
+    pub fn paper_default() -> Self {
+        FecOverhead::PerLevel(vec![8, 10, 12, 12, 14])
+    }
+
+    /// The parity group size at one encoding level (`None` = FEC off).
+    pub fn k_for_level(&self, level: usize) -> Option<usize> {
+        match self {
+            FecOverhead::Off => None,
+            FecOverhead::Uniform(k) => Some(*k),
+            FecOverhead::PerLevel(ks) => {
+                assert!(!ks.is_empty(), "PerLevel needs at least one k");
+                Some(ks[level.min(ks.len() - 1)])
+            }
+        }
+    }
+
+    /// The parity grouping for a schedule with the given data packet
+    /// sizes at one level (`None` = FEC off). Size outliers — e.g. the
+    /// container-bearing head packet, whose parity would cost as much as
+    /// resending it — are left unprotected and rely on the
+    /// retransmit/repair/refetch rungs ([`FecGroups::striped_sized`]).
+    /// [`FecOverhead::Uniform`] stripes flat; [`FecOverhead::PerLevel`]
+    /// protects the head half denser. Single-packet schedules (the
+    /// whole-chunk fallback for analytic plans) get no parity for the
+    /// same reason outliers don't: their parity would be a full copy,
+    /// blowing the overhead envelope.
+    pub fn groups_for(&self, level: usize, sizes: &[u64]) -> Option<FecGroups> {
+        let k = self.k_for_level(level)?;
+        if sizes.len() < 2 {
+            return None;
+        }
+        let tiered = matches!(self, FecOverhead::PerLevel(_));
+        Some(FecGroups::striped_sized(sizes, k, tiered))
+    }
+}
+
+/// One packet in a schedule's wire (send) order, parity included.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WirePacket {
+    /// A data packet: schedule entry `index` carrying entropy chunk `id`.
+    Data {
+        /// Index into the schedule's priority-ordered entries.
+        index: usize,
+        /// The entropy chunk the packet carries.
+        id: PacketId,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// The XOR parity of FEC group `group` (sized to its longest member).
+    Parity {
+        /// The parity group this packet protects.
+        group: usize,
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+impl WirePacket {
+    /// Payload bytes of the packet.
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            WirePacket::Data { bytes, .. } | WirePacket::Parity { bytes, .. } => bytes,
+        }
+    }
+}
 
 /// Address of one packet: which entropy chunk of the stream chunk it
 /// carries.
@@ -102,6 +203,53 @@ impl ChunkSchedule {
         self.entries.iter().map(|&(_, b)| b).collect()
     }
 
+    /// The schedule's wire (send) order with FEC parity interleaved: data
+    /// packets stay in priority order, and each parity group's packet is
+    /// inserted immediately after the group's *last* data member — after
+    /// the data of its group, before the next group's tail — so a group
+    /// is recoverable as soon as its stripe has passed. With `fec =
+    /// None` this is exactly the data entries (bit-identical to the
+    /// pre-FEC transport).
+    pub fn wire_packets(&self, fec: Option<&FecGroups>) -> Vec<WirePacket> {
+        let data = |i: usize| {
+            let (id, bytes) = self.entries[i];
+            WirePacket::Data {
+                index: i,
+                id,
+                bytes,
+            }
+        };
+        let Some(fec) = fec else {
+            return (0..self.entries.len()).map(data).collect();
+        };
+        assert_eq!(
+            fec.num_packets(),
+            self.entries.len(),
+            "FEC grouping must cover the schedule"
+        );
+        let sizes = self.packet_sizes();
+        let parity_sizes = fec.parity_sizes(&sizes);
+        // Emit each parity right after its group's last member: one pass
+        // to map last-member index → group, one pass to interleave.
+        let mut parity_after: Vec<Option<usize>> = vec![None; self.entries.len()];
+        for g in 0..fec.num_groups() {
+            if let Some(&last) = fec.members(g).last() {
+                parity_after[last] = Some(g);
+            }
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + fec.num_groups());
+        for (i, parity) in parity_after.iter().enumerate() {
+            out.push(data(i));
+            if let Some(g) = *parity {
+                out.push(WirePacket::Parity {
+                    group: g,
+                    bytes: parity_sizes[g],
+                });
+            }
+        }
+        out
+    }
+
     /// Shrinks the schedule's total to `target` bytes by trimming packets
     /// from the lowest-priority end (used when a plan's monotone-size
     /// clamp nudges a level's byte count below the raw encoded total).
@@ -162,6 +310,60 @@ mod tests {
         let s = ChunkSchedule::single(999);
         assert_eq!(s.len(), 1);
         assert_eq!(s.total_bytes(), 999);
+    }
+
+    #[test]
+    fn wire_packets_without_fec_are_the_data_entries() {
+        let s = ChunkSchedule::priority_ordered(vec![
+            (id(0, 0, true), 10),
+            (id(0, 0, false), 20),
+            (id(1, 0, true), 30),
+        ]);
+        let wire = s.wire_packets(None);
+        assert_eq!(wire.len(), 3);
+        assert!(wire.iter().all(|p| matches!(p, WirePacket::Data { .. })));
+        assert_eq!(wire.iter().map(WirePacket::bytes).sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn parity_rides_after_its_groups_last_member() {
+        let entries: Vec<(PacketId, u64)> =
+            (0..6).map(|g| (id(g, 0, true), 100 + g as u64)).collect();
+        let s = ChunkSchedule::priority_ordered(entries);
+        // k=3 over 6 packets → stride 2: groups {0,2,4} and {1,3,5}.
+        let fec = cachegen_net::FecGroups::striped(6, 3);
+        let wire = s.wire_packets(Some(&fec));
+        assert_eq!(wire.len(), 8);
+        // Group 0's last member is data index 4; group 1's is index 5.
+        assert_eq!(
+            wire[5],
+            WirePacket::Parity {
+                group: 0,
+                bytes: 104
+            },
+            "parity 0 directly after its last member"
+        );
+        assert_eq!(
+            wire[7],
+            WirePacket::Parity {
+                group: 1,
+                bytes: 105
+            }
+        );
+        // Parity is sized to the longest member of its group.
+        assert_eq!(fec.parity_sizes(&s.packet_sizes()), vec![104, 105]);
+    }
+
+    #[test]
+    fn fec_overhead_selects_k_per_level() {
+        let fec = FecOverhead::PerLevel(vec![4, 8]);
+        assert_eq!(fec.k_for_level(0), Some(4));
+        assert_eq!(fec.k_for_level(1), Some(8));
+        assert_eq!(fec.k_for_level(9), Some(8), "last entry reused");
+        assert_eq!(FecOverhead::Off.k_for_level(0), None);
+        assert!(FecOverhead::Off.groups_for(0, &[100; 10]).is_none());
+        let g = FecOverhead::Uniform(5).groups_for(3, &[100; 10]).unwrap();
+        assert_eq!(g.num_groups(), 2);
     }
 
     #[test]

@@ -21,7 +21,8 @@ use cachegen_llm::SimModelConfig;
 use cachegen_net::trace::{BandwidthTrace, GBPS};
 use cachegen_net::{Link, PacketFaults};
 use cachegen_streamer::{
-    simulate_stream, AdaptPolicy, ChunkPlan, ChunkSizes, LevelLadder, StreamConfig, StreamParams,
+    simulate_stream, AdaptPolicy, ChunkPlan, ChunkSizes, FecOverhead, LevelLadder, StreamConfig,
+    StreamParams,
 };
 
 fn figure7_adaptation() {
@@ -53,6 +54,7 @@ fn figure7_adaptation() {
             prior_throughput_bps: Some(2.0 * GBPS),
             concurrent_requests: 1,
             retransmit_budget: 0,
+            fec_overhead: FecOverhead::Off,
             ladder: &ladder,
             decode_seconds: &decode,
             recompute_seconds: &recompute,

@@ -9,10 +9,10 @@
 //! * reordered / partial delivery never panics and never silently decodes
 //!   noise — every repaired chunk carries provenance.
 
-use cachegen::{load_context, CacheGenEngine, EngineConfig, LoadParams, RepairPolicy};
+use cachegen::{load_context, CacheGenEngine, EngineConfig, FecOverhead, LoadParams, RepairPolicy};
 use cachegen_llm::SimModelConfig;
 use cachegen_net::{BandwidthTrace, Link, PacketFaults};
-use cachegen_streamer::AdaptPolicy;
+use cachegen_streamer::{deliver_schedule, AdaptPolicy, ChunkSchedule, PacketId};
 use cachegen_workloads::{workload_rng, Dataset};
 
 const BW_BPS: f64 = 1.0e6;
@@ -125,6 +125,125 @@ fn sweep_cells_are_deterministic() {
     }
 }
 
+/// A uniform 24-packet schedule (no size outliers, so every packet is
+/// parity-protected).
+fn uniform_schedule() -> ChunkSchedule {
+    let entries: Vec<(PacketId, u64)> = (0..24)
+        .map(|i| {
+            (
+                PacketId {
+                    group: i / 8,
+                    layer: (i / 2) % 4,
+                    is_k: i % 2 == 0,
+                },
+                400u64,
+            )
+        })
+        .collect();
+    ChunkSchedule::priority_ordered(entries)
+}
+
+/// Burst drops vs the striped interleaver: with `k = 4` over 24 packets
+/// the stride is 6, so a burst of 3 consecutive drops lands in 3
+/// *different* parity groups — every one a recoverable single loss. The
+/// same burst without FEC is 3 unrecoverable holes.
+#[test]
+fn interleaver_converts_bursts_into_single_per_group_losses() {
+    let fec_cfg = FecOverhead::Uniform(4);
+    let sizes = uniform_schedule().packet_sizes();
+    let fec = fec_cfg.groups_for(0, &sizes).unwrap();
+    // Structural guarantee: the stride is ceil(24/4) = 6, so any window
+    // of up to 6 *consecutive* data packets touches 6 distinct parity
+    // groups — a burst no longer than the stride is a single loss in
+    // every group it hits, hence always recoverable (parity permitting).
+    let stride = 6;
+    for start in 0..=(24 - stride) {
+        let mut seen = std::collections::HashSet::new();
+        for i in start..start + stride {
+            let g = fec.group_of(i).unwrap();
+            assert!(seen.insert(g), "window at {start} hits group {g} twice");
+        }
+    }
+    // End to end, over seeded 3-packet drop bursts: recovery is
+    // exercised, and bursts that land clear of parity packets are
+    // recovered *completely* (no losses survive to the repair chain).
+    let run = |seed: u64, with_fec: bool| {
+        let sched = uniform_schedule();
+        let mut link = Link::new(BandwidthTrace::constant(1e7), 0.01)
+            .with_packet_faults(PacketFaults::burst(0.04, 3), seed);
+        let groups = if with_fec { Some(&fec) } else { None };
+        deliver_schedule(&sched, &mut link, 0.0, 1, 0, groups)
+    };
+    let (mut exercised, mut fully_recovered, mut plain_lost) = (0, 0, 0usize);
+    for seed in 0..40u64 {
+        let d = run(seed, true);
+        if d.lost.is_empty() && d.fec_recovered.is_empty() {
+            continue; // no burst fired for this seed
+        }
+        exercised += 1;
+        if d.lost.is_empty() && d.fec_recovered.len() >= 2 {
+            fully_recovered += 1;
+        }
+        plain_lost += run(seed, false).lost.len();
+    }
+    assert!(exercised >= 5, "only {exercised} seeds fired a burst");
+    assert!(
+        fully_recovered >= 3,
+        "bursts within the stride must be fully recovered ({fully_recovered}/{exercised})"
+    );
+    assert!(plain_lost > 0, "without FEC the same bursts lose packets");
+}
+
+/// When a parity group takes two losses, FEC cannot solve its single
+/// equation: the group's packets fall through to the repair chain, with
+/// full provenance — pinned end to end on a seeded burst longer than the
+/// interleaver stride.
+#[test]
+fn two_losses_in_a_group_fall_back_to_repair() {
+    let (engine, reference) = scenario();
+    // i.i.d. 15% loss with FEC on: some parity group takes ≥2 losses
+    // (seeded), so repairs and recoveries coexist and never overlap.
+    let faults = PacketFaults::loss(0.15);
+    let mut link =
+        Link::new(BandwidthTrace::constant(BW_BPS), PROPAGATION).with_packet_faults(faults, 31);
+    let params = LoadParams {
+        policy: AdaptPolicy::FixedLevel(2),
+        prior_throughput_bps: Some(BW_BPS),
+        repair: RepairPolicy::AnchorInterpolate,
+        retransmit_budget: 0,
+        fec_overhead: FecOverhead::paper_default(),
+        ..LoadParams::default()
+    };
+    let out = load_context(&engine, &reference, &mut link, &params);
+    assert!(
+        !out.fec_recovered.is_empty(),
+        "single-loss groups must recover"
+    );
+    assert!(
+        !out.repairs.is_empty(),
+        "a ≥2-loss group must engage the repair fallback"
+    );
+    for (_, r) in &out.repairs {
+        assert_eq!(r.cause, cachegen_codec::RepairCause::Lost);
+        assert!(matches!(
+            r.kind,
+            cachegen_codec::RepairKind::Interpolated { .. }
+                | cachegen_codec::RepairKind::ZeroFilled
+        ));
+    }
+    // Recovered and repaired chunks are disjoint per stream chunk.
+    for (idx, rec) in &out.fec_recovered {
+        assert!(
+            !out.repairs.iter().any(|(ri, rr)| ri == idx
+                && rr.is_k == rec.is_k
+                && rr.layer == rec.layer
+                && rr.group == rec.group),
+            "chunk {idx} both recovered and repaired"
+        );
+    }
+    assert!(out.cache.k().data().iter().all(|x| x.is_finite()));
+}
+
 /// Reorder + truncation + duplication never panic, and whatever decodes
 /// carries provenance for everything that was repaired.
 #[test]
@@ -135,6 +254,7 @@ fn hostile_delivery_never_panics_or_decodes_noise() {
         reorder: 0.4,
         duplicate: 0.2,
         truncate: 0.15,
+        ..PacketFaults::none()
     };
     for (seed, policy) in [
         (1u64, RepairPolicy::ZeroFill),

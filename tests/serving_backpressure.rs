@@ -2,11 +2,11 @@
 //! encoding levels and shed requests deterministically instead of growing
 //! its queue without bound.
 
-use cachegen::EngineConfig;
+use cachegen::{EngineConfig, RepairPolicy};
 use cachegen_llm::SimModelConfig;
-use cachegen_net::{BandwidthTrace, Link};
+use cachegen_net::{BandwidthTrace, Link, PacketFaults};
 use cachegen_serving::{Disposition, ServingCluster, ServingConfig, ServingReport};
-use cachegen_streamer::AdaptPolicy;
+use cachegen_streamer::{AdaptPolicy, FecOverhead};
 use cachegen_workloads::{workload_rng, SharedPrefixGen};
 
 const TENANTS: usize = 4;
@@ -99,6 +99,125 @@ fn overloaded_shard_sheds_and_degrades_instead_of_queueing_unboundedly() {
         mean(&degraded),
         mean(&normal)
     );
+}
+
+/// Builds a cluster whose store links inject seeded packet loss, with a
+/// configurable FEC knob.
+fn lossy_cluster(
+    loss: f64,
+    fec: FecOverhead,
+    tenant_fec: Vec<Option<FecOverhead>>,
+) -> ServingCluster {
+    let cfg = ServingConfig {
+        num_shards: SHARDS,
+        num_tenants: TENANTS,
+        repair: RepairPolicy::Refetch,
+        retransmit_budget: 0,
+        fec_overhead: fec,
+        tenant_fec,
+        ..ServingConfig::default()
+    };
+    let links = (0..SHARDS)
+        .map(|s| {
+            Link::new(BandwidthTrace::constant(5e6), 0.0)
+                .with_packet_faults(PacketFaults::loss(loss), 300 + s as u64)
+        })
+        .collect();
+    let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+    ServingCluster::build(
+        SimModelConfig::tiny(42),
+        EngineConfig::default(),
+        cfg,
+        &profile,
+        links,
+    )
+}
+
+fn run_lossy(cluster: &mut ServingCluster, seed: u64) -> ServingReport {
+    let workload =
+        SharedPrefixGen::new(64, 6, 90).generate(&mut workload_rng(seed), TENANTS, 100, 10.0);
+    for (id, tokens) in &workload.documents {
+        cluster.store_context(*id, tokens);
+    }
+    cluster.run(&workload.requests)
+}
+
+/// On a lossy store link with the Refetch ladder, turning FEC on must
+/// collapse the re-fetch queue traffic (most losses are recovered before
+/// a hole ever reaches the repair rung), and the new ShardSummary FEC
+/// counters must account for it deterministically.
+#[test]
+fn fec_on_lossy_links_suppresses_the_refetch_queue() {
+    // 5% i.i.d. packet loss; dense parity (k=2) on the tiny schedules.
+    let mut without = lossy_cluster(0.05, FecOverhead::Off, Vec::new());
+    let off = run_lossy(&mut without, 77);
+    let mut with = lossy_cluster(0.05, FecOverhead::Uniform(2), Vec::new());
+    let on = run_lossy(&mut with, 77);
+
+    let refetches = |r: &ServingReport| r.shards.iter().map(|s| s.refetches).sum::<u64>();
+    let lost = |r: &ServingReport| r.shards.iter().map(|s| s.lost_bytes).sum::<u64>();
+    assert!(refetches(&off) > 0, "5% loss without FEC must refetch");
+    assert!(
+        refetches(&on) * 4 <= refetches(&off),
+        "FEC must drop refetch batches to ~zero: {} vs {}",
+        refetches(&on),
+        refetches(&off)
+    );
+    assert!(lost(&on) < lost(&off), "parity must absorb most lost bytes");
+
+    // The FEC counters surface the overhead and the recoveries.
+    let parity: u64 = on.shards.iter().map(|s| s.parity_bytes).sum();
+    let recovered: u64 = on.shards.iter().map(|s| s.fec_recovered_packets).sum();
+    assert!(parity > 0 && recovered > 0);
+    let off_parity: u64 = off.shards.iter().map(|s| s.parity_bytes).sum();
+    assert_eq!(off_parity, 0);
+    assert_eq!(
+        off.shards
+            .iter()
+            .map(|s| s.fec_recovered_packets)
+            .sum::<u64>(),
+        0
+    );
+
+    // Deterministic replay, counters included.
+    let mut again = lossy_cluster(0.05, FecOverhead::Uniform(2), Vec::new());
+    let rerun = run_lossy(&mut again, 77);
+    assert_eq!(on.outcomes, rerun.outcomes);
+    for (a, b) in on.shards.iter().zip(rerun.shards.iter()) {
+        assert_eq!(a.parity_bytes, b.parity_bytes);
+        assert_eq!(a.fec_recovered_packets, b.fec_recovered_packets);
+        assert_eq!(a.refetches, b.refetches);
+    }
+}
+
+/// The FEC knob is per-tenant: a cluster whose default is Off but whose
+/// tenant 0 buys parity shows parity bytes exactly when tenant-0-led
+/// batches fetch.
+#[test]
+fn per_tenant_fec_knob_shows_up_in_shard_counters() {
+    let tenant_fec = {
+        let mut v: Vec<Option<FecOverhead>> = vec![None; TENANTS];
+        v[0] = Some(FecOverhead::Uniform(4));
+        v
+    };
+    let mut mixed = lossy_cluster(0.05, FecOverhead::Off, tenant_fec);
+    let report = run_lossy(&mut mixed, 91);
+    let parity: u64 = report.shards.iter().map(|s| s.parity_bytes).sum();
+    assert!(
+        parity > 0,
+        "tenant 0 leads some batches, so its parity must appear"
+    );
+    // All-Off control: same workload, no parity anywhere.
+    let mut plain = lossy_cluster(0.05, FecOverhead::Off, Vec::new());
+    let control = run_lossy(&mut plain, 91);
+    assert_eq!(
+        control.shards.iter().map(|s| s.parity_bytes).sum::<u64>(),
+        0
+    );
+    // A tenant buying parity means the cluster fetches *more* bytes (the
+    // overhead) but recovers packets the control could only refetch.
+    let recovered: u64 = report.shards.iter().map(|s| s.fec_recovered_packets).sum();
+    assert!(recovered > 0);
 }
 
 #[test]
