@@ -1,0 +1,119 @@
+//! The ratcheting unwrap budget.
+//!
+//! `crates/analyze/unwrap_budget.txt` pins, per crate, the number of
+//! `.unwrap()`/`.expect(` sites allowed in library (non-test,
+//! non-bench) code. The gate fails when a crate exceeds its line; when
+//! a crate drops below it, the check reports slack so the baseline can
+//! be ratcheted down. The baseline may only ever shrink.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Workspace-relative path of the baseline file.
+pub const BUDGET_FILE: &str = "crates/analyze/unwrap_budget.txt";
+
+/// Parses the baseline file: `<crate> <count>` per line, `#` comments.
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(name), Some(count)) = (parts.next(), parts.next()) {
+            if let Ok(count) = count.parse::<usize>() {
+                out.insert(name.to_string(), count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a baseline map back into the checked-in file format.
+pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# cachegen-analyze unwrap budget: max .unwrap()/.expect( sites per crate in\n\
+         # library (non-test, non-bench) code. Enforced by `cachegen-analyze check`\n\
+         # and `cargo test -p cachegen-analyze`. Ratchet DOWN only: lower a number\n\
+         # when you convert an unwrap to a typed error; never raise one — route new\n\
+         # fallibility through Result instead. Regenerate with\n\
+         # `cargo run -p cachegen-analyze -- baseline` after legitimate reductions.\n",
+    );
+    for (name, count) in counts {
+        out.push_str(&format!("{name} {count}\n"));
+    }
+    out
+}
+
+/// Loads the checked-in baseline, or `None` when the file is missing.
+pub fn load_baseline(workspace_root: &Path) -> Option<BTreeMap<String, usize>> {
+    std::fs::read_to_string(workspace_root.join(BUDGET_FILE))
+        .ok()
+        .map(|t| parse_baseline(&t))
+}
+
+/// Compares measured per-crate counts against the baseline. Returns
+/// `(violations, slack)`: crates over budget (name, actual, budget),
+/// and crates under it that could be ratcheted down.
+#[allow(clippy::type_complexity)] // two parallel (name, actual, budget) lists, not worth newtypes
+pub fn compare(
+    baseline: &BTreeMap<String, usize>,
+    actual: &BTreeMap<String, usize>,
+) -> (Vec<(String, usize, usize)>, Vec<(String, usize, usize)>) {
+    let mut violations = Vec::new();
+    let mut slack = Vec::new();
+    for (name, &count) in actual {
+        let budget = baseline.get(name).copied().unwrap_or(0);
+        if count > budget {
+            violations.push((name.clone(), count, budget));
+        } else if count < budget {
+            slack.push((name.clone(), count, budget));
+        }
+    }
+    // A baseline entry for a crate with no measured sites is slack too:
+    // the crate went fully typed, pin it at zero.
+    for (name, &budget) in baseline {
+        if budget > 0 && !actual.contains_key(name) {
+            slack.push((name.clone(), 0, budget));
+        }
+    }
+    (violations, slack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert("codec".to_string(), 7);
+        counts.insert("serving".to_string(), 2);
+        let parsed = parse_baseline(&render_baseline(&counts));
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn over_budget_is_a_violation_under_is_slack() {
+        let baseline = parse_baseline("codec 3\nserving 2\nnet 1\n");
+        let mut actual = BTreeMap::new();
+        actual.insert("codec".to_string(), 5);
+        actual.insert("serving".to_string(), 1);
+        let (violations, slack) = compare(&baseline, &actual);
+        assert_eq!(violations, vec![("codec".to_string(), 5, 3)]);
+        assert_eq!(
+            slack,
+            vec![("serving".to_string(), 1, 2), ("net".to_string(), 0, 1),]
+        );
+    }
+
+    #[test]
+    fn unlisted_crate_has_zero_budget() {
+        let baseline = parse_baseline("");
+        let mut actual = BTreeMap::new();
+        actual.insert("newcrate".to_string(), 1);
+        let (violations, _) = compare(&baseline, &actual);
+        assert_eq!(violations, vec![("newcrate".to_string(), 1, 0)]);
+    }
+}

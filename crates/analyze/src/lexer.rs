@@ -1,0 +1,373 @@
+//! A small hand-rolled Rust lexer that separates code from non-code.
+//!
+//! The rule engine matches tokens against *code only*: string literals,
+//! character literals, and comments are blanked out (replaced by spaces,
+//! newlines preserved) so that a rule name mentioned in a doc comment or
+//! an error message never fires a rule. Comment text is returned
+//! separately so suppression markers can be parsed from real comments —
+//! and only from real comments, never from string literals that happen
+//! to contain comment-looking text.
+//!
+//! The lexer handles the token shapes that matter for scrubbing real
+//! Rust source: line comments, nested block comments, plain and raw
+//! string literals (with `#` fences and `b`/`r` prefixes), character
+//! literals (escaped and multi-byte), and the character-literal versus
+//! lifetime ambiguity (`'a'` is a literal, `<'a>` is not).
+
+/// One comment extracted from the source, with the (1-based) line its
+/// first character sits on and its full text including the `//` or
+/// `/*` introducer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Full comment text, introducer included.
+    pub text: String,
+}
+
+/// The result of scrubbing: `code` is byte-for-byte the same shape as
+/// the input (newlines preserved) with all non-code blanked to spaces.
+#[derive(Clone, Debug)]
+pub struct Scrubbed {
+    /// Source with comments/strings/char literals blanked.
+    pub code: String,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn blank(code: &mut [u8], from: usize, to: usize) {
+    for b in code.iter_mut().take(to).skip(from) {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Strips comments, string literals, and character literals from Rust
+/// source, preserving line structure, and collects comment text.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut code = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < n {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+                blank(&mut code, start, i);
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i].to_string(),
+                });
+                blank(&mut code, start, i);
+            }
+            b'"' => {
+                i = scrub_plain_string(src, i, &mut code, &mut line);
+            }
+            b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                if let Some(end) = raw_string_end(src, i, &mut line) {
+                    blank(&mut code, i, end);
+                    i = end;
+                } else if bytes[i] == b'b' && i + 1 < n && bytes[i + 1] == b'"' {
+                    i = scrub_plain_string(src, i + 1, &mut code, &mut line);
+                    blank(&mut code, i - 1, i);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i = scrub_char_or_lifetime(src, i, &mut code);
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    Scrubbed {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Scrubs a `"…"` literal starting at the opening quote; returns the
+/// index one past the closing quote (or end of input if unterminated).
+fn scrub_plain_string(src: &str, start: usize, code: &mut [u8], line: &mut usize) -> usize {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut i = start + 1;
+    while i < n {
+        match bytes[i] {
+            // An escape consumes the next byte — which is a real newline
+            // for `\<newline>` line continuations, so keep counting it.
+            b'\\' => {
+                if i + 1 < n && bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let end = i.min(n);
+    blank(code, start, end);
+    end
+}
+
+/// If `start` begins a raw (possibly byte) string literal — `r"…"`,
+/// `r#"…"#`, `br##"…"##`, … — returns the index one past its closing
+/// fence, advancing `line` over embedded newlines.
+fn raw_string_end(src: &str, start: usize, line: &mut usize) -> Option<usize> {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i >= n || bytes[i] != b'r' {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while i < n && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || bytes[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    while i < n {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let fence_end = i + 1 + hashes;
+            if fence_end <= n && bytes[i + 1..fence_end].iter().all(|&b| b == b'#') {
+                return Some(fence_end);
+            }
+        }
+        i += 1;
+    }
+    Some(n)
+}
+
+/// Distinguishes a character literal (blank it) from a lifetime (keep
+/// it) at a `'`; returns the next index to resume lexing from.
+fn scrub_char_or_lifetime(src: &str, start: usize, code: &mut [u8]) -> usize {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    if start + 1 >= n {
+        return start + 1;
+    }
+    if bytes[start + 1] == b'\\' {
+        // Escaped char literal: skip the escaped byte, then scan to the
+        // closing quote (covers \n, \', \\, \u{…}).
+        let mut i = start + 3;
+        while i < n && bytes[i] != b'\'' {
+            i += 1;
+        }
+        let end = (i + 1).min(n);
+        blank(code, start, end);
+        return end;
+    }
+    // One UTF-8 character followed by a closing quote is a literal;
+    // anything else ('a>, 'static, 'outer:) is a lifetime or label.
+    if let Some(ch) = src[start + 1..].chars().next() {
+        let close = start + 1 + ch.len_utf8();
+        if close < n && bytes[close] == b'\'' && ch != '\'' {
+            blank(code, start, close + 1);
+            return close + 1;
+        }
+    }
+    start + 1
+}
+
+/// Blanks the bodies of `#[cfg(test)]`-gated items (test modules and
+/// functions) in already-scrubbed code, so that rules scoped to library
+/// code — the unwrap budget — ignore test internals. Brace matching is
+/// reliable here because strings, chars, and comments are already gone.
+pub fn mask_cfg_test(code: &str) -> String {
+    let mut out = code.as_bytes().to_vec();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("#[cfg(test)]") {
+        let attr = from + rel;
+        let mut i = attr + "#[cfg(test)]".len();
+        let bytes = code.as_bytes();
+        let n = bytes.len();
+        // Scan to the item's opening brace; a semicolon first means an
+        // out-of-line `mod tests;` — nothing to blank in this file.
+        while i < n && bytes[i] != b'{' && bytes[i] != b';' {
+            i += 1;
+        }
+        if i >= n || bytes[i] == b';' {
+            from = i.min(n);
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut end = i;
+        while end < n {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        blank(&mut out, attr, end);
+        from = end;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"Instant::now\"; // Instant::now\nlet b = 1;\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("Instant::now"));
+        assert!(s.code.contains("let a ="));
+        assert!(s.code.contains("let b = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("Instant::now"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* HashMap */ y */ b\nc\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("HashMap"));
+        assert!(s.code.contains('a'));
+        assert!(s.code.contains('b'));
+        assert!(s.code.contains('c'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let x = r#\"thread::spawn \" still in\"#; call();\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("thread::spawn"));
+        assert!(s.code.contains("call();"));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let src = "let x = b\"SystemTime\"; let y = br#\"OsRng\"#; f();\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("SystemTime"));
+        assert!(!s.code.contains("OsRng"));
+        assert!(s.code.contains("f();"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let c = 'x'; q }\n";
+        let s = scrub(src);
+        // Lifetimes survive; char literals are blanked (including a
+        // quote char that would otherwise open a fake string).
+        assert!(s.code.contains("<'a>"));
+        assert!(s.code.contains("&'a str"));
+        assert!(!s.code.contains("'x'"));
+        assert!(s.code.contains('q'));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = "let a = '\\''; let b = '\\u{7d}'; g();\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("u{7d}"));
+        assert!(s.code.contains("g();"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let src = "let s = \"line one\nline two\";\nafter();\n";
+        let s = scrub(src);
+        assert_eq!(s.code.matches('\n').count(), src.matches('\n').count());
+        assert!(s.code.contains("after();"));
+        assert!(!s.code.contains("line two"));
+    }
+
+    #[test]
+    fn line_continuation_in_string_keeps_comment_lines_aligned() {
+        let src = "let s = \"a\\\n b\\\n c\";\n// after\nx();\n";
+        let s = scrub(src);
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 4);
+        assert_eq!(s.code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn string_with_comment_lookalike_is_not_a_comment() {
+        let src = "let s = \"// analyze: allow(no-wall-clock)\";\n";
+        let s = scrub(src);
+        assert!(s.comments.is_empty());
+        assert!(!s.code.contains("analyze"));
+    }
+
+    #[test]
+    fn cfg_test_mask_blanks_test_mod_only() {
+        let src = "pub fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\npub fn tail() {}\n";
+        let scrubbed = scrub(src);
+        let masked = mask_cfg_test(&scrubbed.code);
+        assert_eq!(masked.matches(".unwrap()").count(), 1);
+        assert!(masked.contains("pub fn lib"));
+        assert!(masked.contains("pub fn tail"));
+        assert!(!masked.contains("mod tests"));
+    }
+}

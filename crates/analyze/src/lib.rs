@@ -1,0 +1,144 @@
+//! `cachegen-analyze`: the workspace's static determinism gate.
+//!
+//! Every headline number in this reproduction — TTFT ladders, loss-sweep
+//! frontiers, FEC acceptance pins — rests on the virtual-clock simulator
+//! being a bit-reproducible oracle. This crate mechanically rejects the
+//! source-level hazards that would silently corrupt it: wall-clock time
+//! sources, raw thread spawns, hash-order iteration, unseeded RNGs,
+//! partial float comparisons, and unchecked unwrap growth. It is pure
+//! `std` (no crates.io, consistent with the `vendor/` policy), runs as a
+//! CI step (`cargo run -p cachegen-analyze -- check`) and as a test
+//! (`cargo test -p cachegen-analyze`), and every rule has a justified
+//! escape hatch (see [`rules`]).
+//!
+//! Matching is lexical but string/comment-aware: a hand-rolled lexer
+//! ([`lexer`]) blanks string literals, char literals, and comments
+//! before rules run, so prose about `thread::spawn` never trips the
+//! gate, while suppression markers are parsed from real comments only.
+
+pub mod budget;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{FileReport, Finding, RULES};
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything one full workspace pass produces.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, budget breaches included, sorted by file/line.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Measured per-crate library unwrap counts.
+    pub unwrap_counts: BTreeMap<String, usize>,
+    /// Crates under budget: (crate, actual, budget) — ratchet material.
+    pub budget_slack: Vec<(String, usize, usize)>,
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collects the workspace's own `.rs` files (crates, root tests, root
+/// examples), deterministically sorted. Vendored stand-ins, build
+/// outputs, and the analyzer's known-bad fixtures are excluded.
+pub fn workspace_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full pass: every rule over every workspace file, plus the
+/// unwrap budget against the checked-in baseline.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in workspace_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        let file_report = rules::analyze_source(&rel, &source);
+        report.files_scanned += 1;
+        report.findings.extend(file_report.findings);
+        if !file_report.unwrap_lines.is_empty() {
+            if let Some(name) = rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+            {
+                *report.unwrap_counts.entry(name.to_string()).or_insert(0) +=
+                    file_report.unwrap_lines.len();
+            }
+        }
+    }
+
+    match budget::load_baseline(root) {
+        None => report.findings.push(Finding {
+            rule: "no-lib-unwrap",
+            file: budget::BUDGET_FILE.to_string(),
+            line: 0,
+            message: "unwrap budget baseline missing; regenerate with `cargo run -p cachegen-analyze -- baseline`".to_string(),
+        }),
+        Some(baseline) => {
+            let (violations, slack) = budget::compare(&baseline, &report.unwrap_counts);
+            for (name, actual, budget) in violations {
+                report.findings.push(Finding {
+                    rule: "no-lib-unwrap",
+                    file: budget::BUDGET_FILE.to_string(),
+                    line: 0,
+                    message: format!(
+                        "crate `{name}` has {actual} library unwrap/expect sites, budget {budget} — convert the new sites to typed errors (the budget only ratchets down)"
+                    ),
+                });
+            }
+            report.budget_slack = slack;
+        }
+    }
+
+    report.findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(b.rule))
+    });
+    Ok(report)
+}

@@ -1,0 +1,111 @@
+//! Command-line driver for the workspace determinism gate.
+//!
+//! Subcommands:
+//!
+//! - `check` — run every rule over the workspace's own source and the
+//!   unwrap budget against `crates/analyze/unwrap_budget.txt`; print
+//!   `file:line: [rule] message` per violation and exit non-zero if any.
+//! - `baseline` — regenerate the unwrap budget file from the current
+//!   measured counts (use after ratcheting unwraps down, never up).
+//! - `rules` — list every rule with its rationale.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(),
+        Some("baseline") => baseline(),
+        Some("rules") => {
+            rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cachegen-analyze <check|baseline|rules>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolves the workspace root: from the manifest dir when run via
+/// `cargo run -p cachegen-analyze`, from the current dir otherwise.
+fn workspace_root() -> Result<PathBuf, String> {
+    let start = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?,
+    };
+    cachegen_analyze::find_workspace_root(&start)
+        .ok_or_else(|| format!("no [workspace] Cargo.toml at or above {}", start.display()))
+}
+
+fn check() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("cachegen-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match cachegen_analyze::analyze_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("cachegen-analyze: workspace scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for (name, actual, budget) in &report.budget_slack {
+        eprintln!(
+            "note: crate `{name}` is under its unwrap budget ({actual} < {budget}) — ratchet crates/analyze/unwrap_budget.txt down"
+        );
+    }
+    if report.findings.is_empty() {
+        println!(
+            "cachegen-analyze: {} files clean across {} rules",
+            report.files_scanned,
+            cachegen_analyze::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cachegen-analyze: {} violation(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn baseline() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("cachegen-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match cachegen_analyze::analyze_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("cachegen-analyze: workspace scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = root.join(cachegen_analyze::budget::BUDGET_FILE);
+    let rendered = cachegen_analyze::budget::render_baseline(&report.unwrap_counts);
+    if let Err(e) = std::fs::write(&path, rendered) {
+        eprintln!("cachegen-analyze: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "cachegen-analyze: wrote {} ({} crate(s) with library unwrap sites)",
+        path.display(),
+        report.unwrap_counts.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn rules() {
+    for rule in cachegen_analyze::RULES {
+        println!("{:<22} {}", rule.name, rule.summary);
+    }
+}

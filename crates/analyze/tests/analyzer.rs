@@ -1,0 +1,124 @@
+//! Fixture tests: every rule fires at the exact file:line on known-bad
+//! input, stays silent on known-good input, and the lexer keeps string
+//! literals and comments inert.
+
+use cachegen_analyze::rules::{analyze_source, EXECUTOR_MODULE};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn lines_of(report: &cachegen_analyze::FileReport, rule: &str) -> Vec<usize> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn wall_clock_flagged_at_exact_lines_outside_bench() {
+    let src = fixture("bad_wall_clock.rs");
+    let report = analyze_source("crates/serving/src/fx.rs", &src);
+    assert_eq!(lines_of(&report, "no-wall-clock"), vec![4, 5]);
+
+    // crates/bench is the one exempt crate: same content, no findings.
+    let bench = analyze_source("crates/bench/src/fx.rs", &src);
+    assert!(bench.findings.is_empty(), "{:?}", bench.findings);
+}
+
+#[test]
+fn prose_and_strings_never_fire() {
+    let src = fixture("good_mentions_only.rs");
+    let report = analyze_source("crates/serving/src/fx.rs", &src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.unwrap_lines.is_empty());
+}
+
+#[test]
+fn raw_spawn_flagged_everywhere_but_the_executor_module() {
+    let src = fixture("bad_raw_spawn.rs");
+    let report = analyze_source("crates/kvstore/src/fx.rs", &src);
+    assert_eq!(lines_of(&report, "no-raw-spawn"), vec![5]);
+
+    // The same content analyzed as the executor module itself is exempt.
+    let pool = analyze_source(EXECUTOR_MODULE, &src);
+    assert!(
+        lines_of(&pool, "no-raw-spawn").is_empty(),
+        "{:?}",
+        pool.findings
+    );
+}
+
+#[test]
+fn hash_containers_banned_only_in_determinism_critical_crates() {
+    let src = fixture("bad_hash_iter.rs");
+    for banned in ["serving", "streamer", "net", "workloads", "kvstore"] {
+        let report = analyze_source(&format!("crates/{banned}/src/fx.rs"), &src);
+        assert_eq!(
+            lines_of(&report, "no-hash-iter"),
+            vec![4, 7],
+            "crate {banned}"
+        );
+    }
+    let codec = analyze_source("crates/codec/src/fx.rs", &src);
+    assert!(
+        lines_of(&codec, "no-hash-iter").is_empty(),
+        "{:?}",
+        codec.findings
+    );
+}
+
+#[test]
+fn entropy_seeded_rng_flagged_outside_bench() {
+    let src = fixture("bad_rng.rs");
+    let report = analyze_source("crates/workloads/src/fx.rs", &src);
+    assert_eq!(lines_of(&report, "seeded-rng-only"), vec![4]);
+    let bench = analyze_source("crates/bench/src/fx.rs", &src);
+    assert!(lines_of(&bench, "seeded-rng-only").is_empty());
+}
+
+#[test]
+fn partial_cmp_flagged_and_its_unwrap_counted() {
+    let src = fixture("bad_float_sort.rs");
+    let report = analyze_source("crates/tensor/src/fx.rs", &src);
+    assert_eq!(lines_of(&report, "total-float-order"), vec![4]);
+    assert_eq!(report.unwrap_lines, vec![4]);
+}
+
+#[test]
+fn marker_grammar_end_to_end() {
+    let src = fixture("markers.rs");
+    let report = analyze_source("crates/serving/src/fx.rs", &src);
+
+    // Justified markers (trailing on 4, standalone above 8) suppress.
+    assert!(
+        !report.findings.iter().any(|f| f.line == 4 || f.line == 8),
+        "{:?}",
+        report.findings
+    );
+    // Bare and unknown-rule markers do NOT suppress, and are themselves
+    // violations; the stale standalone marker is one too.
+    assert_eq!(lines_of(&report, "no-wall-clock"), vec![11, 15]);
+    assert_eq!(lines_of(&report, "no-unjustified-allow"), vec![11, 15, 18]);
+    assert_eq!(report.findings.len(), 5);
+}
+
+#[test]
+fn unwrap_budget_counts_library_sites_only() {
+    let src = fixture("unwrap_budget.rs");
+    let report = analyze_source("crates/codec/src/fx.rs", &src);
+    // Lines 5 and 9 count; line 14 is suppressed with a justification;
+    // the #[cfg(test)] module's unwraps are masked out entirely.
+    assert_eq!(report.unwrap_lines, vec![5, 9]);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn allow_attributes_need_a_written_reason() {
+    let src = fixture("bad_allow_attr.rs");
+    let report = analyze_source("crates/core/src/fx.rs", &src);
+    assert_eq!(lines_of(&report, "no-unjustified-allow"), vec![4]);
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: an `#[allow(…)]` attribute with no written
+//! justification anywhere near it.
+
+#[allow(dead_code)]
+fn silenced() {}
+
+// This one carries its reason on the line above, so it is fine.
+#[allow(dead_code)]
+fn justified_above() {}
+
+#[allow(dead_code)] // and this one trails its reason
+fn justified_trailing() {}

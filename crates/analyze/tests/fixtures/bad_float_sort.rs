@@ -1,0 +1,5 @@
+//! Known-bad fixture: partial float comparison in a sort.
+
+pub fn sort(v: &mut [f32]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 4: flagged (and one unwrap site)
+}

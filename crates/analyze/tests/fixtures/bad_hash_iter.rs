@@ -1,0 +1,12 @@
+//! Known-bad fixture: hash containers in a determinism-critical crate.
+//! The same content is clean under a crate outside the banned list.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // line 7: flagged twice
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.len()
+}

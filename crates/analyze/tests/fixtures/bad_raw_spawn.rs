@@ -1,0 +1,7 @@
+//! Known-bad fixture: a raw thread spawn outside the executor module.
+//! The same content is clean when analyzed under the executor path.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 1 + 1); // line 5: flagged
+    let _ = handle.join();
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: entropy-seeded RNG construction.
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng(); // line 4: flagged
+    rng.gen()
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture: wall-clock time sources in simulator code.
+
+pub fn measure() -> u64 {
+    let start = std::time::Instant::now(); // line 4: flagged
+    let _ = std::time::SystemTime::now(); // line 5: flagged
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,14 @@
+//! Known-good fixture: every banned token appears only in prose or in
+//! string literals — `Instant::now`, `thread::spawn`, `HashMap`,
+//! `thread_rng` — and none of it may fire.
+
+/// Doc comment mentioning SystemTime and OsRng as words.
+pub fn explain() -> &'static str {
+    // A line comment about Instant::now and .partial_cmp( too.
+    "use the virtual clock, never Instant::now or thread::spawn; \
+     HashMap iteration and thread_rng are banned as well"
+}
+
+pub fn raw() -> &'static str {
+    r#"even raw strings with SystemTime and from_entropy stay inert"#
+}

@@ -1,0 +1,19 @@
+//! Fixture exercising the suppression-marker grammar end to end.
+
+pub fn suppressed_trailing() -> std::time::Instant {
+    std::time::Instant::now() // analyze: allow(no-wall-clock, "fixture: justified trailing marker")
+}
+
+// analyze: allow(no-wall-clock, "fixture: justified standalone marker")
+pub fn suppressed_standalone() -> std::time::Instant { std::time::Instant::now() }
+
+pub fn bare() {
+    let _ = std::time::SystemTime::now(); // analyze: allow(no-wall-clock)
+}
+
+pub fn unknown_rule() {
+    let _ = std::time::SystemTime::now(); // analyze: allow(no-such-rule, "typo in the rule name")
+}
+
+// analyze: allow(no-raw-spawn, "fixture: suppresses nothing — stale")
+pub fn nothing_here() {}

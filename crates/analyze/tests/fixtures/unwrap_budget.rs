@@ -1,0 +1,26 @@
+//! Fixture for library-unwrap counting: two library sites, one
+//! suppressed site, and a test module whose unwraps never count.
+
+pub fn lib_one(x: Option<u32>) -> u32 {
+    x.unwrap() // line 5: counted
+}
+
+pub fn lib_two(x: Result<u32, String>) -> u32 {
+    x.expect("fixture") // line 9: counted
+}
+
+pub fn lib_suppressed(x: Option<u32>) -> u32 {
+    // analyze: allow(no-lib-unwrap, "fixture: justified hot-path unwrap")
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inside_tests_is_free() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, String> = Ok(2);
+        assert_eq!(r.expect("fine in tests"), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! The determinism gate as a test: `cargo test -p cachegen-analyze`
+//! fails the build the moment any workspace source violates a rule, so
+//! the gate runs even where CI's dedicated `check` step doesn't.
+
+use std::path::Path;
+
+#[test]
+fn workspace_satisfies_every_determinism_rule() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = cachegen_analyze::analyze_workspace(&root).expect("workspace scan succeeds");
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        rendered.is_empty(),
+        "determinism gate violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+}

@@ -21,9 +21,6 @@
 //! indices so CacheGen's codec can be layered on top (Figure 10: "CacheGen
 //! on H2O", "CacheGen on LLMLingua").
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod gisting;
 pub mod h2o;
 pub mod lingua;
@@ -95,12 +92,7 @@ pub fn top_indices_with_recent(
     assert!(keep_count >= 1 && keep_count <= n, "bad keep_count");
     let recent_start = n.saturating_sub(recent_window);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("NaN score")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     let mut keep: Vec<usize> = Vec::with_capacity(keep_count);
     // Recent window first (always kept), then heavy hitters.
     keep.extend(recent_start..n);

@@ -1,6 +1,6 @@
 //! Table 2 and the §5.1 insight figures (3, 4, 5).
 
-use crate::harness::{section, Bench, SIM_CONTEXT_TOKENS};
+use crate::harness::{section, SIM_CONTEXT_TOKENS};
 use cachegen_codec::delta::consecutive_deltas;
 use cachegen_llm::{eval, KvCache, SimModelConfig, SimTransformer};
 use cachegen_tensor::stats;
@@ -147,7 +147,3 @@ pub fn fig5() {
         );
     }
 }
-
-// Bench import used by sibling modules re-exporting through here.
-#[allow(unused_imports)]
-use Bench as _;

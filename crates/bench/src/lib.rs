@@ -11,9 +11,6 @@
 //! * **analytic** — GB sizes and second-scale TTFTs apply those measured
 //!   ratios to the real models' dimensions ([`cachegen_llm::ModelSpec`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod experiments;
 pub mod harness;
 

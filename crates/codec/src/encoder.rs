@@ -277,11 +277,23 @@ impl EncodedKv {
         if version != 2 {
             return Err(format!("unsupported version {version}"));
         }
+        // Fixed-width header fields, parsed without unwraps: `take_n`
+        // yields an array of exactly N bytes or a typed truncation error.
+        let take_n = |pos: &mut usize, n: &mut [u8]| -> Result<(), String> {
+            n.copy_from_slice(take(pos, n.len())?);
+            Ok(())
+        };
+        let mut u16b = [0u8; 2];
+        let mut u32b = [0u8; 4];
         let delta_encoding = take(&mut pos, 1)?[0] != 0;
-        let layers = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
-        let tokens = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-        let channels = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
-        let group_size = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        take_n(&mut pos, &mut u16b)?;
+        let layers = u16::from_le_bytes(u16b) as usize;
+        take_n(&mut pos, &mut u32b)?;
+        let tokens = u32::from_le_bytes(u32b) as usize;
+        take_n(&mut pos, &mut u16b)?;
+        let channels = u16::from_le_bytes(u16b) as usize;
+        take_n(&mut pos, &mut u16b)?;
+        let group_size = u16::from_le_bytes(u16b) as usize;
         if group_size == 0 {
             return Err("group size must be ≥ 1".into());
         }
@@ -290,7 +302,8 @@ impl EncodedKv {
             for _ in 0..layers {
                 let mut row = Vec::with_capacity(channels);
                 for _ in 0..channels {
-                    let w = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+                    take_n(&mut pos, &mut u16b)?;
+                    let w = u16::from_le_bytes(u16b);
                     row.push(wire_to_scale(w));
                 }
                 set.push(row);
@@ -596,7 +609,7 @@ impl KvCodec {
 
     /// Decodes one (layer, group) chunk into its output slice, verifying
     /// exact byte consumption against the chunk frame.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // decode-side mirror of the encode stages
     pub(crate) fn decode_chunk(
         &self,
         stream: &[u8],
@@ -756,16 +769,6 @@ impl KvCodec {
         self.decode_impl(enc, true)
     }
 
-    /// Worker count for the parallel decoder: one per available core,
-    /// never more than there are work items (no oversubscription on small
-    /// machines, no single-thread underutilization for few-layer models).
-    fn bounded_workers(jobs: usize) -> usize {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(1, jobs.max(1))
-    }
-
     pub(crate) fn check_geometry(
         &self,
         enc: &EncodedKv,
@@ -813,7 +816,7 @@ impl KvCodec {
         self.check_geometry(enc, layout)?;
         let mut k = Tensor::zeros(&[layers, tokens, channels]);
         let mut v = Tensor::zeros(&[layers, tokens, channels]);
-        let mut jobs: Vec<DecodeJob> = Vec::with_capacity(enc.num_chunks());
+        let mut jobs: Vec<DecodeJob<'_>> = Vec::with_capacity(enc.num_chunks());
         push_decode_jobs(
             &mut jobs,
             k.data_mut(),
@@ -832,7 +835,7 @@ impl KvCodec {
             channels,
             layout,
         );
-        let run = |job: &mut DecodeJob| -> Result<(), CodecError> {
+        let run = |job: &mut DecodeJob<'_>| -> Result<(), CodecError> {
             let (anchor_scales, delta_scales) = if job.is_k {
                 (&enc.scales[0][job.layer], &enc.scales[1][job.layer])
             } else {
@@ -851,38 +854,8 @@ impl KvCodec {
                 job.out,
             )
         };
-        if parallel && jobs.len() > 1 {
-            use std::sync::atomic::{AtomicBool, Ordering};
-            let workers = Self::bounded_workers(jobs.len());
-            let queue = std::sync::Mutex::new(jobs.into_iter().enumerate());
-            let failure = std::sync::Mutex::new(None::<(usize, CodecError)>);
-            let failed = AtomicBool::new(false);
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        // Once any chunk fails the whole decode is doomed;
-                        // don't pay for the remaining chunks.
-                        if failed.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let job = queue.lock().expect("decode queue poisoned").next();
-                        let Some((idx, mut job)) = job else { break };
-                        if let Err(e) = run(&mut job) {
-                            failed.store(true, Ordering::Relaxed);
-                            let mut slot = failure.lock().expect("failure slot poisoned");
-                            // Keep the job-order-first failure so the
-                            // parallel path reports the same error the
-                            // serial path would.
-                            if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
-                                *slot = Some((idx, e));
-                            }
-                        }
-                    });
-                }
-            });
-            if let Some((_, e)) = failure.into_inner().expect("failure slot poisoned") {
-                return Err(e);
-            }
+        if parallel {
+            crate::pool::run_pooled(jobs, |_, mut job| run(&mut job))?;
         } else {
             for mut job in jobs {
                 run(&mut job)?;
@@ -1108,18 +1081,6 @@ mod tests {
             codec.try_decode(&damaged),
             Err(CodecError::Geometry(_))
         ));
-    }
-
-    #[test]
-    fn bounded_worker_pool_never_oversubscribes() {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        assert_eq!(KvCodec::bounded_workers(0), 1);
-        assert_eq!(KvCodec::bounded_workers(1), 1);
-        assert!(KvCodec::bounded_workers(3) <= 3);
-        assert!(KvCodec::bounded_workers(10_000) <= cores);
-        assert!(KvCodec::bounded_workers(10_000) >= 1);
     }
 
     #[test]

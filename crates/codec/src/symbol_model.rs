@@ -112,6 +112,7 @@ impl FreqTable {
 
     /// Total frequency mass.
     pub fn total(&self) -> u64 {
+        // analyze: allow(no-lib-unwrap, "cum always ends with the total — every constructor builds at least one entry; this is the per-symbol hot path, keep it branchless")
         *self.cum.last().unwrap()
     }
 

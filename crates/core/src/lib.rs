@@ -50,9 +50,6 @@
 //! * [`qoe`] — the quality-of-experience (mean-opinion-score) model used
 //!   for the Figure 16 user-study reproduction.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod engine;
 pub mod pipeline;
 pub mod qoe;

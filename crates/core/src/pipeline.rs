@@ -171,6 +171,7 @@ pub fn load_context(
                             &arrival_map(enc.layers, enc.num_groups(), outcome),
                             params.repair,
                         )
+                        // analyze: allow(no-lib-unwrap, "the stream was produced from the engine's own stored encoding, so a geometry mismatch is a programming bug, not an input condition")
                         .expect("stored stream has valid geometry");
                     if !repaired.pending_refetch().is_empty() {
                         refetch.push((outcome.index, l));

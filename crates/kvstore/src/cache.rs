@@ -10,7 +10,7 @@
 //! saved by locality.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ContextId;
 
@@ -83,7 +83,7 @@ pub struct LruKvCache {
 }
 
 struct Inner {
-    entries: HashMap<ContextId, Entry>,
+    entries: BTreeMap<ContextId, Entry>,
     used_bytes: u64,
     clock: u64,
     stats: CacheStats,
@@ -96,7 +96,7 @@ impl LruKvCache {
         LruKvCache {
             capacity_bytes,
             inner: Mutex::new(Inner {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
                 used_bytes: 0,
                 clock: 0,
                 stats: CacheStats::default(),
@@ -157,17 +157,23 @@ impl LruKvCache {
         let clock = g.clock;
         let mut evicted = Vec::new();
         while g.used_bytes + bytes > self.capacity_bytes {
-            // Find the LRU entry.
-            let victim = g
+            // Find the LRU entry. Ties are impossible (the logical clock
+            // is strictly increasing), and an empty map cannot be over
+            // capacity, but both fallbacks stay typed rather than
+            // panicking.
+            let Some(victim) = g
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&vid, _)| vid)
-                .expect("capacity exceeded with no entries");
-            let e = g.entries.remove(&victim).unwrap();
-            g.used_bytes -= e.bytes;
+            else {
+                break;
+            };
+            if let Some(e) = g.entries.remove(&victim) {
+                g.used_bytes -= e.bytes;
+                g.stats.freed_bytes += e.bytes;
+            }
             g.stats.evictions += 1;
-            g.stats.freed_bytes += e.bytes;
             evicted.push(victim);
         }
         g.entries.insert(
@@ -333,23 +339,17 @@ mod tests {
 
     #[test]
     fn concurrent_touch_insert() {
-        use std::sync::Arc;
-        let c = Arc::new(LruKvCache::new(10_000));
-        let mut handles = Vec::new();
-        for t in 0..8u64 {
-            let c = Arc::clone(&c);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..500 {
-                    let id = (t * 31 + i) % 16;
-                    if !c.touch(id) {
-                        c.insert(id, 500);
-                    }
+        // Real threads come from the one approved pool helper; scoped
+        // workers borrow the cache directly, no Arc needed.
+        let c = LruKvCache::new(10_000);
+        cachegen_codec::pool::for_each_pooled((0..8u64).collect(), |_, t| {
+            for i in 0..500 {
+                let id = (t * 31 + i) % 16;
+                if !c.touch(id) {
+                    c.insert(id, 500);
                 }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+            }
+        });
         assert!(c.used_bytes() <= c.capacity_bytes());
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 8 * 500);

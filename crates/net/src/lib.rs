@@ -26,9 +26,6 @@
 //! * [`ThroughputEstimator`] — the streamer's bandwidth estimate: the
 //!   measured throughput of the previous chunk (§5.3), optionally smoothed.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod fec;
 pub mod link;
 pub mod packet;

@@ -17,9 +17,6 @@
 //! is `symbol × bin × scale`. The quantizer is the *only* lossy stage in the
 //! CacheGen pipeline.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use cachegen_llm::KvCache;
 use cachegen_tensor::Tensor;
 

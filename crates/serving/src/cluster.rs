@@ -311,6 +311,7 @@ impl ServingCluster {
         ServingReport {
             outcomes: outcomes
                 .into_iter()
+                // analyze: allow(no-lib-unwrap, "the event loop runs to quiescence, so every admitted request's slot is filled; an empty slot is a scheduler bug worth a loud stop")
                 .map(|o| o.expect("every request resolved"))
                 .collect(),
             shards: self.shards.iter().map(|s| s.stats).collect(),

@@ -154,7 +154,9 @@ impl TenantQueues {
         else {
             return Vec::new();
         };
-        let head = self.queues[lead_tenant].pop_front().expect("non-empty");
+        let Some(head) = self.queues[lead_tenant].pop_front() else {
+            return Vec::new();
+        };
         self.total -= 1;
         self.cursor = (lead_tenant + 1) % n;
         let mut batch = vec![head];
@@ -169,7 +171,9 @@ impl TenantQueues {
                 else {
                     break;
                 };
-                let req = self.queues[t].remove(pos).expect("position exists");
+                let Some(req) = self.queues[t].remove(pos) else {
+                    break;
+                };
                 self.total -= 1;
                 batch.push(req);
             }

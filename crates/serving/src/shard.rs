@@ -9,7 +9,7 @@
 //! batch observes the same ready time. A hit in the local
 //! [`LruKvCache`] skips the link entirely and pays only decode time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cachegen::engine::CacheGenEngine;
 use cachegen::RepairPolicy;
@@ -57,9 +57,9 @@ pub struct Shard {
     /// Whether a batch is in flight.
     pub busy: bool,
     /// Offline chunk plans of the contexts this shard owns.
-    plans: HashMap<ContextId, ChunkPlan>,
+    plans: BTreeMap<ContextId, ChunkPlan>,
     /// Wire size and quality of each locally cached bitstream.
-    cached: HashMap<ContextId, CachedMeta>,
+    cached: BTreeMap<ContextId, CachedMeta>,
     /// Accounting.
     pub stats: ShardSummary,
 }
@@ -82,8 +82,8 @@ impl Shard {
             link,
             queues: TenantQueues::new(cfg.num_tenants, cfg.degrade_depth, cfg.shed_depth),
             busy: false,
-            plans: HashMap::new(),
-            cached: HashMap::new(),
+            plans: BTreeMap::new(),
+            cached: BTreeMap::new(),
             stats: ShardSummary::default(),
         }
     }

@@ -22,9 +22,6 @@
 //!   missing after both is reported per chunk for the codec's repair
 //!   policies).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adapter;
 pub mod levels;
 pub mod plan;

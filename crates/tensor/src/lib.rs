@@ -15,9 +15,6 @@
 //! Everything here is deterministic and allocation-explicit: no global state,
 //! no threading. Parallelism lives in higher crates (`cachegen-codec`).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod dense;
 pub mod linalg;
 pub mod rng;

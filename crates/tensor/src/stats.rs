@@ -28,14 +28,15 @@ pub fn std_dev(xs: &[f32]) -> f32 {
     variance(xs).sqrt()
 }
 
-/// Linear-interpolated quantile, `q ∈ [0, 1]`. Sorts a copy.
+/// Linear-interpolated quantile, `q ∈ [0, 1]`. Sorts a copy under the
+/// IEEE total order (NaNs sort last, deterministically).
 pub fn quantile(xs: &[f32], q: f32) -> f32 {
     assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1]");
     if xs.is_empty() {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f32::total_cmp);
     let pos = q * (sorted.len() - 1) as f32;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -105,7 +106,7 @@ pub fn empirical_cdf(xs: &[f32], points: usize) -> Vec<(f32, f32)> {
         return Vec::new();
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    sorted.sort_by(f32::total_cmp);
     let n = sorted.len();
     (0..points)
         .map(|i| {

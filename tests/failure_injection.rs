@@ -181,9 +181,8 @@ fn wrong_level_decode_is_reported_or_total() {
 /// Store eviction under concurrent readers keeps accounting exact.
 #[test]
 fn eviction_accounting_under_concurrency() {
-    use std::sync::Arc;
+    use std::sync::atomic::{AtomicU64, Ordering};
     let (engine, ctx) = engine();
-    let engine = Arc::new(engine);
     for id in 0..4u64 {
         engine.store_kv(id, &ctx);
     }
@@ -193,13 +192,11 @@ fn eviction_accounting_under_concurrency() {
         .collect();
     assert_eq!(total, per.iter().sum::<u64>());
 
-    let mut handles = Vec::new();
-    for id in 0..4u64 {
-        let e = Arc::clone(&engine);
-        handles.push(std::thread::spawn(move || e.store().evict(id)));
-    }
-    let freed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    assert_eq!(freed, total);
+    let freed = AtomicU64::new(0);
+    cachegen_codec::pool::for_each_pooled((0..4u64).collect(), |_, id| {
+        freed.fetch_add(engine.store().evict(id), Ordering::Relaxed);
+    });
+    assert_eq!(freed.load(Ordering::Relaxed), total);
     assert_eq!(engine.store().total_bytes(), 0);
 }
 
