@@ -60,7 +60,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "no-hash-iter",
-        summary: "HashMap/HashSet banned in determinism-critical crates (serving, streamer, net, workloads, kvstore) — hash iteration order is seed-dependent; use BTreeMap/BTreeSet",
+        summary: "HashMap/HashSet banned in determinism-critical crates (serving, streamer, net, workloads, kvstore, telemetry) — hash iteration order is seed-dependent; use BTreeMap/BTreeSet",
     },
     RuleInfo {
         name: "seeded-rng-only",
@@ -144,8 +144,17 @@ const TOKEN_RULES: &[TokenRule] = &[
 /// threads. The future real-concurrency executor extends this module.
 pub const EXECUTOR_MODULE: &str = "crates/codec/src/pool.rs";
 
-/// Crates in which hash containers are banned outright.
-const HASH_BANNED_CRATES: &[&str] = &["serving", "streamer", "net", "workloads", "kvstore"];
+/// Crates in which hash containers are banned outright. The telemetry
+/// crate is in scope because its exporters promise byte-identical
+/// output per seed — one hash-ordered iteration would break that.
+const HASH_BANNED_CRATES: &[&str] = &[
+    "serving",
+    "streamer",
+    "net",
+    "workloads",
+    "kvstore",
+    "telemetry",
+];
 
 fn crate_of(rel_path: &str) -> Option<&str> {
     rel_path.strip_prefix("crates/")?.split('/').next()

@@ -55,7 +55,14 @@ fn raw_spawn_flagged_everywhere_but_the_executor_module() {
 #[test]
 fn hash_containers_banned_only_in_determinism_critical_crates() {
     let src = fixture("bad_hash_iter.rs");
-    for banned in ["serving", "streamer", "net", "workloads", "kvstore"] {
+    for banned in [
+        "serving",
+        "streamer",
+        "net",
+        "workloads",
+        "kvstore",
+        "telemetry",
+    ] {
         let report = analyze_source(&format!("crates/{banned}/src/fx.rs"), &src);
         assert_eq!(
             lines_of(&report, "no-hash-iter"),
@@ -69,6 +76,22 @@ fn hash_containers_banned_only_in_determinism_critical_crates() {
         "{:?}",
         codec.findings
     );
+}
+
+#[test]
+fn telemetry_sources_face_the_full_determinism_gate() {
+    // The telemetry crate exports byte-identical traces per seed, so it
+    // sits inside both the no-wall-clock and no-hash-iter scopes: a
+    // seeded violation of each must fire at its exact line.
+    let src = "use std::collections::HashMap;\n\
+               use std::time::Instant;\n\
+               pub fn snapshot(m: &HashMap<String, u64>) -> f64 {\n\
+                   let t = Instant::now();\n\
+                   t.elapsed().as_secs_f64() + m.len() as f64\n\
+               }\n";
+    let report = analyze_source("crates/telemetry/src/fx.rs", src);
+    assert_eq!(lines_of(&report, "no-hash-iter"), vec![1, 3]);
+    assert_eq!(lines_of(&report, "no-wall-clock"), vec![4]);
 }
 
 #[test]

@@ -11,11 +11,17 @@
 //! 10 there are 20 groups per layer, so the work-item count (2 × layers ×
 //! groups) far exceeds the old thread-per-layer fan-out.
 
+//! Beyond printing, the harness writes the headline numbers to
+//! `BENCH_codec.json` at the workspace root (decode rates in Melem/s,
+//! end-to-end codec times in ms, and the parallel decoder's pool shape
+//! from one traced run) so CI can archive the perf trajectory.
+
 use cachegen_codec::symbol_model::FreqTable;
 use cachegen_codec::{ac, rc};
 use cachegen_codec::{CodecConfig, CodecProfile, KvCodec};
 use cachegen_llm::{SimModelConfig, SimTransformer};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cachegen_telemetry::{workspace_root, JsonValue, Recorder};
+use criterion::{BenchmarkId, Criterion, Throughput};
 
 fn bench_entropy_coders(c: &mut Criterion) {
     let table = FreqTable::from_counts(&vec![10u32; 256]);
@@ -107,5 +113,78 @@ fn bench_prefill(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_entropy_coders, bench_kv_codec, bench_prefill);
-criterion_main!(benches);
+/// One traced parallel decode, for the pool-shape metrics the timing
+/// rows can't show (worker count, jobs per worker).
+fn pool_shape() -> (f64, f64) {
+    let model = SimTransformer::new(SimModelConfig::llama7b_sim(42));
+    let ctx: Vec<usize> = (0..200).map(|i| (i * 7) % 512).collect();
+    let cache = model.prefill(&ctx);
+    let cfg = CodecConfig::default();
+    let profile = CodecProfile::build(&cfg, &[&cache]);
+    let codec = KvCodec::new(cfg, profile);
+    let enc = codec.encode(&cache);
+    let recorder = Recorder::new();
+    codec
+        .try_decode_parallel_traced(&enc, &recorder)
+        .expect("self-encoded stream decodes");
+    let snap = recorder.registry_snapshot();
+    let workers = snap
+        .gauge_value("cachegen.codec.pool_workers")
+        .unwrap_or(0.0);
+    let chunks = snap.counter("cachegen.codec.decode_chunks").unwrap_or(0) as f64;
+    (workers, chunks)
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_entropy_coders(&mut criterion);
+    bench_kv_codec(&mut criterion);
+    bench_prefill(&mut criterion);
+
+    let melem = |label: &str| {
+        criterion
+            .measurement(label)
+            .and_then(criterion::Measurement::elements_per_sec)
+            .map_or(JsonValue::Null, |r| JsonValue::Number(r / 1e6))
+    };
+    let ms = |label: &str| {
+        criterion
+            .measurement(label)
+            .map_or(JsonValue::Null, |m| JsonValue::Number(m.ms_per_iter()))
+    };
+    let (pool_workers, decode_chunks) = pool_shape();
+    let doc = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::String("codec".to_string())),
+        (
+            "range_decode_melem_per_s".to_string(),
+            melem("entropy_coding/range_decode_100k_symbols"),
+        ),
+        (
+            "range_encode_melem_per_s".to_string(),
+            melem("entropy_coding/range_encode_100k_symbols"),
+        ),
+        (
+            "wnc_decode_melem_per_s".to_string(),
+            melem("entropy_coding/wnc_decode_100k_symbols"),
+        ),
+        ("kv_encode_ms".to_string(), ms("kv_codec/encode")),
+        (
+            "kv_decode_serial_ms".to_string(),
+            ms("kv_codec/decode_serial"),
+        ),
+        (
+            "kv_decode_parallel_ms".to_string(),
+            ms("kv_codec/decode_parallel"),
+        ),
+        ("pool_workers".to_string(), JsonValue::Number(pool_workers)),
+        (
+            "decode_chunks".to_string(),
+            JsonValue::Number(decode_chunks),
+        ),
+    ]);
+    let path = workspace_root().join("BENCH_codec.json");
+    let mut text = doc.to_compact();
+    text.push('\n');
+    std::fs::write(&path, text).expect("write BENCH_codec.json");
+    println!("wrote {}", path.display());
+}

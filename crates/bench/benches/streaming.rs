@@ -46,6 +46,7 @@ fn bench_streaming(c: &mut Criterion) {
                 ladder: &ladder,
                 decode_seconds: &decode,
                 recompute_seconds: &recompute,
+                recorder: None,
             };
             simulate_stream(&plan, &mut link, &params)
         })
@@ -63,6 +64,7 @@ fn bench_streaming(c: &mut Criterion) {
                 ladder: &ladder,
                 decode_seconds: &decode,
                 recompute_seconds: &recompute,
+                recorder: None,
             };
             simulate_stream(&plan, &mut link, &params)
         })

@@ -91,6 +91,7 @@ pub fn fig7() {
             ladder: lad,
             decode_seconds: &decode_secs,
             recompute_seconds: &recompute_secs,
+            recorder: None,
         };
         let out = simulate_stream(&plan, &mut link, &params);
         let configs: Vec<String> = out
@@ -180,6 +181,7 @@ pub fn fig13() {
                     ladder: lad,
                     decode_seconds: &decode_secs,
                     recompute_seconds: &recompute_secs,
+                    recorder: None,
                 };
                 let out = simulate_stream(p, &mut link, &params);
                 if !out.slo_met {

@@ -26,6 +26,7 @@ use crate::symbol_model::{FreqTable, ModelGranularity};
 use crate::{index_to_symbol, symbol_to_index};
 use cachegen_llm::KvCache;
 use cachegen_quant::{BinQuantizer, LayerGroupBins};
+use cachegen_telemetry::{Recorder, NOOP};
 use cachegen_tensor::Tensor;
 use std::fmt;
 
@@ -761,12 +762,24 @@ impl KvCodec {
     /// Fallible serial decode: reports truncated/corrupted chunks instead
     /// of decoding noise.
     pub fn try_decode(&self, enc: &EncodedKv) -> Result<KvCache, CodecError> {
-        self.decode_impl(enc, false)
+        self.decode_impl(enc, false, &NOOP)
     }
 
     /// Fallible parallel decode; see [`KvCodec::decode_parallel`].
     pub fn try_decode_parallel(&self, enc: &EncodedKv) -> Result<KvCache, CodecError> {
-        self.decode_impl(enc, true)
+        self.decode_impl(enc, true, &NOOP)
+    }
+
+    /// [`KvCodec::try_decode_parallel`] with hot-path profiling:
+    /// `cachegen.codec.*` counters plus a pool-occupancy histogram are
+    /// reported to `recorder`. Bit-identical output; with a disabled
+    /// recorder this *is* `try_decode_parallel`.
+    pub fn try_decode_parallel_traced(
+        &self,
+        enc: &EncodedKv,
+        recorder: &Recorder,
+    ) -> Result<KvCache, CodecError> {
+        self.decode_impl(enc, true, recorder)
     }
 
     pub(crate) fn check_geometry(
@@ -810,7 +823,12 @@ impl KvCodec {
         Ok(())
     }
 
-    fn decode_impl(&self, enc: &EncodedKv, parallel: bool) -> Result<KvCache, CodecError> {
+    fn decode_impl(
+        &self,
+        enc: &EncodedKv,
+        parallel: bool,
+        recorder: &Recorder,
+    ) -> Result<KvCache, CodecError> {
         let (layers, tokens, channels) = (enc.layers, enc.tokens, enc.channels);
         let layout = GroupLayout::new(enc.group_size, tokens);
         self.check_geometry(enc, layout)?;
@@ -854,8 +872,24 @@ impl KvCodec {
                 job.out,
             )
         };
+        if recorder.is_enabled() {
+            recorder.add("cachegen.codec.decode_calls", 1);
+            recorder.add("cachegen.codec.decode_chunks", jobs.len() as u64);
+        }
         if parallel {
-            crate::pool::run_pooled(jobs, |_, mut job| run(&mut job))?;
+            crate::pool::run_pooled_observed(
+                jobs,
+                |_, mut job| run(&mut job),
+                |shape| {
+                    if recorder.is_enabled() {
+                        recorder.gauge("cachegen.codec.pool_workers", shape.workers as f64);
+                        recorder.observe(
+                            "cachegen.codec.pool_jobs_per_worker",
+                            shape.jobs as f64 / shape.workers as f64,
+                        );
+                    }
+                },
+            )?;
         } else {
             for mut job in jobs {
                 run(&mut job)?;

@@ -25,6 +25,20 @@ pub fn bounded_workers(jobs: usize) -> usize {
         .clamp(1, jobs.max(1))
 }
 
+/// Pool geometry of one [`run_pooled`] invocation, reported to a
+/// telemetry observer *before* any worker spawns.
+///
+/// Deliberately only what is decided up front (job count, worker
+/// count): per-worker job tallies depend on OS scheduling and would
+/// break the byte-deterministic exports the telemetry layer guarantees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolShape {
+    /// Jobs submitted to the queue.
+    pub jobs: usize,
+    /// Workers the pool will run them on (1 = inline, no spawn).
+    pub workers: usize,
+}
+
 /// Runs `jobs` to completion on a bounded pool of scoped workers.
 ///
 /// Workers pull `(index, job)` pairs in submission order from a shared
@@ -39,13 +53,38 @@ where
     E: Send,
     F: Fn(usize, T) -> Result<(), E> + Sync,
 {
+    run_pooled_observed(jobs, run, |_| {})
+}
+
+/// [`run_pooled`] with a pool-occupancy observer: `observe` receives the
+/// [`PoolShape`] on the caller's thread before any work starts, so the
+/// codec hot path can count worker occupancy without taking a lock in
+/// the workers themselves.
+pub fn run_pooled_observed<T, E, F>(
+    jobs: Vec<T>,
+    run: F,
+    observe: impl FnOnce(PoolShape),
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<(), E> + Sync,
+{
     if jobs.len() <= 1 {
+        observe(PoolShape {
+            jobs: jobs.len(),
+            workers: 1,
+        });
         for (idx, job) in jobs.into_iter().enumerate() {
             run(idx, job)?;
         }
         return Ok(());
     }
     let workers = bounded_workers(jobs.len());
+    observe(PoolShape {
+        jobs: jobs.len(),
+        workers,
+    });
     let queue = Mutex::new(jobs.into_iter().enumerate());
     let failure = Mutex::new(None::<(usize, E)>);
     let failed = AtomicBool::new(false);
@@ -136,6 +175,39 @@ mod tests {
             seen.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn observer_sees_shape_before_work() {
+        let mut shape = None;
+        let ran = AtomicUsize::new(0);
+        let result = run_pooled_observed(
+            (0..8usize).collect(),
+            |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok::<(), usize>(())
+            },
+            |s| shape = Some(s),
+        );
+        assert_eq!(result, Ok(()));
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+        let shape = shape.expect("observer must fire");
+        assert_eq!(shape.jobs, 8);
+        assert_eq!(shape.workers, bounded_workers(8));
+
+        let mut inline = None;
+        let _ = run_pooled_observed(
+            vec![1usize],
+            |_, _| Ok::<(), usize>(()),
+            |s| inline = Some(s),
+        );
+        assert_eq!(
+            inline,
+            Some(PoolShape {
+                jobs: 1,
+                workers: 1
+            })
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use cachegen_kvstore::{ContextId, FetchedChunk, KvStore, StoredChunk};
 use cachegen_llm::{KvCache, SimModelConfig, SimTransformer};
 use cachegen_streamer::schedule::PacketId;
 use cachegen_streamer::{ChunkPlan, ChunkSchedule, ChunkSizes, LevelLadder};
+use cachegen_telemetry::Recorder;
 
 /// Engine-wide configuration.
 #[derive(Clone, Debug)]
@@ -140,6 +141,18 @@ impl CacheGenEngine {
         level: usize,
     ) -> Result<KvCache, cachegen_codec::CodecError> {
         self.codecs[level].try_decode_parallel(enc)
+    }
+
+    /// [`Self::try_decode_at_level`] with codec hot-path profiling:
+    /// `cachegen.codec.*` counters and pool occupancy are reported to
+    /// `recorder`. Bit-identical output.
+    pub fn try_decode_at_level_traced(
+        &self,
+        enc: &EncodedKv,
+        level: usize,
+        recorder: &Recorder,
+    ) -> Result<KvCache, cachegen_codec::CodecError> {
+        self.codecs[level].try_decode_parallel_traced(enc, recorder)
     }
 
     /// Hole-aware decode: entropy chunks the transport did not deliver

@@ -58,5 +58,5 @@ pub mod ttft;
 pub use cachegen_codec::repair::RepairPolicy;
 pub use cachegen_streamer::FecOverhead;
 pub use engine::{CacheGenEngine, EngineConfig};
-pub use pipeline::{load_context, LoadOutcome, LoadParams};
+pub use pipeline::{load_context, load_context_traced, LoadOutcome, LoadParams};
 pub use ttft::{LoadMethod, TtftBreakdown, TtftModel};

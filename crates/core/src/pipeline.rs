@@ -30,6 +30,7 @@ use cachegen_streamer::{
     simulate_stream, AdaptPolicy, ChunkOutcome, FecOverhead, StreamConfig, StreamOutcome,
     StreamParams,
 };
+use cachegen_telemetry::{Recorder, Stage, NOOP};
 
 /// Parameters for a context-loading run.
 #[derive(Clone, Debug)]
@@ -121,6 +122,22 @@ pub fn load_context(
     link: &mut Link,
     params: &LoadParams,
 ) -> LoadOutcome {
+    load_context_traced(engine, reference, link, params, &NOOP)
+}
+
+/// [`load_context`] with telemetry: the stream's per-chunk wire/decode
+/// spans, a `store_fetch` span over the whole stream, repair-ladder and
+/// re-fetch records, and `cachegen.core.*` / `cachegen.codec.*` counters
+/// are reported to `recorder` under its ambient span context (the caller
+/// owns the request-root span). With the disabled recorder this *is*
+/// [`load_context`] — same outcome, zero recording cost.
+pub fn load_context_traced(
+    engine: &CacheGenEngine,
+    reference: &KvCache,
+    link: &mut Link,
+    params: &LoadParams,
+    recorder: &Recorder,
+) -> LoadOutcome {
     let (encoded, plan) = engine.encode_context(reference);
     let decode_rate = params.decode_bytes_per_sec;
     let recompute = params.recompute_sec_per_token;
@@ -136,8 +153,21 @@ pub fn load_context(
         ladder: &engine.config().ladder,
         decode_seconds: &decode_seconds,
         recompute_seconds: &recompute_seconds,
+        recorder: Some(recorder),
     };
     let stream = simulate_stream(&plan, link, &stream_params);
+    if recorder.is_enabled() {
+        recorder.record_span_args(
+            Stage::StoreFetch,
+            0.0,
+            stream.finish,
+            vec![
+                ("bytes", stream.bytes_sent as f64),
+                ("chunks", stream.chunks.len() as f64),
+            ],
+        );
+        recorder.add("cachegen.core.loads", 1);
+    }
 
     // Reassemble the cache chunk by chunk at the configurations chosen.
     // Recovery ladder, in order: packets XOR parity already reconstructed
@@ -154,6 +184,13 @@ pub fn load_context(
     let mut repaired_bytes = vec![0u64; plan.num_chunks()];
     let mut kv_bytes_total = 0u64;
     let mut refetch: Vec<(usize, usize)> = Vec::new(); // (chunk index, level)
+                                                       // Clean decode of a stored stream chunk, profiled through `recorder`.
+    let decode_clean = |enc: &cachegen_codec::EncodedKv, l: usize| -> KvCache {
+        engine
+            .try_decode_at_level_traced(enc, l, recorder)
+            // analyze: allow(no-lib-unwrap, "the stream was produced from the engine's own stored encoding, so a geometry mismatch is a programming bug, not an input condition")
+            .expect("stored stream has valid geometry")
+    };
     let mut start = 0usize;
     for outcome in &stream.chunks {
         let tokens = plan.chunk(outcome.index).tokens;
@@ -162,7 +199,7 @@ pub fn load_context(
                 let enc = &encoded[outcome.index][l];
                 kv_bytes_total += outcome.bytes;
                 if outcome.lost.is_empty() && outcome.fec_recovered.is_empty() {
-                    engine.decode_at_level(enc, l)
+                    decode_clean(enc, l)
                 } else {
                     let repaired = engine
                         .decode_with_repairs_at_level(
@@ -193,6 +230,15 @@ pub fn load_context(
         chunks.push(chunk);
     }
 
+    if recorder.is_enabled() && !repairs.is_empty() {
+        recorder.instant(
+            Stage::RepairLadder,
+            stream.finish,
+            vec![("repaired_chunks", repairs.len() as f64)],
+        );
+        recorder.add("cachegen.core.repaired_chunks", repairs.len() as u64);
+    }
+
     // Refetch second pass: re-request the missing packets after the first
     // decode. The stream (and its TTFT) is already complete — this
     // restores fidelity, competing for the same link.
@@ -202,6 +248,7 @@ pub fn load_context(
         .iter()
         .map(|c| c.transfer_finish)
         .fold(0.0f64, f64::max);
+    let refetch_start = t;
     for (idx, level) in refetch {
         let lost = &stream.chunks[idx].lost;
         // Same batch scaling as the first pass: all B requests share the
@@ -217,8 +264,12 @@ pub fn load_context(
         // All packets are now in hand: the chunk decodes bit-exact, and
         // no policy-reconstructed bytes remain in it.
         let enc = &encoded[idx][level];
-        chunks[idx] = engine.decode_at_level(enc, level);
+        chunks[idx] = decode_clean(enc, level);
         repaired_bytes[idx] = 0;
+    }
+    if let (true, Some(finish)) = (recorder.is_enabled(), refetch_finish) {
+        recorder.record_span_args(Stage::Refetch, refetch_start, finish, Vec::new());
+        recorder.add("cachegen.core.refetch_passes", 1);
     }
 
     let repaired_fraction = if kv_bytes_total == 0 {
@@ -422,6 +473,71 @@ mod tests {
         assert_eq!(a.cache, b.cache);
         assert_eq!(a.repairs, b.repairs);
         assert_eq!(a.stream.chunks, b.stream.chunks);
+    }
+
+    #[test]
+    fn traced_load_matches_untraced_and_records_spans() {
+        use cachegen_net::PacketFaults;
+        use cachegen_telemetry::Recorder;
+        let e = engine();
+        let ctx: Vec<usize> = (0..60).map(|i| (i * 11) % 64).collect();
+        let cache = e.calculate_kv(&ctx);
+        let p = LoadParams {
+            repair: RepairPolicy::ZeroFill,
+            ..LoadParams::default()
+        };
+        let run = |rec: &Recorder| {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+                .with_packet_faults(PacketFaults::loss(0.25), 3);
+            load_context_traced(&e, &cache, &mut link, &p, rec)
+        };
+        let plain = run(&cachegen_telemetry::NOOP);
+        let rec = Recorder::new();
+        let traced = run(&rec);
+        // Recording must not perturb the outcome.
+        assert_eq!(plain.cache, traced.cache);
+        assert_eq!(plain.stream.chunks, traced.stream.chunks);
+        assert_eq!(plain.repairs, traced.repairs);
+        // Spans cover the fetch and every chunk's wire delivery.
+        let spans = rec.spans();
+        let fetches = spans
+            .iter()
+            .filter(|s| s.stage == cachegen_telemetry::Stage::StoreFetch)
+            .count();
+        assert_eq!(fetches, 1);
+        let wires = spans
+            .iter()
+            .filter(|s| s.stage == cachegen_telemetry::Stage::WireDelivery)
+            .count();
+        assert_eq!(wires, traced.stream.chunks.len());
+        let snap = rec.registry_snapshot();
+        assert_eq!(snap.counter("cachegen.core.loads"), Some(1));
+        assert_eq!(
+            snap.counter("cachegen.streamer.bytes_sent"),
+            Some(traced.stream.bytes_sent)
+        );
+        // Clean chunks decode through the traced codec path; lossy ones
+        // go through the repair ladder and are counted there instead.
+        let clean_chunks = traced
+            .stream
+            .chunks
+            .iter()
+            .filter(|c| {
+                c.lost.is_empty()
+                    && c.fec_recovered.is_empty()
+                    && matches!(c.config, StreamConfig::Level(_))
+            })
+            .count() as u64;
+        assert_eq!(
+            snap.counter("cachegen.codec.decode_calls").unwrap_or(0),
+            clean_chunks
+        );
+        if !traced.repairs.is_empty() {
+            assert_eq!(
+                snap.counter("cachegen.core.repaired_chunks"),
+                Some(traced.repairs.len() as u64)
+            );
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod packet;
 pub mod trace;
 
 pub use fec::FecGroups;
-pub use link::{Link, TransferResult};
+pub use link::{Link, LinkStats, TransferResult};
 pub use packet::{PacketBatchResult, PacketDelivery, PacketFaults, PacketStatus};
 pub use trace::BandwidthTrace;
 

@@ -71,6 +71,30 @@ enum FaultMode {
     Packet(PacketFaults),
 }
 
+/// Cumulative transport counters a [`Link`] keeps as it is used.
+///
+/// The serving layer drains these into the telemetry registry
+/// (`cachegen.net.*`) after a run; [`Link::reset_stats`] zeroes them so
+/// repeated simulations over one link start from a clean slate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Opaque [`Link::send`] transfers completed.
+    pub transfers: u64,
+    /// [`Link::send_packets`] batches completed.
+    pub packet_batches: u64,
+    /// Bytes that occupied the wire (including duplicates and implicit
+    /// retransmission inflation in derating mode).
+    pub wire_bytes: u64,
+    /// Payload bytes delivered intact.
+    pub delivered_bytes: u64,
+    /// Individually addressed packets transmitted.
+    pub packets_sent: u64,
+    /// Packets the fault injector dropped.
+    pub packets_dropped: u64,
+    /// Packets that arrived truncated.
+    pub packets_truncated: u64,
+}
+
 /// A simulated link.
 #[derive(Debug)]
 pub struct Link {
@@ -79,6 +103,7 @@ pub struct Link {
     propagation: f64,
     mode: FaultMode,
     rng: StdRng,
+    stats: LinkStats,
 }
 
 impl Link {
@@ -90,7 +115,19 @@ impl Link {
             propagation,
             mode: FaultMode::Clean,
             rng: seeded(0),
+            stats: LinkStats::default(),
         }
+    }
+
+    /// Cumulative transport counters since construction or the last
+    /// [`Link::reset_stats`].
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Zeroes the cumulative transport counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = LinkStats::default();
     }
 
     /// Legacy scalar fault model: `loss ∈ [0, 1)` derates every
@@ -169,6 +206,9 @@ impl Link {
         }
         let wire_bytes = effective.ceil().max(0.0) as u64;
         let dur = self.trace.transfer_seconds(wire_bytes, start) + self.propagation;
+        self.stats.transfers += 1;
+        self.stats.wire_bytes += wire_bytes;
+        self.stats.delivered_bytes += bytes;
         TransferResult {
             start,
             finish: start + dur,
@@ -273,6 +313,17 @@ impl Link {
                 }
             })
             .collect();
+        self.stats.packet_batches += 1;
+        self.stats.wire_bytes += wire_bytes;
+        self.stats.delivered_bytes += delivered_bytes;
+        self.stats.packets_sent += sizes.len() as u64;
+        for d in &deliveries {
+            match d.status {
+                PacketStatus::Dropped => self.stats.packets_dropped += 1,
+                PacketStatus::Truncated { .. } => self.stats.packets_truncated += 1,
+                PacketStatus::Delivered => {}
+            }
+        }
         PacketBatchResult {
             deliveries,
             start,
@@ -485,6 +536,29 @@ mod tests {
         let mut link2 = Link::new(BandwidthTrace::constant(GBPS), 0.0)
             .with_packet_faults(PacketFaults::burst(0.05, 4), 23);
         assert_eq!(link2.send_packets(&vec![10_000u64; 60], 0.0), r);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.0)
+            .with_packet_faults(PacketFaults::loss(0.3), 11);
+        let r = link.send_packets(&vec![100_000u64; 50], 0.0);
+        let s = link.stats();
+        assert_eq!(s.packet_batches, 1);
+        assert_eq!(s.packets_sent, 50);
+        assert_eq!(s.packets_dropped as usize, r.failed().len());
+        assert_eq!(s.wire_bytes, r.wire_bytes);
+        assert_eq!(s.delivered_bytes, r.delivered_bytes);
+        link.reset_stats();
+        assert_eq!(link.stats(), LinkStats::default());
+
+        let mut opaque = Link::new(BandwidthTrace::constant(GBPS), 0.0);
+        opaque.send(1_000, 0.0);
+        opaque.send(2_000, 1.0);
+        let s = opaque.stats();
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.wire_bytes, 3_000);
+        assert_eq!(s.delivered_bytes, 3_000);
     }
 
     #[test]

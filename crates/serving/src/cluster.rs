@@ -12,6 +12,7 @@ use cachegen::RepairPolicy;
 use cachegen_llm::SimModelConfig;
 use cachegen_net::Link;
 use cachegen_streamer::{AdaptPolicy, FecOverhead};
+use cachegen_telemetry::{Recorder, SpanCtx, Stage, NOOP};
 use cachegen_workloads::ServingRequest;
 
 use crate::clock::EventQueue;
@@ -224,6 +225,26 @@ impl ServingCluster {
     /// *contents* deliberately stay warm across runs, so a warm-up trace
     /// followed by a measured trace behaves like a long-lived deployment.
     pub fn run(&mut self, requests: &[ServingRequest]) -> ServingReport {
+        self.run_traced(requests, &NOOP)
+    }
+
+    /// [`run`](Self::run) with request-lifecycle tracing: every event pop
+    /// advances the recorder's virtual clock, admission degrade/shed
+    /// decisions land as instants, and each completed request gets a span
+    /// tree that tiles its TTFT exactly — a `request` root over
+    /// `queue_wait` (arrival → dispatch), `store_fetch` or `cache_decode`
+    /// (dispatch → KV ready, with the streamer's per-chunk wire/decode
+    /// spans nested under the batch lead), and `prefill` (ready → first
+    /// token). Loss-repair re-fetch batches trace under synthetic request
+    /// ids past the trace length. Link-level packet counters drain into
+    /// the `cachegen.net.*` namespace and the report publishes itself
+    /// under `cachegen.serving.*`. Passing [`NOOP`] makes this identical
+    /// to `run` (the recorder is a no-op, not a different code path).
+    pub fn run_traced(
+        &mut self,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+    ) -> ServingReport {
         assert!(
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "requests must be sorted by arrival"
@@ -239,6 +260,7 @@ impl ServingCluster {
                     self.config.shed_depth,
                 );
                 shard.busy = false;
+                shard.link.reset_stats();
                 shard.cache.stats()
             })
             .collect();
@@ -253,8 +275,12 @@ impl ServingCluster {
             events.push(r.arrival, Event::Arrival(i));
         }
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; requests.len()];
+        // Re-fetch batches are not trace entries; their spans trace under
+        // synthetic request ids starting past the trace length.
+        let mut synthetic_id = requests.len() as u64;
 
         while let Some((now, event)) = events.pop() {
+            recorder.set_time(now);
             match event {
                 Event::Arrival(i) => {
                     let req = &requests[i];
@@ -269,9 +295,11 @@ impl ServingCluster {
                         degraded: false,
                         kind: EntryKind::Query,
                     });
+                    let ctx = SpanCtx::new(i as u64, req.tenant as u32, shard_id as u32);
                     match decision {
                         Admission::Shed => {
                             shard.stats.shed += 1;
+                            recorder.instant_for(Stage::Admission, ctx, now, vec![("shed", 1.0)]);
                             outcomes[i] = Some(RequestOutcome {
                                 tenant: req.tenant,
                                 context_id: req.context_id,
@@ -281,17 +309,39 @@ impl ServingCluster {
                             });
                             continue;
                         }
-                        Admission::Degraded => shard.stats.degraded_admissions += 1,
+                        Admission::Degraded => {
+                            shard.stats.degraded_admissions += 1;
+                            recorder.instant_for(
+                                Stage::Admission,
+                                ctx,
+                                now,
+                                vec![("degraded", 1.0)],
+                            );
+                        }
                         Admission::Normal => {}
                     }
                     if !self.shards[shard_id].busy {
-                        self.dispatch(shard_id, now, &mut outcomes, &mut events);
+                        self.dispatch(
+                            shard_id,
+                            now,
+                            &mut outcomes,
+                            &mut events,
+                            recorder,
+                            &mut synthetic_id,
+                        );
                     }
                 }
                 Event::BatchDone { shard } => {
                     self.shards[shard].busy = false;
                     if !self.shards[shard].queues.is_empty() {
-                        self.dispatch(shard, now, &mut outcomes, &mut events);
+                        self.dispatch(
+                            shard,
+                            now,
+                            &mut outcomes,
+                            &mut events,
+                            recorder,
+                            &mut synthetic_id,
+                        );
                     }
                 }
             }
@@ -308,7 +358,7 @@ impl ServingCluster {
             shard.stats.cache = shard.cache.stats().since(start);
             shard.stats.peak_queue_depth = shard.queues.peak_depth();
         }
-        ServingReport {
+        let report = ServingReport {
             outcomes: outcomes
                 .into_iter()
                 // analyze: allow(no-lib-unwrap, "the event loop runs to quiescence, so every admitted request's slot is filled; an empty slot is a scheduler bug worth a loud stop")
@@ -316,7 +366,21 @@ impl ServingCluster {
                 .collect(),
             shards: self.shards.iter().map(|s| s.stats).collect(),
             makespan,
-        }
+        };
+        recorder.with_registry(|reg| {
+            report.fill_registry(reg);
+            for shard in &self.shards {
+                let s = shard.link.stats();
+                reg.add("cachegen.net.transfers", s.transfers);
+                reg.add("cachegen.net.packet_batches", s.packet_batches);
+                reg.add("cachegen.net.wire_bytes", s.wire_bytes);
+                reg.add("cachegen.net.delivered_bytes", s.delivered_bytes);
+                reg.add("cachegen.net.packets_sent", s.packets_sent);
+                reg.add("cachegen.net.packets_dropped", s.packets_dropped);
+                reg.add("cachegen.net.packets_truncated", s.packets_truncated);
+            }
+        });
+        report
     }
 
     /// Pops the next batch off a shard's queues and serves it, recording
@@ -330,6 +394,8 @@ impl ServingCluster {
         now: f64,
         outcomes: &mut [Option<RequestOutcome>],
         events: &mut EventQueue<Event>,
+        recorder: &Recorder,
+        synthetic_id: &mut u64,
     ) {
         let shard = &mut self.shards[shard_id];
         let batch = shard.queues.pop_batch(self.config.max_batch);
@@ -358,6 +424,16 @@ impl ServingCluster {
             shard.stats.refetches += 1;
             shard.stats.busy_secs += ready - now;
             shard.busy = true;
+            let ctx = SpanCtx::new(*synthetic_id, batch[0].tenant as u32, shard_id as u32);
+            *synthetic_id += 1;
+            recorder.record_span_for(Stage::Request, ctx, now, ready, vec![("refetch", 1.0)]);
+            recorder.record_span_for(
+                Stage::Refetch,
+                ctx,
+                now,
+                ready,
+                vec![("bytes", bytes as f64)],
+            );
             events.push(ready, Event::BatchDone { shard: shard_id });
             return;
         }
@@ -366,7 +442,15 @@ impl ServingCluster {
         // saturation the whole transfer downshifts (the riders share it).
         let degraded = queries.iter().any(|r| r.degraded);
         let fec = self.config.fec_for(queries[0].tenant, degraded);
-        let outcome = shard.serve_batch(context_id, degraded, now, &self.config, fec);
+        // The streamer's per-chunk wire/decode spans nest under the batch
+        // lead's request (the riders share the transfer; their own trees
+        // still tile their full TTFT below).
+        recorder.set_ctx(SpanCtx::new(
+            queries[0].index as u64,
+            queries[0].tenant as u32,
+            shard_id as u32,
+        ));
+        let outcome = shard.serve_batch(context_id, degraded, now, &self.config, fec, recorder);
         shard.stats.batches += 1;
         shard.stats.coalesced_requests += (batch.len() - 1) as u64;
 
@@ -388,6 +472,24 @@ impl ServingCluster {
         if rider_bytes > 0 && outcome.cache_hit {
             ready = shard.serve_refetch(context_id, rider_bytes, rider_restore, ready);
             shard.stats.refetches += 1;
+            // The rider's pull runs past the queries' first tokens, so it
+            // traces as its own synthetic request, not under a query root.
+            let ctx = SpanCtx::new(*synthetic_id, queries[0].tenant as u32, shard_id as u32);
+            *synthetic_id += 1;
+            recorder.record_span_for(
+                Stage::Request,
+                ctx,
+                outcome.ready,
+                ready,
+                vec![("refetch", 1.0)],
+            );
+            recorder.record_span_for(
+                Stage::Refetch,
+                ctx,
+                outcome.ready,
+                ready,
+                vec![("bytes", rider_bytes as f64)],
+            );
         }
         shard.stats.busy_secs += ready - now;
         shard.busy = true;
@@ -410,15 +512,54 @@ impl ServingCluster {
                     restore_quality: outcome.restore_quality,
                 },
             });
+            recorder.instant(
+                Stage::RepairLadder,
+                outcome.ready,
+                vec![
+                    ("lost_bytes", outcome.lost_bytes as f64),
+                    ("shed", f64::from(u8::from(decision == Admission::Shed))),
+                ],
+            );
             if decision == Admission::Shed {
                 shard.stats.refetch_shed += 1;
             }
         }
 
         let coalesced = batch.len() > 1;
+        let load_stage = if outcome.cache_hit {
+            Stage::CacheDecode
+        } else {
+            Stage::StoreFetch
+        };
         for q in &queries {
             let prefill = q.prompt_tokens as f64 * self.config.recompute_sec_per_token;
             let finish = outcome.ready + prefill;
+            // The request's span tree tiles its TTFT exactly:
+            // [arrival, now] queued + [now, ready] loading + [ready,
+            // finish] prefilling, under one root per request.
+            let ctx = SpanCtx::new(q.index as u64, q.tenant as u32, shard_id as u32);
+            recorder.record_span_for(
+                Stage::Request,
+                ctx,
+                q.arrival,
+                finish,
+                vec![("ttft", finish - q.arrival), ("quality", outcome.quality)],
+            );
+            recorder.record_span_for(Stage::QueueWait, ctx, q.arrival, now, Vec::new());
+            recorder.record_span_for(
+                load_stage,
+                ctx,
+                now,
+                outcome.ready,
+                vec![("coalesced", f64::from(u8::from(coalesced)))],
+            );
+            recorder.record_span_for(
+                Stage::Prefill,
+                ctx,
+                outcome.ready,
+                finish,
+                vec![("tokens", q.prompt_tokens as f64)],
+            );
             outcomes[q.index] = Some(RequestOutcome {
                 tenant: q.tenant,
                 context_id,

@@ -8,6 +8,12 @@
 
 use cachegen::qoe::QoeModel;
 use cachegen_kvstore::CacheStats;
+use cachegen_telemetry::MetricsRegistry;
+
+// The nearest-rank percentile lives in the telemetry crate now (every
+// crate that summarizes samples shares one definition); re-exported here
+// so existing `cachegen_serving::percentile` callers keep compiling.
+pub use cachegen_telemetry::percentile;
 
 /// What happened to one request.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -111,18 +117,6 @@ pub struct ServingReport {
     pub makespan: f64,
 }
 
-/// Nearest-rank percentile of an unsorted sample; `None` when empty.
-pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
-    if samples.is_empty() {
-        return None;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    Some(sorted[rank.saturating_sub(1)])
-}
-
 impl ServingReport {
     /// Completed outcomes only.
     pub fn completed(&self) -> impl Iterator<Item = &RequestOutcome> {
@@ -211,6 +205,57 @@ impl ServingReport {
             return 0.0;
         }
         samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    /// Publishes the run under the `cachegen.serving.*` namespace:
+    /// per-request TTFT into a histogram (plus p50/p99 gauges for quick
+    /// reads), dispositions as counters, and the per-shard summaries
+    /// summed fleet-wide. Idempotent only in the sense of `add` semantics
+    /// — call it once per run on a fresh (or merged-into) registry.
+    pub fn fill_registry(&self, registry: &mut MetricsRegistry) {
+        registry.add("cachegen.serving.requests", self.outcomes.len() as u64);
+        registry.add(
+            "cachegen.serving.completed",
+            self.completed().count() as u64,
+        );
+        registry.add("cachegen.serving.shed", self.shed_count() as u64);
+        registry.add("cachegen.serving.degraded", self.degraded_count() as u64);
+        registry.add("cachegen.serving.coalesced", self.coalesced_count() as u64);
+        let ttfts = self.ttfts(None);
+        for t in &ttfts {
+            registry.observe("cachegen.serving.ttft_ms", t * 1e3);
+        }
+        if let Some(p50) = percentile(&ttfts, 50.0) {
+            registry.gauge("cachegen.serving.ttft_p50_ms", p50 * 1e3);
+        }
+        if let Some(p99) = percentile(&ttfts, 99.0) {
+            registry.gauge("cachegen.serving.ttft_p99_ms", p99 * 1e3);
+        }
+        if !self.outcomes.is_empty() {
+            let shed_rate = self.shed_count() as f64 / self.outcomes.len() as f64;
+            registry.gauge("cachegen.serving.shed_rate", shed_rate);
+        }
+        registry.gauge("cachegen.serving.mean_quality", self.mean_quality());
+        registry.gauge("cachegen.serving.makespan_s", self.makespan);
+        let mut peak_depth = 0usize;
+        for s in &self.shards {
+            registry.add("cachegen.serving.batches", s.batches);
+            registry.add("cachegen.serving.coalesced_requests", s.coalesced_requests);
+            registry.add("cachegen.serving.bytes_fetched", s.bytes_fetched);
+            registry.add("cachegen.serving.parity_bytes", s.parity_bytes);
+            registry.add(
+                "cachegen.serving.fec_recovered_packets",
+                s.fec_recovered_packets,
+            );
+            registry.add("cachegen.serving.lost_bytes", s.lost_bytes);
+            registry.add("cachegen.serving.refetches", s.refetches);
+            registry.add("cachegen.serving.refetch_shed", s.refetch_shed);
+            registry.add("cachegen.serving.refetched_bytes", s.refetched_bytes);
+            registry.add("cachegen.serving.cache_hits", s.cache.hits);
+            registry.add("cachegen.serving.cache_misses", s.cache.misses);
+            peak_depth = peak_depth.max(s.peak_queue_depth);
+        }
+        registry.gauge("cachegen.serving.peak_queue_depth", peak_depth as f64);
     }
 }
 

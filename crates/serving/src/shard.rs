@@ -18,6 +18,7 @@ use cachegen_net::Link;
 use cachegen_streamer::{
     simulate_stream_from, AdaptPolicy, ChunkPlan, FecOverhead, StreamConfig, StreamParams,
 };
+use cachegen_telemetry::Recorder;
 
 use crate::cluster::ServingConfig;
 use crate::metrics::ShardSummary;
@@ -118,7 +119,9 @@ impl Shard {
     /// returning when its KV was ready and at what quality. `degraded`
     /// forces the backpressure level regardless of the adapter policy;
     /// `fec` is the batch's parity knob (the cluster resolves the
-    /// per-tenant/degraded override before dispatch).
+    /// per-tenant/degraded override before dispatch). Wire-level and
+    /// decode spans land on `recorder` under whatever span context the
+    /// caller set (pass [`cachegen_telemetry::NOOP`] to skip tracing).
     pub fn serve_batch(
         &mut self,
         context_id: ContextId,
@@ -126,6 +129,7 @@ impl Shard {
         now: f64,
         cfg: &ServingConfig,
         fec: &FecOverhead,
+        recorder: &Recorder,
     ) -> BatchOutcome {
         let plan = &self.plans[&context_id];
         let n_levels = self.engine.num_levels();
@@ -166,6 +170,7 @@ impl Shard {
             ladder: &self.engine.config().ladder,
             decode_seconds: &decode_seconds,
             recompute_seconds: &recompute_seconds,
+            recorder: Some(recorder),
         };
         let out = simulate_stream_from(plan, &mut self.link, &params, now);
         self.stats.bytes_fetched += out.bytes_sent + out.parity_bytes();
@@ -292,6 +297,7 @@ mod tests {
     use cachegen::EngineConfig;
     use cachegen_llm::SimModelConfig;
     use cachegen_net::BandwidthTrace;
+    use cachegen_telemetry::NOOP;
 
     fn shard(cfg: &ServingConfig) -> Shard {
         let profile: Vec<usize> = (0..60).map(|i| (i * 7) % 64).collect();
@@ -311,9 +317,9 @@ mod tests {
         let ctx: Vec<usize> = (0..90).map(|i| (i * 3) % 64).collect();
         s.store_context(5, &ctx);
         assert!(s.owns(5));
-        let miss = s.serve_batch(5, false, 0.0, &cfg, &cfg.fec_overhead);
+        let miss = s.serve_batch(5, false, 0.0, &cfg, &cfg.fec_overhead, &NOOP);
         assert!(!miss.cache_hit);
-        let hit = s.serve_batch(5, false, miss.ready, &cfg, &cfg.fec_overhead);
+        let hit = s.serve_batch(5, false, miss.ready, &cfg, &cfg.fec_overhead, &NOOP);
         assert!(hit.cache_hit);
         assert!(
             hit.ready - miss.ready < miss.ready,
@@ -331,12 +337,12 @@ mod tests {
         let mut s = shard(&cfg);
         let ctx: Vec<usize> = (0..90).map(|i| (i * 5) % 64).collect();
         s.store_context(9, &ctx);
-        let normal = s.serve_batch(9, false, 0.0, &cfg, &cfg.fec_overhead);
+        let normal = s.serve_batch(9, false, 0.0, &cfg, &cfg.fec_overhead, &NOOP);
         let fetched_normal = s.stats.bytes_fetched;
 
         let mut s2 = shard(&cfg);
         s2.store_context(9, &ctx);
-        let degraded = s2.serve_batch(9, true, 0.0, &cfg, &cfg.fec_overhead);
+        let degraded = s2.serve_batch(9, true, 0.0, &cfg, &cfg.fec_overhead, &NOOP);
         assert!(
             s2.stats.bytes_fetched < fetched_normal,
             "degraded fetch {} vs normal {}",
@@ -356,10 +362,10 @@ mod tests {
         let mut s = shard(&cfg);
         let ctx: Vec<usize> = (0..60).map(|i| (i * 11) % 64).collect();
         s.store_context(3, &ctx);
-        let first = s.serve_batch(3, false, 0.0, &cfg, &cfg.fec_overhead);
+        let first = s.serve_batch(3, false, 0.0, &cfg, &cfg.fec_overhead, &NOOP);
         assert!(!first.cache_hit);
         assert!((first.quality - 1.0).abs() < 1e-9, "text is lossless");
-        let second = s.serve_batch(3, false, first.ready, &cfg, &cfg.fec_overhead);
+        let second = s.serve_batch(3, false, first.ready, &cfg, &cfg.fec_overhead, &NOOP);
         assert!(!second.cache_hit, "text fallback leaves no bitstream");
     }
 }

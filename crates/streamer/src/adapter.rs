@@ -18,6 +18,7 @@ use crate::levels::{LevelLadder, StreamConfig};
 use crate::plan::ChunkPlan;
 use crate::schedule::{ChunkSchedule, FecOverhead, PacketId, WirePacket};
 use cachegen_net::{FecGroups, Link, ThroughputEstimator};
+use cachegen_telemetry::{Recorder, Stage};
 
 /// How the streamer picks per-chunk configurations.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +63,11 @@ pub struct StreamParams<'a> {
     pub decode_seconds: &'a dyn Fn(u64) -> f64,
     /// GPU prefill-recompute time for a text chunk of a given token count.
     pub recompute_seconds: &'a dyn Fn(usize) -> f64,
+    /// Telemetry sink for per-chunk wire/decode spans and
+    /// `cachegen.streamer.*` counters, attributed to the recorder's
+    /// ambient span context. `None` records nothing (same cost as the
+    /// disabled recorder).
+    pub recorder: Option<&'a Recorder>,
 }
 
 /// Outcome for one streamed chunk.
@@ -474,18 +480,67 @@ pub fn simulate_stream_from(
             StreamConfig::Level(_) => {
                 // Decode pipelines with the next transfer but serialises on
                 // the decode kernel (§6).
-                let start = finish.max(decoder_free);
-                let done = start + (params.decode_seconds)(bytes) * batch as f64;
+                let decode_start = finish.max(decoder_free);
+                let done = decode_start + (params.decode_seconds)(bytes) * batch as f64;
                 decoder_free = done;
+                if let Some(rec) = params.recorder {
+                    rec.record_span_args(
+                        Stage::ChunkDecode,
+                        decode_start,
+                        done,
+                        vec![("chunk", i as f64), ("bytes", bytes as f64)],
+                    );
+                }
                 done
             }
             StreamConfig::Text => {
-                let start = finish.max(gpu_free);
-                let done = start + (params.recompute_seconds)(chunk.tokens) * batch as f64;
+                let recompute_start = finish.max(gpu_free);
+                let done =
+                    recompute_start + (params.recompute_seconds)(chunk.tokens) * batch as f64;
                 gpu_free = done;
+                if let Some(rec) = params.recorder {
+                    rec.record_span_args(
+                        Stage::TextRecompute,
+                        recompute_start,
+                        done,
+                        vec![("chunk", i as f64), ("tokens", chunk.tokens as f64)],
+                    );
+                }
                 done
             }
         };
+        if let Some(rec) = params.recorder {
+            rec.record_span_args(
+                Stage::WireDelivery,
+                transfer_start,
+                finish,
+                vec![
+                    ("chunk", i as f64),
+                    ("bytes", (bytes * batch) as f64),
+                    ("retransmits", retransmits as f64),
+                    ("lost_packets", lost.len() as f64),
+                ],
+            );
+            if !fec_recovered.is_empty() {
+                rec.instant(
+                    Stage::FecRecovery,
+                    finish,
+                    vec![("chunk", i as f64), ("packets", fec_recovered.len() as f64)],
+                );
+            }
+            rec.add("cachegen.streamer.chunks", 1);
+            rec.add("cachegen.streamer.bytes_sent", bytes);
+            rec.add("cachegen.streamer.parity_bytes", parity_bytes);
+            rec.add("cachegen.streamer.retransmits", retransmits as u64);
+            rec.add(
+                "cachegen.streamer.fec_recovered_packets",
+                fec_recovered.len() as u64,
+            );
+            rec.add(
+                "cachegen.streamer.lost_bytes",
+                lost.iter().map(|&(_, b)| b).sum(),
+            );
+        }
         chunks.push(ChunkOutcome {
             index: i,
             config: cfg,
@@ -554,6 +609,7 @@ mod tests {
             ladder,
             decode_seconds: decode,
             recompute_seconds: recompute,
+            recorder: None,
         }
     }
 

@@ -1,0 +1,45 @@
+//! CI smoke tool: validate exported Chrome traces.
+//!
+//! Usage: `trace_check <trace.json>...` — parses each file and checks
+//! every span has `dur >= 0`, carries `args.request`, and nests inside
+//! the `request` root span of the same request. Exits non-zero on the
+//! first structural problem so the CI step fails loudly.
+
+use cachegen_telemetry::validate_chrome_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("trace_check: {path}: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(summary) => {
+                println!(
+                    "trace_check: {path}: ok ({} spans, {} instants, {} requests)",
+                    summary.spans, summary.instants, summary.requests
+                );
+            }
+            Err(err) => {
+                eprintln!("trace_check: {path}: INVALID: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

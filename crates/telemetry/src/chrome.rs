@@ -1,0 +1,195 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Tracks: one process per shard (`pid = shard`), one thread per tenant
+//! (`tid = tenant`), so Perfetto groups the timeline exactly like the
+//! cluster topology. Spans become `"ph":"X"` complete events with
+//! microsecond timestamps; instants become `"ph":"i"` thread-scoped
+//! events. Every event carries `args.request` so a span tree can be
+//! reassembled per request. Output is byte-deterministic: metadata in
+//! `BTreeSet` order, then events in recording order, all through the
+//! insertion-ordered JSON writer.
+
+use crate::json::JsonValue;
+use crate::span::{InstantEvent, Span};
+use std::collections::BTreeSet;
+
+const MICROS: f64 = 1e6;
+
+fn args_value(request: u64, args: &[(&'static str, f64)]) -> JsonValue {
+    let mut members = vec![("request".to_string(), JsonValue::Number(request as f64))];
+    for (k, v) in args {
+        members.push(((*k).to_string(), JsonValue::Number(*v)));
+    }
+    JsonValue::Object(members)
+}
+
+fn metadata_event(name: &str, pid: u32, tid: Option<u32>, label: String) -> JsonValue {
+    let mut members = vec![
+        ("name".to_string(), JsonValue::String(name.to_string())),
+        ("ph".to_string(), JsonValue::String("M".to_string())),
+        ("pid".to_string(), JsonValue::Number(pid as f64)),
+    ];
+    if let Some(tid) = tid {
+        members.push(("tid".to_string(), JsonValue::Number(tid as f64)));
+    }
+    members.push((
+        "args".to_string(),
+        JsonValue::Object(vec![("name".to_string(), JsonValue::String(label))]),
+    ));
+    JsonValue::Object(members)
+}
+
+/// Builds the Chrome trace-event document for the recorded events.
+pub fn chrome_trace(spans: &[Span], instants: &[InstantEvent]) -> JsonValue {
+    let mut events = Vec::new();
+
+    // Track metadata first: name the per-shard processes and per-tenant
+    // threads so Perfetto shows "shard N" / "tenant M" instead of ids.
+    let mut shards: BTreeSet<u32> = BTreeSet::new();
+    let mut tracks: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for s in spans {
+        shards.insert(s.ctx.shard);
+        tracks.insert((s.ctx.shard, s.ctx.tenant));
+    }
+    for i in instants {
+        shards.insert(i.ctx.shard);
+        tracks.insert((i.ctx.shard, i.ctx.tenant));
+    }
+    for &shard in &shards {
+        events.push(metadata_event(
+            "process_name",
+            shard,
+            None,
+            format!("shard {shard}"),
+        ));
+    }
+    for &(shard, tenant) in &tracks {
+        events.push(metadata_event(
+            "thread_name",
+            shard,
+            Some(tenant),
+            format!("tenant {tenant}"),
+        ));
+    }
+
+    for s in spans {
+        events.push(JsonValue::Object(vec![
+            (
+                "name".to_string(),
+                JsonValue::String(s.stage.name().to_string()),
+            ),
+            (
+                "cat".to_string(),
+                JsonValue::String(s.stage.category().to_string()),
+            ),
+            ("ph".to_string(), JsonValue::String("X".to_string())),
+            ("ts".to_string(), JsonValue::Number(s.start * MICROS)),
+            (
+                "dur".to_string(),
+                JsonValue::Number((s.end - s.start) * MICROS),
+            ),
+            ("pid".to_string(), JsonValue::Number(s.ctx.shard as f64)),
+            ("tid".to_string(), JsonValue::Number(s.ctx.tenant as f64)),
+            ("args".to_string(), args_value(s.ctx.request, &s.args)),
+        ]));
+    }
+    for i in instants {
+        events.push(JsonValue::Object(vec![
+            (
+                "name".to_string(),
+                JsonValue::String(i.stage.name().to_string()),
+            ),
+            (
+                "cat".to_string(),
+                JsonValue::String(i.stage.category().to_string()),
+            ),
+            ("ph".to_string(), JsonValue::String("i".to_string())),
+            ("s".to_string(), JsonValue::String("t".to_string())),
+            ("ts".to_string(), JsonValue::Number(i.at * MICROS)),
+            ("pid".to_string(), JsonValue::Number(i.ctx.shard as f64)),
+            ("tid".to_string(), JsonValue::Number(i.ctx.tenant as f64)),
+            ("args".to_string(), args_value(i.ctx.request, &i.args)),
+        ]));
+    }
+
+    JsonValue::Object(vec![
+        ("traceEvents".to_string(), JsonValue::Array(events)),
+        (
+            "displayTimeUnit".to_string(),
+            JsonValue::String("ms".to_string()),
+        ),
+    ])
+}
+
+/// Serialized [`chrome_trace`] (compact, byte-deterministic).
+pub fn chrome_trace_json(spans: &[Span], instants: &[InstantEvent]) -> String {
+    chrome_trace(spans, instants).to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::{SpanCtx, Stage};
+
+    fn sample() -> (Vec<Span>, Vec<InstantEvent>) {
+        let ctx = SpanCtx::new(0, 1, 0);
+        let spans = vec![
+            Span {
+                stage: Stage::Request,
+                ctx,
+                start: 0.0,
+                end: 0.010,
+                args: vec![("ttft_ms", 10.0)],
+            },
+            Span {
+                stage: Stage::StoreFetch,
+                ctx,
+                start: 0.001,
+                end: 0.008,
+                args: Vec::new(),
+            },
+        ];
+        let instants = vec![InstantEvent {
+            stage: Stage::FecRecovery,
+            ctx,
+            at: 0.004,
+            args: vec![("packets", 2.0)],
+        }];
+        (spans, instants)
+    }
+
+    #[test]
+    fn export_parses_and_has_tracks() {
+        let (spans, instants) = sample();
+        let text = chrome_trace_json(&spans, &instants);
+        let doc = json::parse(&text).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        // 1 process_name + 1 thread_name + 2 spans + 1 instant.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].get("ph").and_then(JsonValue::as_str), Some("M"));
+        let x = &events[2];
+        assert_eq!(x.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert_eq!(x.get("name").and_then(JsonValue::as_str), Some("request"));
+        assert_eq!(x.get("ts").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(x.get("dur").and_then(JsonValue::as_f64), Some(10000.0));
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("request"))
+                .and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let (spans, instants) = sample();
+        assert_eq!(
+            chrome_trace_json(&spans, &instants),
+            chrome_trace_json(&spans, &instants)
+        );
+    }
+}

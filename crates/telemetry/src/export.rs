@@ -1,0 +1,135 @@
+//! `BENCH_*.json` metrics snapshots and workspace-root discovery.
+//!
+//! The snapshot is the compact perf-trajectory artifact CI regenerates
+//! on every run: all counters and gauges verbatim, plus
+//! count/mean/min/max/p50/p90/p99 for every histogram — in registry
+//! (name) order, so the file is byte-deterministic for a fixed seed.
+
+use crate::json::JsonValue;
+use crate::registry::MetricsRegistry;
+use std::path::PathBuf;
+
+/// Builds the snapshot document for a registry.
+pub fn metrics_snapshot(registry: &MetricsRegistry) -> JsonValue {
+    let counters = registry
+        .counters()
+        .map(|(k, v)| (k.to_string(), JsonValue::Number(v as f64)))
+        .collect();
+    let gauges = registry
+        .gauges()
+        .map(|(k, v)| (k.to_string(), JsonValue::Number(v)))
+        .collect();
+    let histograms = registry
+        .histograms()
+        .map(|(k, h)| {
+            let mut members = vec![("count".to_string(), JsonValue::Number(h.count() as f64))];
+            let stats: [(&str, Option<f64>); 6] = [
+                ("mean", h.mean()),
+                ("min", h.min()),
+                ("max", h.max()),
+                ("p50", h.quantile(50.0)),
+                ("p90", h.quantile(90.0)),
+                ("p99", h.quantile(99.0)),
+            ];
+            for (name, value) in stats {
+                if let Some(v) = value {
+                    members.push((name.to_string(), JsonValue::Number(v)));
+                }
+            }
+            (k.to_string(), JsonValue::Object(members))
+        })
+        .collect();
+    JsonValue::Object(vec![
+        ("counters".to_string(), JsonValue::Object(counters)),
+        ("gauges".to_string(), JsonValue::Object(gauges)),
+        ("histograms".to_string(), JsonValue::Object(histograms)),
+    ])
+}
+
+/// Serialized [`metrics_snapshot`] with a trailing newline.
+pub fn metrics_snapshot_json(registry: &MetricsRegistry) -> String {
+    let mut text = metrics_snapshot(registry).to_compact();
+    text.push('\n');
+    text
+}
+
+/// Finds the workspace root by walking up from the current directory to
+/// the first `Cargo.toml` declaring `[workspace]`.
+///
+/// Cargo runs test/bench binaries with the *package* directory as CWD
+/// but `cargo run` with the invocation directory, so artifacts like
+/// `BENCH_codec.json` must anchor here to land in one stable place.
+/// Falls back to the current directory if no workspace manifest is
+/// found (e.g. the binary is run outside a checkout).
+pub fn workspace_root() -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn snapshot_shape_and_determinism() {
+        let mut r = MetricsRegistry::new();
+        r.add("cachegen.net.wire_bytes", 4096);
+        r.gauge("cachegen.serving.shed_rate", 0.125);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("cachegen.serving.ttft_ms", v);
+        }
+        let a = metrics_snapshot_json(&r);
+        let b = metrics_snapshot_json(&r);
+        assert_eq!(a, b, "byte-deterministic");
+        assert!(a.ends_with('\n'));
+
+        let doc = json::parse(a.trim_end()).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("cachegen.net.wire_bytes"))
+                .and_then(JsonValue::as_f64),
+            Some(4096.0)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .and_then(|g| g.get("cachegen.serving.shed_rate"))
+                .and_then(JsonValue::as_f64),
+            Some(0.125)
+        );
+        let h = doc
+            .get("histograms")
+            .and_then(|h| h.get("cachegen.serving.ttft_ms"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(h.get("mean").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(h.get("min").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(h.get("max").and_then(JsonValue::as_f64), Some(4.0));
+        assert!(h.get("p50").is_some() && h.get("p99").is_some());
+    }
+
+    #[test]
+    fn empty_histogram_omits_stats() {
+        let r = MetricsRegistry::new();
+        let doc = json::parse(metrics_snapshot_json(&r).trim_end()).unwrap();
+        assert_eq!(doc.get("histograms"), Some(&JsonValue::Object(Vec::new())));
+    }
+
+    #[test]
+    fn workspace_root_finds_manifest() {
+        let root = workspace_root();
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+        assert!(manifest.contains("[workspace]"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic telemetry for the CacheGen workspace.
+//!
+//! This crate is the measurement substrate the request path reports
+//! through: request-lifecycle [`Span`]s stamped in *virtual* time (the
+//! clock is injected, so the `cachegen-analyze` no-wall-clock gate
+//! applies here too), a counter/gauge/histogram [`MetricsRegistry`],
+//! and two byte-deterministic exporters — Chrome trace-event JSON
+//! (loadable in Perfetto, one process per shard, one thread per tenant)
+//! and compact `BENCH_*.json` metrics snapshots.
+//!
+//! Everything funnels through one handle, the [`Recorder`]. Hot paths
+//! take `&Recorder` and pay nothing when handed the disabled [`NOOP`]:
+//! every method starts with a branch on an `Option` that is `None` for
+//! the no-op, so benches show no regression with tracing off.
+//!
+//! Metric names follow `cachegen.<crate>.<metric>`, e.g.
+//! `cachegen.net.wire_bytes` or `cachegen.serving.ttft_ms`.
+//!
+//! Pure std, zero dependencies, by design: the crate must never pull
+//! simulator code in (every layer depends on it) and must stay portable
+//! to a future wall-clock execution backend unchanged — only the
+//! [`Clock`] implementation swaps.
+
+pub mod chrome;
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+pub mod stats;
+pub mod validate;
+
+pub use chrome::{chrome_trace, chrome_trace_json};
+pub use export::{metrics_snapshot, metrics_snapshot_json, workspace_root};
+pub use json::JsonValue;
+pub use recorder::{Recorder, SpanGuard, NOOP};
+pub use registry::{Histogram, MetricsRegistry};
+pub use span::{Clock, InstantEvent, ManualClock, Span, SpanCtx, Stage};
+pub use stats::{mean, percentile};
+pub use validate::{validate_chrome_trace, TraceSummary};

@@ -1,0 +1,71 @@
+//! Shared summary-statistic helpers.
+//!
+//! This is the single home for the nearest-rank percentile that
+//! `cachegen-serving` and the bench harness previously each carried a
+//! copy of. Both call sites now route here, so the semantics are pinned
+//! once (see the small-N tests below).
+
+/// Nearest-rank percentile of `samples` (`p` in `[0, 100]`).
+///
+/// Sorts a copy with `f64::total_cmp` (total order, so NaN cannot
+/// poison the sort) and returns the element at rank
+/// `ceil(p/100 · n)`, 1-indexed — the classic nearest-rank definition:
+/// the smallest sample ≥ `p` percent of the distribution. Returns
+/// `None` on an empty slice.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Arithmetic mean of `samples`, or `None` on an empty slice.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pins nearest-rank semantics at small N — the contract both former
+    // call sites (serving metrics, bench harness) must agree on.
+    #[test]
+    fn percentile_nearest_rank_small_n() {
+        let one = [42.0];
+        assert_eq!(percentile(&one, 0.0), Some(42.0));
+        assert_eq!(percentile(&one, 50.0), Some(42.0));
+        assert_eq!(percentile(&one, 100.0), Some(42.0));
+
+        let four = [10.0, 20.0, 30.0, 40.0];
+        // ceil(0.25 * 4) = 1 → first element.
+        assert_eq!(percentile(&four, 25.0), Some(10.0));
+        // ceil(0.50 * 4) = 2 → second element (not an interpolation).
+        assert_eq!(percentile(&four, 50.0), Some(20.0));
+        // ceil(0.99 * 4) = 4 → last element.
+        assert_eq!(percentile(&four, 99.0), Some(40.0));
+        assert_eq!(percentile(&four, 100.0), Some(40.0));
+
+        let five = [5.0, 1.0, 4.0, 2.0, 3.0]; // unsorted input
+        assert_eq!(percentile(&five, 50.0), Some(3.0));
+        assert_eq!(percentile(&five, 90.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_small_n() {
+        assert_eq!(mean(&[2.0]), Some(2.0));
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+}

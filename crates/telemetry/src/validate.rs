@@ -1,0 +1,186 @@
+//! Structural validation of an exported Chrome trace.
+//!
+//! Shared by the CI smoke binary (`trace_check`) and the determinism
+//! tests: parse the JSON, then check every duration event is
+//! well-formed (`dur >= 0`, tagged with a request) and every non-root
+//! span nests inside the `request` root span of the same request.
+
+use crate::json::{self, JsonValue};
+
+/// Timestamp slack in microseconds when checking containment — covers
+/// `seconds → µs` float rounding, nothing more.
+const TOLERANCE_US: f64 = 1e-3;
+
+/// Summary of a validated trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `"ph":"X"` duration events checked.
+    pub spans: usize,
+    /// `"ph":"i"` instant events seen.
+    pub instants: usize,
+    /// Distinct requests with a `request` root span.
+    pub requests: usize,
+}
+
+/// Validates trace-JSON text; returns a summary or the first error.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+
+    struct Ev<'a> {
+        name: &'a str,
+        ts: f64,
+        dur: f64,
+        request: f64,
+    }
+
+    let mut spans: Vec<Ev<'_>> = Vec::new();
+    let mut summary = TraceSummary::default();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => {}
+            "i" => summary.instants += 1,
+            "X" => {
+                let name = ev
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("event {i}: missing name"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing dur"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i} ({name}): dur {dur} < 0 — end < start"));
+                }
+                let request = ev
+                    .get("args")
+                    .and_then(|a| a.get("request"))
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i} ({name}): missing args.request"))?;
+                spans.push(Ev {
+                    name,
+                    ts,
+                    dur,
+                    request,
+                });
+            }
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+    summary.spans = spans.len();
+
+    // Collect each request's root span, then check containment.
+    let mut roots: Vec<(f64, f64, f64)> = Vec::new(); // (request, ts, end)
+    for ev in &spans {
+        if ev.name == "request" {
+            if roots.iter().any(|&(r, _, _)| r == ev.request) {
+                return Err(format!("request {} has two root spans", ev.request));
+            }
+            roots.push((ev.request, ev.ts, ev.ts + ev.dur));
+        }
+    }
+    summary.requests = roots.len();
+
+    for ev in &spans {
+        if ev.name == "request" {
+            continue;
+        }
+        let (_, root_ts, root_end) = roots
+            .iter()
+            .find(|&&(r, _, _)| r == ev.request)
+            .ok_or_else(|| {
+                format!(
+                    "span {:?} of request {} has no request root span",
+                    ev.name, ev.request
+                )
+            })?;
+        if ev.ts < root_ts - TOLERANCE_US || ev.ts + ev.dur > root_end + TOLERANCE_US {
+            return Err(format!(
+                "span {:?} [{}, {}] escapes request {} root [{root_ts}, {root_end}]",
+                ev.name,
+                ev.ts,
+                ev.ts + ev.dur,
+                ev.request
+            ));
+        }
+    }
+
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::chrome_trace_json;
+    use crate::span::{Span, SpanCtx, Stage};
+
+    fn span(stage: Stage, request: u64, start: f64, end: f64) -> Span {
+        Span {
+            stage,
+            ctx: SpanCtx::new(request, 0, 0),
+            start,
+            end,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let spans = vec![
+            span(Stage::Request, 0, 0.0, 1.0),
+            span(Stage::QueueWait, 0, 0.0, 0.2),
+            span(Stage::StoreFetch, 0, 0.2, 0.8),
+            span(Stage::Prefill, 0, 0.8, 1.0),
+            span(Stage::Request, 1, 0.5, 2.0),
+            span(Stage::Prefill, 1, 1.5, 2.0),
+        ];
+        let s = validate_chrome_trace(&chrome_trace_json(&spans, &[])).unwrap();
+        assert_eq!(s.spans, 6);
+        assert_eq!(s.requests, 2);
+    }
+
+    #[test]
+    fn orphan_span_fails() {
+        let spans = vec![
+            span(Stage::Request, 0, 0.0, 1.0),
+            span(Stage::Prefill, 7, 0.2, 0.4), // request 7 has no root
+        ];
+        let err = validate_chrome_trace(&chrome_trace_json(&spans, &[])).unwrap_err();
+        assert!(err.contains("no request root"), "{err}");
+    }
+
+    #[test]
+    fn escaping_span_fails() {
+        let spans = vec![
+            span(Stage::Request, 0, 0.0, 1.0),
+            span(Stage::Prefill, 0, 0.9, 1.5), // ends after the root
+        ];
+        let err = validate_chrome_trace(&chrome_trace_json(&spans, &[])).unwrap_err();
+        assert!(err.contains("escapes"), "{err}");
+    }
+
+    #[test]
+    fn negative_duration_fails() {
+        let text = r#"{"traceEvents":[{"name":"prefill","ph":"X","ts":5,"dur":-1,"pid":0,"tid":0,"args":{"request":0}}]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+    }
+
+    #[test]
+    fn unparseable_fails() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+}

@@ -58,6 +58,7 @@ fn figure7_adaptation() {
             ladder: &ladder,
             decode_seconds: &decode,
             recompute_seconds: &recompute,
+            recorder: None,
         };
         let out = simulate_stream(&plan, &mut link, &params);
         println!("{name}:");

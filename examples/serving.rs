@@ -10,6 +10,13 @@
 //! percentiles. It also replays the CacheGen run a second time to show
 //! the virtual-clock simulation is deterministic.
 //!
+//! A final traced replay exports the full request-lifecycle telemetry:
+//! `serving_trace.json` (Chrome trace-event format — load it in Perfetto
+//! or `chrome://tracing`; shards appear as processes, tenants as
+//! threads) and `BENCH_serving.json` (the metrics-registry snapshot with
+//! TTFT percentiles and shed rates), both at the workspace root and both
+//! byte-identical across same-seed runs.
+//!
 //! Run with: `cargo run --release --example serving`
 
 use cachegen::qoe::QoeModel;
@@ -18,6 +25,10 @@ use cachegen_llm::SimModelConfig;
 use cachegen_net::{BandwidthTrace, Link};
 use cachegen_serving::{ServingCluster, ServingConfig, ServingReport};
 use cachegen_streamer::AdaptPolicy;
+use cachegen_telemetry::{
+    chrome_trace_json, metrics_snapshot_json, validate_chrome_trace, workspace_root, Recorder,
+    Stage, NOOP,
+};
 use cachegen_workloads::{workload_rng, MultiTenantWorkload, SharedPrefixGen};
 
 const SEED: u64 = 24;
@@ -39,6 +50,14 @@ fn config(policy: AdaptPolicy) -> ServingConfig {
 }
 
 fn run(policy: AdaptPolicy, workload: &MultiTenantWorkload) -> ServingReport {
+    run_traced(policy, workload, &NOOP)
+}
+
+fn run_traced(
+    policy: AdaptPolicy,
+    workload: &MultiTenantWorkload,
+    recorder: &Recorder,
+) -> ServingReport {
     let cfg = config(policy);
     let links = (0..SHARDS)
         .map(|_| Link::new(BandwidthTrace::constant(5e6), 0.0))
@@ -54,7 +73,7 @@ fn run(policy: AdaptPolicy, workload: &MultiTenantWorkload) -> ServingReport {
     for (id, tokens) in &workload.documents {
         cluster.store_context(*id, tokens);
     }
-    cluster.run(&workload.requests)
+    cluster.run_traced(&workload.requests, recorder)
 }
 
 fn summarize(name: &str, report: &ServingReport) {
@@ -135,5 +154,65 @@ fn main() {
     assert!(
         p50_kv < p50_text,
         "cached multi-tenant load must beat the text baseline"
+    );
+
+    // Traced replay: the recorder observes, never perturbs — the traced
+    // run must resolve every request exactly like the untraced ones.
+    let export = || {
+        let recorder = Recorder::new();
+        let report = run_traced(AdaptPolicy::Adaptive, &workload, &recorder);
+        let trace = chrome_trace_json(&recorder.spans(), &recorder.instants());
+        let metrics = metrics_snapshot_json(&recorder.registry_snapshot());
+        (recorder, report, trace, metrics)
+    };
+    let (recorder, traced, trace, metrics) = export();
+    assert_eq!(
+        traced.outcomes, cachegen.outcomes,
+        "recording must be observation-only"
+    );
+    let (_, _, trace_again, metrics_again) = export();
+    assert_eq!(trace, trace_again, "trace export must be byte-identical");
+    assert_eq!(
+        metrics, metrics_again,
+        "metrics export must be byte-identical"
+    );
+
+    // The exported trace must validate (one root per request, children
+    // contained) and each request's child spans must tile >= 99% of its
+    // TTFT — the span tree accounts for where every millisecond went.
+    let summary = validate_chrome_trace(&trace).expect("exported trace must validate");
+    let spans = recorder.spans();
+    for (i, outcome) in traced.outcomes.iter().enumerate() {
+        let Some(ttft) = outcome.ttft() else { continue };
+        let covered: f64 = spans
+            .iter()
+            .filter(|s| s.ctx.request == i as u64)
+            .filter(|s| {
+                matches!(
+                    s.stage,
+                    Stage::QueueWait | Stage::StoreFetch | Stage::CacheDecode | Stage::Prefill
+                )
+            })
+            .map(|s| s.duration())
+            .sum();
+        assert!(
+            covered >= 0.99 * ttft,
+            "request {i}: span tree covers {covered:.6}s of {ttft:.6}s TTFT"
+        );
+    }
+
+    let root = workspace_root();
+    let trace_path = root.join("serving_trace.json");
+    std::fs::write(&trace_path, &trace).expect("write serving_trace.json");
+    let bench_path = root.join("BENCH_serving.json");
+    std::fs::write(&bench_path, &metrics).expect("write BENCH_serving.json");
+    println!(
+        "\ntelemetry: {} spans, {} instants, {} request roots — \
+         wrote {} (load it in Perfetto) and {}",
+        summary.spans,
+        summary.instants,
+        summary.requests,
+        trace_path.display(),
+        bench_path.display(),
     );
 }

@@ -131,11 +131,52 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One completed benchmark measurement, kept so a custom bench `main`
+/// can export machine-readable numbers after the human-readable print.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full label (`group/function` or `group/function/param`).
+    pub label: String,
+    /// Wall-clock nanoseconds per iteration.
+    pub nanos_per_iter: f64,
+    /// Iterations the estimate was averaged over.
+    pub iters: u64,
+    /// The group's work-per-iteration annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Milliseconds per iteration.
+    pub fn ms_per_iter(&self) -> f64 {
+        self.nanos_per_iter / 1e6
+    }
+
+    /// Elements processed per second (`None` without an
+    /// [`Throughput::Elements`] annotation).
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) => Some(n as f64 * 1e9 / self.nanos_per_iter),
+            _ => None,
+        }
+    }
+}
+
 /// The benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
 
 impl Criterion {
+    /// All measurements recorded so far, in run order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The measurement whose label matches `label` exactly.
+    pub fn measurement(&self, label: &str) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.label == label)
+    }
     /// Accepted for API compatibility with criterion's generated mains.
     pub fn configure_from_args(self) -> Self {
         self
@@ -184,6 +225,12 @@ impl Criterion {
             "bench {label:<50} {:>12.1} ns/iter  [{} iters]{rate}",
             bencher.nanos, bencher.iters_done
         );
+        self.measurements.push(Measurement {
+            label: label.to_string(),
+            nanos_per_iter: bencher.nanos,
+            iters: bencher.iters_done,
+            throughput,
+        });
     }
 }
 
