@@ -52,11 +52,11 @@ pub struct RuleInfo {
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "no-wall-clock",
-        summary: "Instant::now/SystemTime banned outside crates/bench — the virtual clock is the simulator's only time source",
+        summary: "Instant::now/SystemTime banned outside crates/bench and telemetry's wall module — the virtual clock is the simulator's time source; real backends go through telemetry::WallClock",
     },
     RuleInfo {
         name: "no-raw-spawn",
-        summary: "thread::spawn banned outside the approved executor module (codec::pool) — one place owns OS threads",
+        summary: "thread::spawn/scope banned outside the approved executor modules (codec::pool, serving::threads) — two places own OS threads",
     },
     RuleInfo {
         name: "no-hash-iter",
@@ -120,8 +120,8 @@ const TOKEN_RULES: &[TokenRule] = &[
     },
     TokenRule {
         name: "no-raw-spawn",
-        tokens: &["thread::spawn"],
-        message: "raw thread spawn; route work through cachegen_codec::pool (the one approved executor module)",
+        tokens: &["thread::spawn", "thread::scope"],
+        message: "raw thread spawn; route work through cachegen_codec::pool or cachegen_serving::threads (the approved executor modules)",
     },
     TokenRule {
         name: "no-hash-iter",
@@ -140,9 +140,16 @@ const TOKEN_RULES: &[TokenRule] = &[
     },
 ];
 
-/// The approved executor module — the only file allowed to spawn
-/// threads. The future real-concurrency executor extends this module.
-pub const EXECUTOR_MODULE: &str = "crates/codec/src/pool.rs";
+/// The approved executor modules — the only files allowed to spawn
+/// threads: the codec's bounded decode pool, and the serving crate's
+/// real OS-thread execution backend built on top of it.
+pub const EXECUTOR_MODULES: &[&str] =
+    &["crates/codec/src/pool.rs", "crates/serving/src/threads.rs"];
+
+/// The one module allowed to read the wall clock outside `crates/bench`:
+/// `telemetry::WallClock`, the sanctioned time source real execution
+/// backends record spans with.
+pub const WALL_CLOCK_MODULE: &str = "crates/telemetry/src/wall.rs";
 
 /// Crates in which hash containers are banned outright. The telemetry
 /// crate is in scope because its exporters promise byte-identical
@@ -167,8 +174,9 @@ fn is_bench(rel_path: &str) -> bool {
 /// Whether a rule applies to the given file at all.
 fn rule_applies(rule: &str, rel_path: &str) -> bool {
     match rule {
-        "no-wall-clock" | "seeded-rng-only" => !is_bench(rel_path),
-        "no-raw-spawn" => rel_path != EXECUTOR_MODULE,
+        "no-wall-clock" => !is_bench(rel_path) && rel_path != WALL_CLOCK_MODULE,
+        "seeded-rng-only" => !is_bench(rel_path),
+        "no-raw-spawn" => !EXECUTOR_MODULES.contains(&rel_path),
         "no-hash-iter" => crate_of(rel_path).is_some_and(|c| HASH_BANNED_CRATES.contains(&c)),
         _ => true,
     }

@@ -2,7 +2,7 @@
 //! input, stays silent on known-good input, and the lexer keeps string
 //! literals and comments inert.
 
-use cachegen_analyze::rules::{analyze_source, EXECUTOR_MODULE};
+use cachegen_analyze::rules::{analyze_source, EXECUTOR_MODULES, WALL_CLOCK_MODULE};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -27,6 +27,18 @@ fn wall_clock_flagged_at_exact_lines_outside_bench() {
     // crates/bench is the one exempt crate: same content, no findings.
     let bench = analyze_source("crates/bench/src/fx.rs", &src);
     assert!(bench.findings.is_empty(), "{:?}", bench.findings);
+
+    // The telemetry wall module is the only other sanctioned reader —
+    // `WallClock` is where real backends get their time from.
+    let wall = analyze_source(WALL_CLOCK_MODULE, &src);
+    assert!(
+        lines_of(&wall, "no-wall-clock").is_empty(),
+        "{:?}",
+        wall.findings
+    );
+    // ... and only that exact file: a sibling telemetry module is not.
+    let sibling = analyze_source("crates/telemetry/src/recorder.rs", &src);
+    assert_eq!(lines_of(&sibling, "no-wall-clock"), vec![4, 5]);
 }
 
 #[test]
@@ -38,18 +50,25 @@ fn prose_and_strings_never_fire() {
 }
 
 #[test]
-fn raw_spawn_flagged_everywhere_but_the_executor_module() {
+fn raw_spawn_flagged_everywhere_but_the_executor_modules() {
     let src = fixture("bad_raw_spawn.rs");
+    // `thread::spawn` (line 5) and `thread::scope` (line 6) both fire.
     let report = analyze_source("crates/kvstore/src/fx.rs", &src);
-    assert_eq!(lines_of(&report, "no-raw-spawn"), vec![5]);
+    assert_eq!(lines_of(&report, "no-raw-spawn"), vec![5, 6]);
 
-    // The same content analyzed as the executor module itself is exempt.
-    let pool = analyze_source(EXECUTOR_MODULE, &src);
-    assert!(
-        lines_of(&pool, "no-raw-spawn").is_empty(),
-        "{:?}",
-        pool.findings
-    );
+    // Even other files of the crates that host executor modules fire.
+    let near = analyze_source("crates/serving/src/cluster.rs", &src);
+    assert_eq!(lines_of(&near, "no-raw-spawn"), vec![5, 6]);
+
+    // The same content analyzed as an executor module itself is exempt.
+    for module in EXECUTOR_MODULES {
+        let exempt = analyze_source(module, &src);
+        assert!(
+            lines_of(&exempt, "no-raw-spawn").is_empty(),
+            "{module}: {:?}",
+            exempt.findings
+        );
+    }
 }
 
 #[test]

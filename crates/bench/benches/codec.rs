@@ -129,7 +129,7 @@ fn pool_shape() -> (f64, f64) {
         .expect("self-encoded stream decodes");
     let snap = recorder.registry_snapshot();
     let workers = snap
-        .gauge_value("cachegen.codec.pool_workers")
+        .gauge_value("cachegen.codec.pool.workers")
         .unwrap_or(0.0);
     let chunks = snap.counter("cachegen.codec.decode_chunks").unwrap_or(0) as f64;
     (workers, chunks)

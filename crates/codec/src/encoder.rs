@@ -394,7 +394,10 @@ pub fn wire_to_scale(w: u16) -> f32 {
     f32::from_bits((w as u32) << 16)
 }
 
-/// The CacheGen codec: a config plus a per-model profile.
+/// The CacheGen codec: a config plus a per-model profile. `Clone` is
+/// cheap enough to hand owned copies (behind an `Arc`) to the persistent
+/// decode pool, whose `'static` tasks cannot borrow an engine.
+#[derive(Clone)]
 pub struct KvCodec {
     config: CodecConfig,
     profile: CodecProfile,
@@ -880,15 +883,7 @@ impl KvCodec {
             crate::pool::run_pooled_observed(
                 jobs,
                 |_, mut job| run(&mut job),
-                |shape| {
-                    if recorder.is_enabled() {
-                        recorder.gauge("cachegen.codec.pool_workers", shape.workers as f64);
-                        recorder.observe(
-                            "cachegen.codec.pool_jobs_per_worker",
-                            shape.jobs as f64 / shape.workers as f64,
-                        );
-                    }
-                },
+                |shape| shape.report(recorder),
             )?;
         } else {
             for mut job in jobs {

@@ -138,6 +138,7 @@ pub mod repair;
 pub mod symbol_model;
 
 pub use encoder::{CodecConfig, CodecError, EncodedKv, KvCodec};
+pub use pool::{PoolError, PoolHandle, PoolJob, PoolShape};
 pub use profile::CodecProfile;
 pub use repair::{ChunkArrivalMap, ChunkRepair, RepairCause, RepairKind, RepairPolicy, RepairedKv};
 pub use symbol_model::ModelGranularity;

@@ -1,0 +1,192 @@
+//! The execution-backend split: one serving semantics, two engines.
+//!
+//! [`ServingCluster`]'s discrete-event loop on the virtual clock is the
+//! *oracle*: deterministic, byte-reproducible, and the thing every test
+//! pins. [`ExecutionBackend`] abstracts *how* a run executes so a real
+//! OS-thread engine ([`crate::threads::ThreadBackend`]) can serve the
+//! identical workload and be diffed against the oracle span-for-span.
+//!
+//! The two backends meet through the [`ExecutionPlan`]: the virtual loop
+//! is also the *planner* — every admission decision, batch composition,
+//! chunk configuration, and loss-repair re-fetch it resolves is recorded
+//! as data. The thread backend replays that plan with real workers,
+//! bounded MPSC queues, and real entropy decodes on the shared
+//! `codec::pool` executor. Request outcomes, shed/degrade decisions, and
+//! final cache state are therefore identical *by construction*; what the
+//! thread backend measures is how long the plan takes on real silicon,
+//! exported in the same span taxonomy
+//! (`queue_wait`/`store_fetch`/`cache_decode`/`prefill` tilings) and the
+//! same `cachegen.<crate>.<metric>` registry — only durations differ.
+
+use cachegen_telemetry::Recorder;
+use cachegen_workloads::ServingRequest;
+
+use crate::cluster::ServingCluster;
+use crate::metrics::ServingReport;
+
+/// An engine that executes a serving run over a cluster.
+///
+/// Implementations must resolve the same workload to the same
+/// [`ServingReport`] outcomes (the virtual loop is the reference), and
+/// must export the request-lifecycle span taxonomy through `recorder`.
+/// Only the time base may differ: virtual seconds for the oracle, wall
+/// seconds for real backends.
+pub trait ExecutionBackend {
+    /// Short backend name for artifacts and logs (`"virtual"`,
+    /// `"threads"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes `requests` against `cluster`, recording through
+    /// `recorder`.
+    fn run(
+        &mut self,
+        cluster: &mut ServingCluster,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+    ) -> ServingReport;
+}
+
+/// The deterministic discrete-event oracle — a zero-cost wrapper around
+/// [`ServingCluster::run_traced`], kept bit-identical to the
+/// pre-backend-split loop (the golden digests in
+/// `tests/backend_equivalence.rs` enforce exactly that).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VirtualClockBackend;
+
+impl ExecutionBackend for VirtualClockBackend {
+    fn name(&self) -> &'static str {
+        "virtual"
+    }
+
+    fn run(
+        &mut self,
+        cluster: &mut ServingCluster,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+    ) -> ServingReport {
+        cluster.run_traced(requests, recorder)
+    }
+}
+
+/// One admission decision the planner made at a request's arrival
+/// (normal admissions are implicit — only the degrade/shed instants are
+/// replayed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedAdmission {
+    /// Index into the run's request slice.
+    pub request: usize,
+    /// Tenant that issued the request.
+    pub tenant: usize,
+    /// Shard whose queues made the decision.
+    pub shard: usize,
+    /// True for shed, false for degraded.
+    pub shed: bool,
+}
+
+/// The work one chunk of a batch's context contributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannedChunk {
+    /// Decode the stored bitstream of `chunk` at encoding `level` (the
+    /// thread backend runs the *real* entropy decode on the shared
+    /// codec pool).
+    Decode {
+        /// Chunk index within the context's plan.
+        chunk: usize,
+        /// Encoding level the adapter picked.
+        level: usize,
+    },
+    /// Recompute `tokens` tokens from text (the fallback arm; emulated
+    /// as proportional compute on a real backend).
+    Text {
+        /// Tokens recomputed.
+        tokens: usize,
+    },
+}
+
+/// One query riding a planned batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedQuery {
+    /// Index into the run's request slice.
+    pub request: usize,
+    /// Tenant that issued it.
+    pub tenant: usize,
+    /// Tokens in its unique prompt suffix (prefilled after load).
+    pub prompt_tokens: usize,
+}
+
+/// A loss-repair re-fetch the planner scheduled (standalone batch or a
+/// rider pulled behind a cache hit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedRefetch {
+    /// Synthetic trace-request id the oracle assigned — the thread
+    /// backend reuses it, so both traces carry the same request-id set.
+    pub trace_request: u64,
+    /// Tenant whose entry led the batch.
+    pub tenant: usize,
+    /// Bytes re-pulled.
+    pub bytes: u64,
+}
+
+/// What one planned batch executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlannedWork {
+    /// A query-headed batch: load the context (decode or fetch+decode),
+    /// then prefill every member's prompt suffix.
+    Query {
+        /// The context was resident — decode only, no store fetch.
+        cache_hit: bool,
+        /// Served at the degraded (coarser) level under backpressure.
+        degraded: bool,
+        /// More than one request rode the batch.
+        coalesced: bool,
+        /// Token-weighted quality the oracle resolved for the batch.
+        quality: f64,
+        /// Per-chunk work items of the context load.
+        chunks: Vec<PlannedChunk>,
+        /// Member queries, in batch order (index 0 is the lead).
+        queries: Vec<PlannedQuery>,
+        /// A re-fetch rider served after a cache hit, if any.
+        rider: Option<PlannedRefetch>,
+    },
+    /// A pure loss-repair re-fetch batch.
+    Refetch(PlannedRefetch),
+}
+
+/// One dispatched batch, in dispatch order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedBatch {
+    /// Shard that served it.
+    pub shard: usize,
+    /// Context the batch loaded.
+    pub context_id: u64,
+    /// What the batch executes.
+    pub work: PlannedWork,
+}
+
+/// Everything the oracle decided for one run, as replayable data: the
+/// thread backend executes this plan instead of re-deciding, which is
+/// what pins its outcomes, shed/degrade decisions, and final cache
+/// state to the oracle's.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecutionPlan {
+    /// Degrade/shed admission decisions, in arrival order.
+    pub admissions: Vec<PlannedAdmission>,
+    /// Dispatched batches, in dispatch order.
+    pub batches: Vec<PlannedBatch>,
+}
+
+impl ExecutionPlan {
+    /// Total chunk-decode jobs across all planned batches.
+    pub fn decode_jobs(&self) -> usize {
+        self.batches
+            .iter()
+            .map(|b| match &b.work {
+                PlannedWork::Query { chunks, .. } => chunks
+                    .iter()
+                    .filter(|c| matches!(c, PlannedChunk::Decode { .. }))
+                    .count(),
+                PlannedWork::Refetch(_) => 0,
+            })
+            .sum()
+    }
+}

@@ -15,6 +15,10 @@ use cachegen_streamer::{AdaptPolicy, FecOverhead};
 use cachegen_telemetry::{Recorder, SpanCtx, Stage, NOOP};
 use cachegen_workloads::ServingRequest;
 
+use crate::backend::{
+    ExecutionBackend, ExecutionPlan, PlannedAdmission, PlannedBatch, PlannedChunk, PlannedQuery,
+    PlannedRefetch, PlannedWork,
+};
 use crate::clock::EventQueue;
 use crate::metrics::{Disposition, RequestOutcome, ServingReport};
 use crate::queue::{Admission, EntryKind, QueuedRequest};
@@ -208,6 +212,40 @@ impl ServingCluster {
         &self.shards[id]
     }
 
+    /// All shards, in id order (execution backends walk these to reach
+    /// each shard's engine and link).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Runs a trace through an [`ExecutionBackend`] — the seam both the
+    /// virtual-clock oracle and the OS-thread engine plug into.
+    pub fn run_on(
+        &mut self,
+        backend: &mut dyn ExecutionBackend,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+    ) -> ServingReport {
+        backend.run(self, requests, recorder)
+    }
+
+    /// Runs the virtual loop while capturing the full [`ExecutionPlan`] —
+    /// what a real backend replays. The report is the oracle's,
+    /// byte-identical to [`run`](Self::run), and `recorder` sees exactly
+    /// what [`run_traced`](Self::run_traced) would record (pass
+    /// [`NOOP`] for an untraced planning pass; a real backend passes a
+    /// scratch recorder to salvage the loop's live counters, e.g.
+    /// `cachegen.streamer.*`).
+    pub fn plan_run(
+        &mut self,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+    ) -> (ServingReport, ExecutionPlan) {
+        let mut plan = ExecutionPlan::default();
+        let report = self.run_plan(requests, recorder, Some(&mut plan));
+        (report, plan)
+    }
+
     /// Stores a context on its owning shard (offline ingest path).
     /// Returns the shard index.
     pub fn store_context(&mut self, context_id: u64, tokens: &[usize]) -> usize {
@@ -244,6 +282,21 @@ impl ServingCluster {
         &mut self,
         requests: &[ServingRequest],
         recorder: &Recorder,
+    ) -> ServingReport {
+        self.run_plan(requests, recorder, None)
+    }
+
+    /// The discrete-event loop behind [`run_traced`](Self::run_traced),
+    /// optionally capturing every decision it makes into an
+    /// [`ExecutionPlan`]. With `plan = None` this *is* `run_traced` —
+    /// capture only appends to side vectors, so the event sequence,
+    /// recorder output, and report stay byte-identical either way (the
+    /// golden digests in `tests/backend_equivalence.rs` pin that).
+    fn run_plan(
+        &mut self,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+        mut plan: Option<&mut ExecutionPlan>,
     ) -> ServingReport {
         assert!(
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
@@ -299,6 +352,14 @@ impl ServingCluster {
                     match decision {
                         Admission::Shed => {
                             shard.stats.shed += 1;
+                            if let Some(p) = plan.as_deref_mut() {
+                                p.admissions.push(PlannedAdmission {
+                                    request: i,
+                                    tenant: req.tenant,
+                                    shard: shard_id,
+                                    shed: true,
+                                });
+                            }
                             recorder.instant_for(Stage::Admission, ctx, now, vec![("shed", 1.0)]);
                             outcomes[i] = Some(RequestOutcome {
                                 tenant: req.tenant,
@@ -311,6 +372,14 @@ impl ServingCluster {
                         }
                         Admission::Degraded => {
                             shard.stats.degraded_admissions += 1;
+                            if let Some(p) = plan.as_deref_mut() {
+                                p.admissions.push(PlannedAdmission {
+                                    request: i,
+                                    tenant: req.tenant,
+                                    shard: shard_id,
+                                    shed: false,
+                                });
+                            }
                             recorder.instant_for(
                                 Stage::Admission,
                                 ctx,
@@ -328,6 +397,7 @@ impl ServingCluster {
                             &mut events,
                             recorder,
                             &mut synthetic_id,
+                            plan.as_deref_mut(),
                         );
                     }
                 }
@@ -341,6 +411,7 @@ impl ServingCluster {
                             &mut events,
                             recorder,
                             &mut synthetic_id,
+                            plan.as_deref_mut(),
                         );
                     }
                 }
@@ -388,6 +459,7 @@ impl ServingCluster {
     /// re-fetch entry pulls the missing bytes instead of running a full
     /// fetch; a query batch satisfies any re-fetch riders for free (the
     /// fresh transfer re-delivers the context).
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
         shard_id: usize,
@@ -396,6 +468,7 @@ impl ServingCluster {
         events: &mut EventQueue<Event>,
         recorder: &Recorder,
         synthetic_id: &mut u64,
+        plan: Option<&mut ExecutionPlan>,
     ) {
         let shard = &mut self.shards[shard_id];
         let batch = shard.queues.pop_batch(self.config.max_batch);
@@ -426,6 +499,17 @@ impl ServingCluster {
             shard.busy = true;
             let ctx = SpanCtx::new(*synthetic_id, batch[0].tenant as u32, shard_id as u32);
             *synthetic_id += 1;
+            if let Some(p) = plan {
+                p.batches.push(PlannedBatch {
+                    shard: shard_id,
+                    context_id,
+                    work: PlannedWork::Refetch(PlannedRefetch {
+                        trace_request: ctx.request,
+                        tenant: batch[0].tenant,
+                        bytes,
+                    }),
+                });
+            }
             recorder.record_span_for(Stage::Request, ctx, now, ready, vec![("refetch", 1.0)]);
             recorder.record_span_for(
                 Stage::Refetch,
@@ -450,7 +534,17 @@ impl ServingCluster {
             queries[0].tenant as u32,
             shard_id as u32,
         ));
-        let outcome = shard.serve_batch(context_id, degraded, now, &self.config, fec, recorder);
+        let planning = plan.is_some();
+        let mut chunk_work: Vec<PlannedChunk> = Vec::new();
+        let outcome = shard.serve_batch_planned(
+            context_id,
+            degraded,
+            now,
+            &self.config,
+            fec,
+            recorder,
+            planning.then_some(&mut chunk_work),
+        );
         shard.stats.batches += 1;
         shard.stats.coalesced_requests += (batch.len() - 1) as u64;
 
@@ -469,6 +563,7 @@ impl ServingCluster {
                 EntryKind::Query => None,
             })
             .fold((0u64, 0.0f64), |(b, q), (nb, nq)| (b + nb, q.max(nq)));
+        let mut planned_rider = None;
         if rider_bytes > 0 && outcome.cache_hit {
             ready = shard.serve_refetch(context_id, rider_bytes, rider_restore, ready);
             shard.stats.refetches += 1;
@@ -476,6 +571,11 @@ impl ServingCluster {
             // traces as its own synthetic request, not under a query root.
             let ctx = SpanCtx::new(*synthetic_id, queries[0].tenant as u32, shard_id as u32);
             *synthetic_id += 1;
+            planned_rider = Some(PlannedRefetch {
+                trace_request: ctx.request,
+                tenant: queries[0].tenant,
+                bytes: rider_bytes,
+            });
             recorder.record_span_for(
                 Stage::Request,
                 ctx,
@@ -526,6 +626,28 @@ impl ServingCluster {
         }
 
         let coalesced = batch.len() > 1;
+        if let Some(p) = plan {
+            p.batches.push(PlannedBatch {
+                shard: shard_id,
+                context_id,
+                work: PlannedWork::Query {
+                    cache_hit: outcome.cache_hit,
+                    degraded,
+                    coalesced,
+                    quality: outcome.quality,
+                    chunks: chunk_work,
+                    queries: queries
+                        .iter()
+                        .map(|q| PlannedQuery {
+                            request: q.index,
+                            tenant: q.tenant,
+                            prompt_tokens: q.prompt_tokens,
+                        })
+                        .collect(),
+                    rider: planned_rider,
+                },
+            });
+        }
         let load_stage = if outcome.cache_hit {
             Stage::CacheDecode
         } else {

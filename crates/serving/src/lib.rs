@@ -24,6 +24,15 @@
 //!   hits skip the link entirely.
 //! * [`cluster`] — [`ServingCluster`]: the ring + shards + event loop
 //!   that replays a [`cachegen_workloads::MultiTenantWorkload`] trace.
+//! * [`backend`] — the execution-backend split: [`ExecutionBackend`]
+//!   abstracts *how* a run executes. [`VirtualClockBackend`] is the
+//!   deterministic oracle (this crate's event loop, unchanged and
+//!   golden-pinned); the loop doubles as a *planner* that can capture
+//!   every decision into an [`ExecutionPlan`].
+//! * [`threads`] — [`ThreadBackend`]: the plan replayed on real OS
+//!   threads — per-shard worker pools behind bounded MPSC queues, chunk
+//!   decodes fanned out to the shared `codec::pool` executor — exporting
+//!   the same span taxonomy and registry keys with wall-clock durations.
 //! * [`metrics`] — per-tenant TTFT percentiles, QoE (MOS), shed/degrade
 //!   counts, and per-shard utilization/cache/batching summaries.
 //!
@@ -59,13 +68,19 @@
 //! assert!(report.ttft_percentile(None, 50.0).unwrap() > 0.0);
 //! ```
 
+pub mod backend;
 pub mod clock;
 pub mod cluster;
 pub mod metrics;
 pub mod queue;
 pub mod ring;
 pub mod shard;
+pub mod threads;
 
+pub use backend::{
+    ExecutionBackend, ExecutionPlan, PlannedAdmission, PlannedBatch, PlannedChunk, PlannedQuery,
+    PlannedRefetch, PlannedWork, VirtualClockBackend,
+};
 pub use cachegen_kvstore::ContextId;
 pub use clock::EventQueue;
 pub use cluster::{ServingCluster, ServingConfig};
@@ -73,3 +88,4 @@ pub use metrics::{percentile, Disposition, RequestOutcome, ServingReport, ShardS
 pub use queue::{Admission, EntryKind, QueuedRequest, TenantQueues};
 pub use ring::HashRing;
 pub use shard::{repair_effectiveness, BatchOutcome, Shard};
+pub use threads::{ThreadBackend, ThreadRunStats};

@@ -213,6 +213,16 @@ impl ServingReport {
     /// summed fleet-wide. Idempotent only in the sense of `add` semantics
     /// — call it once per run on a fresh (or merged-into) registry.
     pub fn fill_registry(&self, registry: &mut MetricsRegistry) {
+        self.fill_registry_with(registry, &self.ttfts(None), self.makespan);
+    }
+
+    /// [`fill_registry`](Self::fill_registry) with the time-dependent
+    /// inputs — TTFT samples and makespan — supplied by the caller. The
+    /// virtual oracle passes its own (`fill_registry` does exactly that);
+    /// a real execution backend passes wall-clock measurements of the
+    /// same requests, so both backends publish the identical key set with
+    /// identical counters and only the duration-valued entries differing.
+    pub fn fill_registry_with(&self, registry: &mut MetricsRegistry, ttfts: &[f64], makespan: f64) {
         registry.add("cachegen.serving.requests", self.outcomes.len() as u64);
         registry.add(
             "cachegen.serving.completed",
@@ -221,14 +231,13 @@ impl ServingReport {
         registry.add("cachegen.serving.shed", self.shed_count() as u64);
         registry.add("cachegen.serving.degraded", self.degraded_count() as u64);
         registry.add("cachegen.serving.coalesced", self.coalesced_count() as u64);
-        let ttfts = self.ttfts(None);
-        for t in &ttfts {
+        for t in ttfts {
             registry.observe("cachegen.serving.ttft_ms", t * 1e3);
         }
-        if let Some(p50) = percentile(&ttfts, 50.0) {
+        if let Some(p50) = percentile(ttfts, 50.0) {
             registry.gauge("cachegen.serving.ttft_p50_ms", p50 * 1e3);
         }
-        if let Some(p99) = percentile(&ttfts, 99.0) {
+        if let Some(p99) = percentile(ttfts, 99.0) {
             registry.gauge("cachegen.serving.ttft_p99_ms", p99 * 1e3);
         }
         if !self.outcomes.is_empty() {
@@ -236,7 +245,7 @@ impl ServingReport {
             registry.gauge("cachegen.serving.shed_rate", shed_rate);
         }
         registry.gauge("cachegen.serving.mean_quality", self.mean_quality());
-        registry.gauge("cachegen.serving.makespan_s", self.makespan);
+        registry.gauge("cachegen.serving.makespan_s", makespan);
         let mut peak_depth = 0usize;
         for s in &self.shards {
             registry.add("cachegen.serving.batches", s.batches);

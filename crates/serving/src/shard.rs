@@ -20,6 +20,7 @@ use cachegen_streamer::{
 };
 use cachegen_telemetry::Recorder;
 
+use crate::backend::PlannedChunk;
 use crate::cluster::ServingConfig;
 use crate::metrics::ShardSummary;
 use crate::queue::TenantQueues;
@@ -65,12 +66,14 @@ pub struct Shard {
     pub stats: ShardSummary,
 }
 
-/// What is resident for one cached context: the bytes a hit must decode
-/// and the quality the fetched bitstream carries.
-#[derive(Clone, Copy, Debug)]
+/// What is resident for one cached context: the bytes a hit must decode,
+/// the quality the fetched bitstream carries, and the per-chunk work a
+/// hit replays (the thread backend decodes exactly these chunks).
+#[derive(Clone, Debug)]
 struct CachedMeta {
     bytes: u64,
     quality: f64,
+    chunks: Vec<PlannedChunk>,
 }
 
 impl Shard {
@@ -115,6 +118,12 @@ impl Shard {
         &self.plans[&id]
     }
 
+    /// Total bitstream bytes resident in this shard's decoded-KV cache —
+    /// the final-state invariant every execution backend must agree on.
+    pub fn cached_bytes(&self) -> u64 {
+        self.cached.values().map(|m| m.bytes).sum()
+    }
+
     /// Serves one same-context batch starting at virtual time `now`,
     /// returning when its KV was ready and at what quality. `degraded`
     /// forces the backpressure level regardless of the adapter policy;
@@ -131,6 +140,25 @@ impl Shard {
         fec: &FecOverhead,
         recorder: &Recorder,
     ) -> BatchOutcome {
+        self.serve_batch_planned(context_id, degraded, now, cfg, fec, recorder, None)
+    }
+
+    /// [`serve_batch`](Self::serve_batch), optionally capturing the batch's
+    /// per-chunk work (decode level per chunk, or text-recompute token
+    /// counts) into `capture` — the data a real execution backend needs to
+    /// replay exactly the load the virtual model accounted for. Passing
+    /// `None` is the plain path and must stay byte-identical to it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_batch_planned(
+        &mut self,
+        context_id: ContextId,
+        degraded: bool,
+        now: f64,
+        cfg: &ServingConfig,
+        fec: &FecOverhead,
+        recorder: &Recorder,
+        capture: Option<&mut Vec<PlannedChunk>>,
+    ) -> BatchOutcome {
         let plan = &self.plans[&context_id];
         let n_levels = self.engine.num_levels();
         let decode_rate = cfg.decode_bytes_per_sec;
@@ -139,7 +167,10 @@ impl Shard {
         if self.cache.touch(context_id) {
             // Local hit: the bitstream fetched last time is resident;
             // only its decode is paid, at the quality it was fetched at.
-            let meta = self.cached[&context_id];
+            let meta = &self.cached[&context_id];
+            if let Some(cap) = capture {
+                *cap = meta.chunks.clone();
+            }
             return BatchOutcome {
                 ready: now + decode_seconds(meta.bytes),
                 quality: meta.quality,
@@ -188,15 +219,21 @@ impl Shard {
         let mut restore_quality = 0.0f64;
         let mut kv_tokens = 0usize;
         let mut total_tokens = 0usize;
+        let mut chunk_work: Vec<PlannedChunk> = Vec::with_capacity(out.chunks.len());
         for c in &out.chunks {
             let tokens = plan.chunk(c.index).tokens;
             total_tokens += tokens;
             match c.config {
                 StreamConfig::Text => {
+                    chunk_work.push(PlannedChunk::Text { tokens });
                     quality += tokens as f64;
                     restore_quality += tokens as f64;
                 }
                 StreamConfig::Level(l) => {
+                    chunk_work.push(PlannedChunk::Decode {
+                        chunk: c.index,
+                        level: l,
+                    });
                     let base = cfg.quality_of_level(l);
                     let lost_frac = if c.bytes == 0 {
                         0.0
@@ -227,9 +264,13 @@ impl Shard {
                     CachedMeta {
                         bytes: out.bytes_sent,
                         quality,
+                        chunks: chunk_work.clone(),
                     },
                 );
             }
+        }
+        if let Some(cap) = capture {
+            *cap = chunk_work;
         }
 
         BatchOutcome {

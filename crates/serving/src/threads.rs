@@ -1,0 +1,575 @@
+//! The real OS-thread execution backend.
+//!
+//! [`ThreadBackend`] serves a trace on actual worker threads instead of
+//! the virtual clock, in two phases:
+//!
+//! 1. **Plan** — the virtual-clock oracle runs first
+//!    ([`ServingCluster::plan_run`]) and resolves every decision:
+//!    admission degrade/shed, batch composition and dispatch order, the
+//!    chunk configuration of every context load, and each loss-repair
+//!    re-fetch (with the synthetic trace id the oracle assigned it). The
+//!    oracle's [`ServingReport`] is the authoritative outcome set.
+//! 2. **Execute** — the plan replays on real threads: each shard owns a
+//!    pool of `workers_per_shard` OS threads fed by one *bounded* MPSC
+//!    queue (a full queue blocks the feeder — real backpressure), and
+//!    every chunk decode fans out to one shared [`PoolHandle`] — the
+//!    workspace's single approved `codec::pool` executor — where the
+//!    *actual* entropy decode of the stored bitstream runs. Text-fallback
+//!    chunks, prompt prefill, and re-fetch bytes have no real GPU/NIC
+//!    behind them, so they are emulated as deterministic compute
+//!    proportional to the virtual model's inputs.
+//!
+//! Because outcomes come from the plan, the two backends agree on
+//! everything but time: same dispositions, same shed/degrade decisions,
+//! same final cache state. The thread backend records the same span
+//! taxonomy (`request` roots tiled by `queue_wait` +
+//! `store_fetch`/`cache_decode` + `prefill`, re-fetches under the same
+//! synthetic ids) and publishes the same `cachegen.<crate>.<metric>`
+//! registry keys, with wall-clock durations where the oracle has virtual
+//! ones. `tests/backend_equivalence.rs` diffs exactly that.
+//!
+//! This module is one of the two sanctioned `thread::spawn`/`scope`
+//! sites in the workspace (the other is `codec::pool`); the
+//! `cachegen-analyze` no-raw-spawn rule enforces it.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use cachegen_codec::{EncodedKv, KvCodec, PoolHandle, PoolJob};
+use cachegen_kvstore::FetchedChunk;
+use cachegen_telemetry::{Clock, Recorder, SpanCtx, Stage, WallClock};
+use cachegen_workloads::ServingRequest;
+
+use crate::backend::{ExecutionBackend, PlannedBatch, PlannedChunk, PlannedRefetch, PlannedWork};
+use crate::cluster::ServingCluster;
+use crate::metrics::ServingReport;
+use crate::shard::Shard;
+
+/// One chunk-level span measured inside a pool job: slot in the batch's
+/// chunk order (so records replay deterministically sorted), stage,
+/// wall start/end, and the stage's arg value (chunk index or tokens).
+type ChunkSpan = (usize, Stage, f64, f64, f64);
+
+/// Emulated compute per prefilled or text-recomputed token, in spin-loop
+/// iterations (stands in for the GPU work the virtual model prices as
+/// `recompute_sec_per_token`).
+const SPIN_PER_TOKEN: u64 = 2_000;
+
+/// Emulated wire work per re-fetched byte, in spin-loop iterations,
+/// and the cap that keeps a large re-fetch from stalling a smoke run.
+const SPIN_PER_REFETCH_BYTE: u64 = 4;
+const REFETCH_SPIN_CAP: u64 = 400_000;
+
+/// What the execute phase measured, beyond the report.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadRunStats {
+    /// Worker threads per shard (queue consumers).
+    pub workers_per_shard: usize,
+    /// Workers in the shared decode pool.
+    pub pool_workers: usize,
+    /// Wall seconds from first feed to last batch completion.
+    pub wall_secs: f64,
+    /// Query batches executed.
+    pub batches: u64,
+    /// Pure re-fetch batches executed.
+    pub refetch_batches: u64,
+    /// Encoded chunks actually entropy-decoded on the pool.
+    pub decoded_chunks: u64,
+    /// Text-fallback chunks recomputed (emulated).
+    pub text_chunks: u64,
+    /// Decode failures, with job context (empty on a healthy run).
+    pub decode_errors: Vec<String>,
+    /// Wall TTFT per completed request, sorted by request index.
+    pub wall_ttfts: Vec<(usize, f64)>,
+}
+
+/// Real OS-thread serving engine (see the module docs for the
+/// plan/execute split).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadBackend {
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Workers in the shared chunk-decode pool.
+    pub decode_pool_workers: usize,
+    /// Bound of each shard's batch queue (feeder blocks when full).
+    pub queue_capacity: usize,
+}
+
+impl Default for ThreadBackend {
+    fn default() -> Self {
+        ThreadBackend::new(2)
+    }
+}
+
+impl ThreadBackend {
+    /// A backend with `workers` threads per shard, an equally sized
+    /// shared decode pool, and a small bounded queue per shard.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker per shard");
+        ThreadBackend {
+            workers_per_shard: workers,
+            decode_pool_workers: workers,
+            queue_capacity: 2 * workers,
+        }
+    }
+
+    /// Runs the trace and returns the oracle report plus what the
+    /// execute phase measured.
+    pub fn run_detailed(
+        &self,
+        cluster: &mut ServingCluster,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+    ) -> (ServingReport, ThreadRunStats) {
+        assert!(self.workers_per_shard >= 1, "need at least one worker");
+        assert!(self.decode_pool_workers >= 1, "need at least one decoder");
+        assert!(self.queue_capacity >= 1, "need a positive queue bound");
+
+        // Phase 1: the oracle plans (and decides) everything. The scratch
+        // recorder catches the loop's live counters (`cachegen.streamer.*`)
+        // so the wall registry can carry the oracle's full counter set.
+        let planner = Recorder::new();
+        let (report, plan) = cluster.plan_run(requests, &planner);
+
+        // Phase 2: replay the plan on real threads, measuring wall time.
+        let clock = WallClock::start();
+
+        // Shed/degrade instants replay at feed time — the decisions are
+        // the plan's, only their wall timestamps are ours.
+        for a in &plan.admissions {
+            let ctx = SpanCtx::new(a.request as u64, a.tenant as u32, a.shard as u32);
+            let arg = if a.shed { "shed" } else { "degraded" };
+            recorder.instant_for(Stage::Admission, ctx, clock.now(), vec![(arg, 1.0)]);
+        }
+
+        let shards = cluster.shards();
+        // One decode codec per (shard, level), shareable into 'static
+        // pool jobs.
+        let codecs: Vec<Vec<Arc<KvCodec>>> = shards
+            .iter()
+            .map(|sh| {
+                (0..sh.engine.num_levels())
+                    .map(|l| Arc::new(sh.engine.codec(l).clone()))
+                    .collect()
+            })
+            .collect();
+        let pool = PoolHandle::new(
+            self.decode_pool_workers,
+            self.queue_capacity.max(self.decode_pool_workers),
+        );
+        let accum = Mutex::new(Accum::default());
+
+        std::thread::scope(|s| {
+            let mut feeders = Vec::with_capacity(shards.len());
+            for (shard_id, shard) in shards.iter().enumerate() {
+                let (tx, rx) = mpsc::sync_channel::<(usize, f64)>(self.queue_capacity);
+                let rx = Arc::new(Mutex::new(rx));
+                for _ in 0..self.workers_per_shard {
+                    let rx = Arc::clone(&rx);
+                    let plan = &plan;
+                    let codecs = &codecs[shard_id];
+                    let pool = &pool;
+                    let accum = &accum;
+                    // Sanctioned spawn site: the serving thread backend.
+                    s.spawn(move || loop {
+                        // Holding the lock across `recv` just serializes
+                        // the idle waiters — they would block in `recv`
+                        // anyway.
+                        let msg = alock(&rx).recv();
+                        let Ok((batch_idx, enqueued)) = msg else {
+                            break;
+                        };
+                        execute_batch(
+                            &plan.batches[batch_idx],
+                            enqueued,
+                            shard,
+                            codecs,
+                            pool,
+                            clock,
+                            recorder,
+                            accum,
+                        );
+                    });
+                }
+                feeders.push(tx);
+            }
+            for (idx, b) in plan.batches.iter().enumerate() {
+                // A full shard queue blocks here: bounded-queue
+                // backpressure at the dispatch seam.
+                feeders[b.shard].send((idx, clock.now())).ok();
+            }
+            drop(feeders);
+        });
+        let wall_secs = clock.now();
+
+        let mut accum = accum.into_inner().unwrap_or_else(PoisonError::into_inner);
+        accum.wall_ttfts.sort_unstable_by_key(|(req, _)| *req);
+        let stats = ThreadRunStats {
+            workers_per_shard: self.workers_per_shard,
+            pool_workers: pool.workers(),
+            wall_secs,
+            batches: accum.batches,
+            refetch_batches: accum.refetch_batches,
+            decoded_chunks: accum.decoded_chunks,
+            text_chunks: accum.text_chunks,
+            decode_errors: accum.decode_errors,
+            wall_ttfts: accum.wall_ttfts,
+        };
+
+        // Same registry taxonomy as the oracle: identical counters from
+        // the shared report and link stats, wall-clock values for the
+        // duration-valued keys, plus this backend's own
+        // `cachegen.serving.threads.*` shape gauges.
+        let ttfts: Vec<f64> = stats.wall_ttfts.iter().map(|(_, t)| *t).collect();
+        let planner_registry = planner.registry_snapshot();
+        recorder.with_registry(|reg| {
+            report.fill_registry_with(reg, &ttfts, wall_secs);
+            // The streamer's counters were recorded live inside the
+            // planning loop; everything else below is recomputed here, so
+            // only that namespace is copied over.
+            for (name, value) in planner_registry.counters() {
+                if name.starts_with("cachegen.streamer.") {
+                    reg.add(name, value);
+                }
+            }
+            for shard in cluster.shards() {
+                let s = shard.link.stats();
+                reg.add("cachegen.net.transfers", s.transfers);
+                reg.add("cachegen.net.packet_batches", s.packet_batches);
+                reg.add("cachegen.net.wire_bytes", s.wire_bytes);
+                reg.add("cachegen.net.delivered_bytes", s.delivered_bytes);
+                reg.add("cachegen.net.packets_sent", s.packets_sent);
+                reg.add("cachegen.net.packets_dropped", s.packets_dropped);
+                reg.add("cachegen.net.packets_truncated", s.packets_truncated);
+            }
+            reg.gauge(
+                "cachegen.serving.threads.workers_per_shard",
+                stats.workers_per_shard as f64,
+            );
+            reg.gauge(
+                "cachegen.serving.threads.pool_workers",
+                stats.pool_workers as f64,
+            );
+            reg.add("cachegen.serving.threads.batches", stats.batches);
+            reg.add(
+                "cachegen.serving.threads.decoded_chunks",
+                stats.decoded_chunks,
+            );
+            reg.add("cachegen.serving.threads.text_chunks", stats.text_chunks);
+            reg.add(
+                "cachegen.serving.threads.decode_errors",
+                stats.decode_errors.len() as u64,
+            );
+        });
+
+        (report, stats)
+    }
+}
+
+impl ExecutionBackend for ThreadBackend {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn run(
+        &mut self,
+        cluster: &mut ServingCluster,
+        requests: &[ServingRequest],
+        recorder: &Recorder,
+    ) -> ServingReport {
+        self.run_detailed(cluster, requests, recorder).0
+    }
+}
+
+/// Mutable run accounting shared by all shard workers.
+#[derive(Default)]
+struct Accum {
+    batches: u64,
+    refetch_batches: u64,
+    decoded_chunks: u64,
+    text_chunks: u64,
+    decode_errors: Vec<String>,
+    wall_ttfts: Vec<(usize, f64)>,
+}
+
+/// Locks a mutex, treating a poisoning panic elsewhere as survivable —
+/// accounting stays valid, and the panic itself still fails the run.
+fn alock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deterministic busy-work standing in for compute the simulation prices
+/// but this host cannot run for real (GPU prefill, NIC transfer).
+fn spin(units: u64) -> u64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ units;
+    for i in 0..units {
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(i);
+        x ^= x >> 33;
+    }
+    std::hint::black_box(x)
+}
+
+/// Executes one planned batch on a shard worker thread.
+#[allow(clippy::too_many_arguments)]
+fn execute_batch(
+    batch: &PlannedBatch,
+    enqueued: f64,
+    shard: &Shard,
+    codecs: &[Arc<KvCodec>],
+    pool: &PoolHandle,
+    clock: WallClock,
+    recorder: &Recorder,
+    accum: &Mutex<Accum>,
+) {
+    let dequeued = clock.now();
+    match &batch.work {
+        PlannedWork::Query {
+            cache_hit,
+            coalesced,
+            quality,
+            chunks,
+            queries,
+            rider,
+            ..
+        } => {
+            // Fan the chunk loads out to the shared decode pool. Encoded
+            // chunks run the real entropy decode of the stored
+            // bitstream; text chunks emulate their recompute.
+            let spans: Arc<Mutex<Vec<ChunkSpan>>> =
+                Arc::new(Mutex::new(Vec::with_capacity(chunks.len())));
+            let mut jobs: Vec<PoolJob<String>> = Vec::with_capacity(chunks.len());
+            let (mut decoded, mut texts) = (0u64, 0u64);
+            for (slot, c) in chunks.iter().enumerate() {
+                match *c {
+                    PlannedChunk::Decode { chunk, level } => {
+                        let Some(FetchedChunk::Encoded(bytes)) =
+                            shard.engine.get_kv(batch.context_id, chunk, level)
+                        else {
+                            alock(accum).decode_errors.push(format!(
+                                "context {} chunk {chunk} level {level} missing from store",
+                                batch.context_id
+                            ));
+                            continue;
+                        };
+                        decoded += 1;
+                        let codec = Arc::clone(&codecs[level]);
+                        let spans = Arc::clone(&spans);
+                        jobs.push(Box::new(move || {
+                            let start = clock.now();
+                            let enc = EncodedKv::from_bytes(&bytes)
+                                .map_err(|e| format!("chunk {chunk} level {level}: {e}"))?;
+                            codec
+                                .try_decode(&enc)
+                                .map_err(|e| format!("chunk {chunk} level {level}: {e}"))?;
+                            alock(&spans).push((
+                                slot,
+                                Stage::ChunkDecode,
+                                start,
+                                clock.now(),
+                                chunk as f64,
+                            ));
+                            Ok(())
+                        }));
+                    }
+                    PlannedChunk::Text { tokens } => {
+                        texts += 1;
+                        let spans = Arc::clone(&spans);
+                        jobs.push(Box::new(move || {
+                            let start = clock.now();
+                            spin(tokens as u64 * SPIN_PER_TOKEN);
+                            alock(&spans).push((
+                                slot,
+                                Stage::TextRecompute,
+                                start,
+                                clock.now(),
+                                tokens as f64,
+                            ));
+                            Ok(())
+                        }));
+                    }
+                }
+            }
+            if let Err(e) = pool.run_batch(jobs, |shape| shape.report(recorder)) {
+                alock(accum).decode_errors.push(e.to_string());
+            }
+            let loaded = clock.now();
+
+            // Chunk spans nest under the batch lead, exactly like the
+            // oracle's streamer spans do.
+            let lead = SpanCtx::new(
+                queries[0].request as u64,
+                queries[0].tenant as u32,
+                batch.shard as u32,
+            );
+            let mut chunk_spans = std::mem::take(&mut *alock(&spans));
+            chunk_spans.sort_unstable_by_key(|s| s.0);
+            for (_, stage, start, end, arg) in chunk_spans {
+                let key = if stage == Stage::ChunkDecode {
+                    "chunk"
+                } else {
+                    "tokens"
+                };
+                recorder.record_span_for(stage, lead, start, end, vec![(key, arg)]);
+            }
+
+            // Per-query tiling: queue_wait + load + prefill under one
+            // root, same shape the oracle emits.
+            let load_stage = if *cache_hit {
+                Stage::CacheDecode
+            } else {
+                Stage::StoreFetch
+            };
+            let mut ttfts = Vec::with_capacity(queries.len());
+            for q in queries {
+                spin(q.prompt_tokens as u64 * SPIN_PER_TOKEN);
+                let finish = clock.now();
+                let ctx = SpanCtx::new(q.request as u64, q.tenant as u32, batch.shard as u32);
+                recorder.record_span_for(
+                    Stage::Request,
+                    ctx,
+                    enqueued,
+                    finish,
+                    vec![("ttft", finish - enqueued), ("quality", *quality)],
+                );
+                recorder.record_span_for(Stage::QueueWait, ctx, enqueued, dequeued, Vec::new());
+                recorder.record_span_for(
+                    load_stage,
+                    ctx,
+                    dequeued,
+                    loaded,
+                    vec![("coalesced", f64::from(u8::from(*coalesced)))],
+                );
+                recorder.record_span_for(
+                    Stage::Prefill,
+                    ctx,
+                    loaded,
+                    finish,
+                    vec![("tokens", q.prompt_tokens as f64)],
+                );
+                ttfts.push((q.request, finish - enqueued));
+            }
+            if let Some(r) = rider {
+                run_refetch(r, batch.shard, clock, recorder);
+            }
+            let mut acc = alock(accum);
+            acc.batches += 1;
+            acc.decoded_chunks += decoded;
+            acc.text_chunks += texts;
+            acc.wall_ttfts.extend(ttfts);
+            if rider.is_some() {
+                acc.refetch_batches += 1;
+            }
+        }
+        PlannedWork::Refetch(r) => {
+            run_refetch(r, batch.shard, clock, recorder);
+            alock(accum).refetch_batches += 1;
+        }
+    }
+}
+
+/// Emulates one loss-repair re-fetch and records its spans under the
+/// synthetic trace id the oracle assigned.
+fn run_refetch(r: &PlannedRefetch, shard: usize, clock: WallClock, recorder: &Recorder) {
+    let start = clock.now();
+    spin((r.bytes * SPIN_PER_REFETCH_BYTE).min(REFETCH_SPIN_CAP));
+    let end = clock.now();
+    let ctx = SpanCtx::new(r.trace_request, r.tenant as u32, shard as u32);
+    recorder.record_span_for(Stage::Request, ctx, start, end, vec![("refetch", 1.0)]);
+    recorder.record_span_for(
+        Stage::Refetch,
+        ctx,
+        start,
+        end,
+        vec![("bytes", r.bytes as f64)],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ServingConfig;
+    use cachegen::engine::EngineConfig;
+    use cachegen_llm::SimModelConfig;
+    use cachegen_net::{BandwidthTrace, Link};
+    use cachegen_workloads::{workload_rng, SharedPrefixGen};
+
+    fn cluster() -> ServingCluster {
+        let config = ServingConfig::default();
+        let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+        let links = (0..config.num_shards)
+            .map(|_| Link::new(BandwidthTrace::constant(5e6), 0.0))
+            .collect();
+        ServingCluster::build(
+            SimModelConfig::tiny(42),
+            EngineConfig::default(),
+            config,
+            &profile,
+            links,
+        )
+    }
+
+    fn workload(n: usize) -> cachegen_workloads::MultiTenantWorkload {
+        SharedPrefixGen::new(64, 6, 90).generate(&mut workload_rng(3), 4, n, 25.0)
+    }
+
+    #[test]
+    fn thread_backend_matches_oracle_outcomes() {
+        let w = workload(40);
+        let mut oracle = cluster();
+        for (id, tokens) in &w.documents {
+            oracle.store_context(*id, tokens);
+        }
+        let expected = oracle.run(&w.requests);
+
+        let mut c = cluster();
+        for (id, tokens) in &w.documents {
+            c.store_context(*id, tokens);
+        }
+        let recorder = Recorder::new_wall();
+        let (report, stats) = ThreadBackend::new(2).run_detailed(&mut c, &w.requests, &recorder);
+        assert_eq!(report.outcomes, expected.outcomes);
+        assert_eq!(report.makespan, expected.makespan);
+        assert!(stats.decode_errors.is_empty(), "{:?}", stats.decode_errors);
+        assert!(stats.wall_secs > 0.0);
+        assert!(stats.decoded_chunks > 0, "misses must decode real chunks");
+        assert_eq!(
+            stats.wall_ttfts.len(),
+            report.completed().count(),
+            "every completed request gets a wall TTFT"
+        );
+    }
+
+    #[test]
+    fn thread_backend_trace_validates_with_one_root_per_request() {
+        let w = workload(30);
+        let mut c = cluster();
+        for (id, tokens) in &w.documents {
+            c.store_context(*id, tokens);
+        }
+        let recorder = Recorder::new_wall();
+        let mut backend = ThreadBackend::new(2);
+        let report = c.run_on(&mut backend, &w.requests, &recorder);
+        let trace = cachegen_telemetry::chrome_trace_json(&recorder.spans(), &recorder.instants());
+        let summary = cachegen_telemetry::validate_chrome_trace(&trace)
+            .unwrap_or_else(|e| panic!("thread-backend trace invalid: {e}"));
+        assert_eq!(summary.requests, report.completed().count());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outcomes() {
+        let w = workload(30);
+        let run = |workers: usize| {
+            let mut c = cluster();
+            for (id, tokens) in &w.documents {
+                c.store_context(*id, tokens);
+            }
+            let recorder = Recorder::new();
+            ThreadBackend::new(workers)
+                .run_detailed(&mut c, &w.requests, &recorder)
+                .0
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.outcomes, four.outcomes);
+    }
+}

@@ -17,9 +17,12 @@
 //! `cachegen.net.wire_bytes` or `cachegen.serving.ttft_ms`.
 //!
 //! Pure std, zero dependencies, by design: the crate must never pull
-//! simulator code in (every layer depends on it) and must stay portable
-//! to a future wall-clock execution backend unchanged — only the
-//! [`Clock`] implementation swaps.
+//! simulator code in (every layer depends on it). The promise that only
+//! the [`Clock`] implementation swaps is now cashed in: the OS-thread
+//! execution backend records through the same [`Recorder`] built with
+//! [`Recorder::new_wall`] (a [`WallClock`] in the sanctioned [`wall`]
+//! module), so both backends export one span/metric taxonomy and differ
+//! only in durations.
 
 pub mod chrome;
 pub mod export;
@@ -29,6 +32,7 @@ pub mod registry;
 pub mod span;
 pub mod stats;
 pub mod validate;
+pub mod wall;
 
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use export::{metrics_snapshot, metrics_snapshot_json, workspace_root};
@@ -38,3 +42,4 @@ pub use registry::{Histogram, MetricsRegistry};
 pub use span::{Clock, InstantEvent, ManualClock, Span, SpanCtx, Stage};
 pub use stats::{mean, percentile};
 pub use validate::{validate_chrome_trace, TraceSummary};
+pub use wall::WallClock;

@@ -10,6 +10,7 @@
 
 use crate::registry::MetricsRegistry;
 use crate::span::{Clock, InstantEvent, ManualClock, Span, SpanCtx, Stage};
+use crate::wall::WallClock;
 use std::sync::Mutex;
 
 /// Mutable recorder state (span log + registry + ambient context).
@@ -21,10 +22,29 @@ struct State {
     ctx: SpanCtx,
 }
 
+/// The time source an enabled recorder stamps RAII spans with: the
+/// virtual clock the simulator advances explicitly, or real elapsed
+/// time for the OS-thread execution backend. Only the clock differs —
+/// spans, instants, and the registry behave identically, which is what
+/// makes the two backends' exports structurally comparable.
+#[derive(Debug)]
+enum ClockSource {
+    /// Simulator-advanced virtual seconds (via [`Recorder::set_time`]).
+    Manual(ManualClock),
+    /// Monotonic wall-clock seconds since the recorder was created.
+    Wall(WallClock),
+}
+
+impl Default for ClockSource {
+    fn default() -> Self {
+        ClockSource::Manual(ManualClock::default())
+    }
+}
+
 /// Backing storage of an enabled recorder.
 #[derive(Debug, Default)]
 struct RecorderInner {
-    clock: ManualClock,
+    clock: ClockSource,
     state: Mutex<State>,
 }
 
@@ -51,6 +71,20 @@ impl Recorder {
         }
     }
 
+    /// An enabled recorder stamping RAII spans with *wall-clock* seconds
+    /// since this call — the recorder the OS-thread execution backend
+    /// hands around. [`set_time`](Self::set_time) is ignored on a wall
+    /// recorder: real time cannot be rewound, and a backend that tried
+    /// would silently corrupt span containment.
+    pub fn new_wall() -> Self {
+        Recorder {
+            inner: Some(RecorderInner {
+                clock: ClockSource::Wall(WallClock::start()),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
     /// The disabled recorder (`const`, so it can back the [`NOOP`] static).
     pub const fn disabled() -> Self {
         Recorder { inner: None }
@@ -61,17 +95,37 @@ impl Recorder {
         self.inner.is_some()
     }
 
-    /// Advances the injected clock to virtual time `t` seconds.
+    /// Whether this recorder stamps wall-clock time (false for the
+    /// virtual clock and for the disabled recorder).
+    pub fn is_wall(&self) -> bool {
+        matches!(
+            &self.inner,
+            Some(RecorderInner {
+                clock: ClockSource::Wall(_),
+                ..
+            })
+        )
+    }
+
+    /// Advances the injected clock to virtual time `t` seconds. A no-op
+    /// on a wall-clock recorder (real time is not settable).
     pub fn set_time(&self, t: f64) {
-        if let Some(inner) = &self.inner {
-            inner.clock.set(t);
+        if let Some(RecorderInner {
+            clock: ClockSource::Manual(clock),
+            ..
+        }) = &self.inner
+        {
+            clock.set(t);
         }
     }
 
-    /// Current virtual time (0.0 when disabled).
+    /// Current time on the injected clock (0.0 when disabled).
     pub fn now(&self) -> f64 {
         match &self.inner {
-            Some(inner) => inner.clock.now(),
+            Some(inner) => match &inner.clock {
+                ClockSource::Manual(clock) => clock.now(),
+                ClockSource::Wall(clock) => clock.now(),
+            },
             None => 0.0,
         }
     }
@@ -309,6 +363,25 @@ mod tests {
         r.instant(Stage::FecRecovery, 1.5, Vec::new());
         assert_eq!(r.spans()[0].ctx, ctx);
         assert_eq!(r.instants()[0].ctx, ctx);
+    }
+
+    #[test]
+    fn wall_recorder_ignores_set_time_and_moves_forward() {
+        let r = Recorder::new_wall();
+        assert!(r.is_enabled() && r.is_wall());
+        assert!(!Recorder::new().is_wall());
+        assert!(!NOOP.is_wall());
+        let before = r.now();
+        r.set_time(1_000.0); // must be a no-op on real time
+        let after = r.now();
+        assert!(before >= 0.0 && after >= before);
+        assert!(after < 100.0, "set_time must not jump a wall clock");
+        // The RAII span API stamps non-decreasing wall times.
+        let ctx = SpanCtx::new(1, 0, 0);
+        drop(r.span(Stage::Prefill, ctx));
+        let spans = r.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].end >= spans[0].start);
     }
 
     #[test]

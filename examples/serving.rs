@@ -18,16 +18,24 @@
 //! byte-identical across same-seed runs.
 //!
 //! Run with: `cargo run --release --example serving`
+//!
+//! With `--backend threads [--cores N]` the identical workload instead
+//! runs on the real OS-thread execution backend: the virtual-clock
+//! oracle plans the run, then real per-shard workers replay it (chunk
+//! decodes on the shared codec pool), sweeping 1→N workers per shard.
+//! Outcomes are asserted identical to the oracle's; the sweep's
+//! wall-clock throughput lands in `BENCH_serving_threads.json` and the
+//! final run's trace in `serving_trace_threads.json`.
 
 use cachegen::qoe::QoeModel;
 use cachegen::EngineConfig;
 use cachegen_llm::SimModelConfig;
 use cachegen_net::{BandwidthTrace, Link};
-use cachegen_serving::{ServingCluster, ServingConfig, ServingReport};
+use cachegen_serving::{ServingCluster, ServingConfig, ServingReport, ThreadBackend};
 use cachegen_streamer::AdaptPolicy;
 use cachegen_telemetry::{
-    chrome_trace_json, metrics_snapshot_json, validate_chrome_trace, workspace_root, Recorder,
-    Stage, NOOP,
+    chrome_trace_json, metrics_snapshot_json, validate_chrome_trace, workspace_root, JsonValue,
+    Recorder, Stage, NOOP,
 };
 use cachegen_workloads::{workload_rng, MultiTenantWorkload, SharedPrefixGen};
 
@@ -53,11 +61,7 @@ fn run(policy: AdaptPolicy, workload: &MultiTenantWorkload) -> ServingReport {
     run_traced(policy, workload, &NOOP)
 }
 
-fn run_traced(
-    policy: AdaptPolicy,
-    workload: &MultiTenantWorkload,
-    recorder: &Recorder,
-) -> ServingReport {
+fn build_cluster(policy: AdaptPolicy, workload: &MultiTenantWorkload) -> ServingCluster {
     let cfg = config(policy);
     let links = (0..SHARDS)
         .map(|_| Link::new(BandwidthTrace::constant(5e6), 0.0))
@@ -73,7 +77,15 @@ fn run_traced(
     for (id, tokens) in &workload.documents {
         cluster.store_context(*id, tokens);
     }
-    cluster.run_traced(&workload.requests, recorder)
+    cluster
+}
+
+fn run_traced(
+    policy: AdaptPolicy,
+    workload: &MultiTenantWorkload,
+    recorder: &Recorder,
+) -> ServingReport {
+    build_cluster(policy, workload).run_traced(&workload.requests, recorder)
 }
 
 fn summarize(name: &str, report: &ServingReport) {
@@ -118,16 +130,22 @@ fn summarize(name: &str, report: &ServingReport) {
 }
 
 fn main() {
+    let (backend, cores) = parse_args();
     let gen = SharedPrefixGen::new(64, 8, 120);
     let workload = gen.generate(&mut workload_rng(SEED), TENANTS, REQUESTS, RATE_HZ);
     println!(
-        "{} requests, {} tenants, {} shared documents, {} shards, ~{:.0} req/s\n",
+        "{} requests, {} tenants, {} shared documents, {} shards, ~{:.0} req/s, backend {}\n",
         REQUESTS,
         TENANTS,
         workload.documents.len(),
         SHARDS,
-        RATE_HZ
+        RATE_HZ,
+        backend,
     );
+    if backend == "threads" {
+        run_threads_demo(&workload, cores);
+        return;
+    }
 
     let cachegen = run(AdaptPolicy::Adaptive, &workload);
     summarize("CacheGen (KV streaming + cache + batching)", &cachegen);
@@ -215,4 +233,136 @@ fn main() {
         trace_path.display(),
         bench_path.display(),
     );
+}
+
+/// `--backend virtual|threads` and `--cores N` (threads only; defaults
+/// to this host's available parallelism).
+fn parse_args() -> (String, usize) {
+    let mut backend = "virtual".to_string();
+    let mut cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--backend" => {
+                backend = value(i).clone();
+                assert!(
+                    backend == "virtual" || backend == "threads",
+                    "unknown backend `{backend}` (virtual|threads)"
+                );
+                i += 2;
+            }
+            "--cores" => {
+                cores = value(i).parse().unwrap_or_else(|e| panic!("--cores: {e}"));
+                assert!(cores >= 1, "--cores must be >= 1");
+                i += 2;
+            }
+            other => panic!("unknown argument `{other}` (--backend, --cores)"),
+        }
+    }
+    (backend, cores)
+}
+
+/// The thread-backend path: oracle reference first, then a 1→`cores`
+/// workers-per-shard wall-clock sweep over the identical workload, with
+/// outcome equality asserted at every point. Artifacts:
+/// `BENCH_serving_threads.json` (the sweep) and
+/// `serving_trace_threads.json` (the final run's wall-clock trace).
+fn run_threads_demo(workload: &MultiTenantWorkload, cores: usize) {
+    let oracle = run(AdaptPolicy::Adaptive, workload);
+    println!(
+        "virtual oracle: {} completed, makespan {:.2}s (virtual), p50 {:.0} ms",
+        oracle.completed().count(),
+        oracle.makespan,
+        oracle.ttft_percentile(None, 50.0).unwrap_or(f64::NAN) * 1e3,
+    );
+
+    let mut sweep = Vec::new();
+    let mut final_artifacts = None;
+    println!(
+        "\n  {:>7} {:>10} {:>12} {:>14}",
+        "workers", "wall", "req/s", "chunks decoded"
+    );
+    for workers in 1..=cores {
+        // A fresh cluster per point: every sweep entry replays the same
+        // cold-start plan, so wall clocks are comparable.
+        let mut cluster = build_cluster(AdaptPolicy::Adaptive, workload);
+        let recorder = Recorder::new_wall();
+        let (report, stats) =
+            ThreadBackend::new(workers).run_detailed(&mut cluster, &workload.requests, &recorder);
+        assert_eq!(
+            report.outcomes, oracle.outcomes,
+            "thread backend ({workers} workers) diverged from the oracle"
+        );
+        assert!(
+            stats.decode_errors.is_empty(),
+            "decode errors: {:?}",
+            stats.decode_errors
+        );
+        let completed = report.completed().count();
+        let rps = completed as f64 / stats.wall_secs.max(1e-9);
+        println!(
+            "  {:>7} {:>9.3}s {:>12.0} {:>14}",
+            workers, stats.wall_secs, rps, stats.decoded_chunks
+        );
+        sweep.push(JsonValue::Object(vec![
+            ("workers".to_string(), JsonValue::Number(workers as f64)),
+            ("wall_secs".to_string(), JsonValue::Number(stats.wall_secs)),
+            ("requests_per_sec".to_string(), JsonValue::Number(rps)),
+            (
+                "decoded_chunks".to_string(),
+                JsonValue::Number(stats.decoded_chunks as f64),
+            ),
+            (
+                "pool_workers".to_string(),
+                JsonValue::Number(stats.pool_workers as f64),
+            ),
+        ]));
+        final_artifacts = Some((recorder, report));
+    }
+    let (recorder, report) = final_artifacts.expect("cores >= 1, so the sweep ran at least once");
+
+    // The wall-clock trace carries the same taxonomy as the oracle's and
+    // must satisfy the same structural contract.
+    let trace = chrome_trace_json(&recorder.spans(), &recorder.instants());
+    let summary = validate_chrome_trace(&trace).expect("thread-backend trace must validate");
+    let metrics = metrics_snapshot_json(&recorder.registry_snapshot());
+
+    let root = workspace_root();
+    let trace_path = root.join("serving_trace_threads.json");
+    std::fs::write(&trace_path, &trace).expect("write serving_trace_threads.json");
+    let doc = JsonValue::Object(vec![
+        (
+            "bench".to_string(),
+            JsonValue::String("serving_threads".to_string()),
+        ),
+        ("cores".to_string(), JsonValue::Number(cores as f64)),
+        ("requests".to_string(), JsonValue::Number(REQUESTS as f64)),
+        (
+            "completed".to_string(),
+            JsonValue::Number(report.completed().count() as f64),
+        ),
+        (
+            "virtual_makespan_s".to_string(),
+            JsonValue::Number(oracle.makespan),
+        ),
+        ("sweep".to_string(), JsonValue::Array(sweep)),
+    ]);
+    let bench_path = root.join("BENCH_serving_threads.json");
+    let mut text = doc.to_compact();
+    text.push('\n');
+    std::fs::write(&bench_path, text).expect("write BENCH_serving_threads.json");
+    println!(
+        "\noutcomes identical to the oracle at every sweep point; \
+         {} spans, {} request roots — wrote {} and {}",
+        summary.spans,
+        summary.requests,
+        trace_path.display(),
+        bench_path.display(),
+    );
+    println!("{}", metrics);
 }

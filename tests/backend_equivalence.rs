@@ -1,0 +1,305 @@
+//! Backend-equivalence suite: the virtual-clock discrete-event loop is
+//! the oracle, and every other execution backend must agree with it on
+//! everything except wall-clock durations.
+//!
+//! Three layers of pinning:
+//!
+//! 1. **Golden digests** — FNV-1a hashes of the traced virtual run's
+//!    Chrome-trace and metrics exports, captured on the pre-refactor
+//!    tree. The `ExecutionBackend` split must keep the oracle
+//!    byte-identical; if a digest moves, the refactor changed observable
+//!    behavior and the constant must only be re-baselined with a written
+//!    reason.
+//! 2. **Proptest over seeds** — `VirtualClockBackend` (the trait route)
+//!    and `ServingCluster::run_traced` (the direct route) must produce
+//!    byte-identical exports for arbitrary seeds, and replays of either
+//!    must be byte-identical to themselves.
+//! 3. **Cross-backend invariants** — the thread backend must reproduce
+//!    the oracle's request outcomes, shed/degrade decisions, final cache
+//!    state, and per-request span-tree shapes; only durations differ.
+
+use std::collections::BTreeMap;
+
+use cachegen::{EngineConfig, RepairPolicy};
+use cachegen_llm::SimModelConfig;
+use cachegen_net::{BandwidthTrace, Link, PacketFaults};
+use cachegen_serving::{
+    ServingCluster, ServingConfig, ServingReport, ThreadBackend, VirtualClockBackend,
+};
+use cachegen_telemetry::{
+    chrome_trace_json, metrics_snapshot_json, validate_chrome_trace, Recorder, Stage,
+};
+use cachegen_workloads::{workload_rng, MultiTenantWorkload, SharedPrefixGen};
+use proptest::prelude::*;
+
+/// FNV-1a, the digest the telemetry goldens are pinned with (no deps,
+/// stable across platforms for identical bytes).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn clean_config() -> ServingConfig {
+    ServingConfig::default()
+}
+
+fn lossy_config() -> ServingConfig {
+    ServingConfig {
+        repair: RepairPolicy::Refetch,
+        retransmit_budget: 0,
+        ..ServingConfig::default()
+    }
+}
+
+/// A cluster with one constant-bandwidth link per shard; `loss` adds the
+/// seeded per-shard packet faults the lossy scenarios use.
+fn build_cluster(config: &ServingConfig, bandwidth_bps: f64, loss: Option<f64>) -> ServingCluster {
+    let profile: Vec<Vec<usize>> = vec![(0..60).map(|i| (i * 7) % 64).collect()];
+    let links = (0..config.num_shards)
+        .map(|s| {
+            let link = Link::new(BandwidthTrace::constant(bandwidth_bps), 0.0);
+            match loss {
+                Some(p) => link.with_packet_faults(PacketFaults::loss(p), 100 + s as u64),
+                None => link,
+            }
+        })
+        .collect();
+    ServingCluster::build(
+        SimModelConfig::tiny(42),
+        EngineConfig::default(),
+        config.clone(),
+        &profile,
+        links,
+    )
+}
+
+fn workload(seed: u64, tenants: usize, n: usize, rate_hz: f64) -> MultiTenantWorkload {
+    SharedPrefixGen::new(64, 6, 90).generate(&mut workload_rng(seed), tenants, n, rate_hz)
+}
+
+/// One traced virtual run from a cold cluster: returns the report plus
+/// the two byte-deterministic exports.
+fn traced_virtual_run(
+    config: &ServingConfig,
+    bandwidth_bps: f64,
+    loss: Option<f64>,
+    seed: u64,
+    n: usize,
+    rate_hz: f64,
+) -> (ServingReport, String, String) {
+    let mut cluster = build_cluster(config, bandwidth_bps, loss);
+    let wl = workload(seed, config.num_tenants, n, rate_hz);
+    for (id, tokens) in &wl.documents {
+        cluster.store_context(*id, tokens);
+    }
+    let recorder = Recorder::new();
+    let report = cluster.run_traced(&wl.requests, &recorder);
+    let trace = chrome_trace_json(&recorder.spans(), &recorder.instants());
+    let metrics = metrics_snapshot_json(&recorder.registry_snapshot());
+    (report, trace, metrics)
+}
+
+/// (label, seed, trace digest, metrics digest), captured from the
+/// pre-`ExecutionBackend` tree (commit b287965's behavior).
+const GOLDEN: &[(&str, u64, u64, u64)] = &[
+    ("clean", 1, 0xa0fe49b6cc2399bf, 0x085e8d4ccc5f7c80),
+    ("clean", 7, 0xa42c6f3e4e3b70db, 0x0915c67d87c07215),
+    ("clean", 11, 0x84ac42c48eaf8670, 0x3e6ce2ab00778176),
+    ("lossy", 11, 0xd6c8ec2ef36a9487, 0xd94b348fbc1054a8),
+];
+
+fn scenario(label: &str, seed: u64) -> (ServingReport, String, String) {
+    match label {
+        "clean" => traced_virtual_run(&clean_config(), 5e6, None, seed, 80, 30.0),
+        "lossy" => traced_virtual_run(&lossy_config(), 5e6, Some(0.25), seed, 80, 10.0),
+        other => panic!("unknown golden scenario {other}"),
+    }
+}
+
+#[test]
+fn virtual_backend_matches_pre_refactor_goldens() {
+    let mut actual = Vec::new();
+    let mut ok = true;
+    for &(label, seed, want_trace, want_metrics) in GOLDEN {
+        let (_, trace, metrics) = scenario(label, seed);
+        let (got_trace, got_metrics) = (fnv1a(trace.as_bytes()), fnv1a(metrics.as_bytes()));
+        actual.push(format!(
+            "    (\"{label}\", {seed}, 0x{got_trace:016x}, 0x{got_metrics:016x}),"
+        ));
+        ok &= got_trace == want_trace && got_metrics == want_metrics;
+    }
+    assert!(
+        ok,
+        "virtual-clock exports diverged from the pre-refactor goldens; \
+         actual digests:\n{}",
+        actual.join("\n")
+    );
+}
+
+/// The same traced run through the `ExecutionBackend` trait object
+/// instead of `run_traced` directly — both routes must be one code path.
+fn traced_via_trait(
+    config: &ServingConfig,
+    bandwidth_bps: f64,
+    loss: Option<f64>,
+    seed: u64,
+    n: usize,
+    rate_hz: f64,
+) -> (ServingReport, String, String) {
+    let mut cluster = build_cluster(config, bandwidth_bps, loss);
+    let wl = workload(seed, config.num_tenants, n, rate_hz);
+    for (id, tokens) in &wl.documents {
+        cluster.store_context(*id, tokens);
+    }
+    let recorder = Recorder::new();
+    let report = cluster.run_on(&mut VirtualClockBackend, &wl.requests, &recorder);
+    let trace = chrome_trace_json(&recorder.spans(), &recorder.instants());
+    let metrics = metrics_snapshot_json(&recorder.registry_snapshot());
+    (report, trace, metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Layer 2: for arbitrary seeds the virtual oracle is byte-identical
+    /// to its own replay, and the trait route (`run_on` +
+    /// `VirtualClockBackend`) is byte-identical to the direct route.
+    #[test]
+    fn virtual_backend_replay_and_trait_route_are_byte_identical(
+        seed in 0u64..10_000,
+        lossy_coin in 0u8..2,
+    ) {
+        let lossy = lossy_coin == 1;
+        let label = if lossy { "lossy" } else { "clean" };
+        let (r1, t1, m1) = scenario(label, seed);
+        let (r2, t2, m2) = scenario(label, seed);
+        prop_assert_eq!(&r1.outcomes, &r2.outcomes, "replay outcomes ({label})");
+        prop_assert_eq!(&t1, &t2, "replay trace bytes ({label})");
+        prop_assert_eq!(&m1, &m2, "replay metrics bytes ({label})");
+
+        let (r3, t3, m3) = if lossy {
+            traced_via_trait(&lossy_config(), 5e6, Some(0.25), seed, 80, 10.0)
+        } else {
+            traced_via_trait(&clean_config(), 5e6, None, seed, 80, 30.0)
+        };
+        prop_assert_eq!(&r1.outcomes, &r3.outcomes, "trait-route outcomes ({label})");
+        prop_assert_eq!(&t1, &t3, "trait-route trace bytes ({label})");
+        prop_assert_eq!(&m1, &m3, "trait-route metrics bytes ({label})");
+    }
+}
+
+/// Per-request multiset of the shared tiling stages — the span-tree
+/// shape both backends must emit identically even though the thread
+/// backend's durations are wall-clock.
+fn tiling_shape(spans: &[cachegen_telemetry::Span]) -> BTreeMap<u64, BTreeMap<Stage, usize>> {
+    const TILING: [Stage; 5] = [
+        Stage::Request,
+        Stage::QueueWait,
+        Stage::StoreFetch,
+        Stage::CacheDecode,
+        Stage::Prefill,
+    ];
+    let mut shape: BTreeMap<u64, BTreeMap<Stage, usize>> = BTreeMap::new();
+    for span in spans {
+        if TILING.contains(&span.stage) {
+            *shape
+                .entry(span.ctx.request)
+                .or_default()
+                .entry(span.stage)
+                .or_insert(0) += 1;
+        }
+    }
+    shape
+}
+
+/// Layer 3: the OS-thread backend replays the clean scenario and must
+/// agree with the oracle on every request outcome, every counter, the
+/// final per-shard cache bytes, and the per-request tiling span shape.
+/// Its registry must also carry every key the oracle publishes; only
+/// durations (and duration-derived gauges/histograms) may differ.
+#[test]
+fn thread_backend_agrees_with_the_oracle_on_everything_but_time() {
+    let config = clean_config();
+    let wl = workload(3, config.num_tenants, 80, 30.0);
+
+    let mut virtual_cluster = build_cluster(&config, 5e6, None);
+    for (id, tokens) in &wl.documents {
+        virtual_cluster.store_context(*id, tokens);
+    }
+    let virtual_recorder = Recorder::new();
+    let oracle = virtual_cluster.run_traced(&wl.requests, &virtual_recorder);
+
+    let mut thread_cluster = build_cluster(&config, 5e6, None);
+    for (id, tokens) in &wl.documents {
+        thread_cluster.store_context(*id, tokens);
+    }
+    let thread_recorder = Recorder::new_wall();
+    let (report, stats) =
+        ThreadBackend::new(2).run_detailed(&mut thread_cluster, &wl.requests, &thread_recorder);
+    assert!(
+        stats.decode_errors.is_empty(),
+        "decode errors: {:?}",
+        stats.decode_errors
+    );
+
+    // Request outcomes — dispositions, TTFTs, quality — are the plan's,
+    // so they match the oracle field-for-field.
+    assert_eq!(report.outcomes, oracle.outcomes);
+    assert_eq!(report.makespan, oracle.makespan);
+    assert_eq!(report.shed_count(), oracle.shed_count());
+    assert_eq!(report.degraded_count(), oracle.degraded_count());
+
+    // Final cache state is identical shard by shard.
+    let virtual_cache: Vec<u64> = virtual_cluster
+        .shards()
+        .iter()
+        .map(|s| s.cached_bytes())
+        .collect();
+    let thread_cache: Vec<u64> = thread_cluster
+        .shards()
+        .iter()
+        .map(|s| s.cached_bytes())
+        .collect();
+    assert_eq!(virtual_cache, thread_cache);
+    assert!(
+        virtual_cache.iter().sum::<u64>() > 0,
+        "scenario never cached"
+    );
+
+    // Every oracle counter appears in the thread registry with the same
+    // value, and every oracle gauge key exists there (values like
+    // makespan are wall-clock on the thread side, so only keys match).
+    let virtual_registry = virtual_recorder.registry_snapshot();
+    let thread_registry = thread_recorder.registry_snapshot();
+    for (name, value) in virtual_registry.counters() {
+        assert_eq!(
+            thread_registry.counter(name),
+            Some(value),
+            "counter {name} diverged"
+        );
+    }
+    for (name, _) in virtual_registry.gauges() {
+        assert!(
+            thread_registry.gauge_value(name).is_some(),
+            "gauge {name} missing from the thread registry"
+        );
+    }
+
+    // Both traces satisfy the structural contract and tile each request
+    // with the same stage multiset.
+    let virtual_trace = chrome_trace_json(&virtual_recorder.spans(), &virtual_recorder.instants());
+    let thread_trace = chrome_trace_json(&thread_recorder.spans(), &thread_recorder.instants());
+    let virtual_summary =
+        validate_chrome_trace(&virtual_trace).expect("virtual trace must validate");
+    let thread_summary = validate_chrome_trace(&thread_trace).expect("thread trace must validate");
+    assert_eq!(virtual_summary.requests, thread_summary.requests);
+    assert_eq!(
+        tiling_shape(&virtual_recorder.spans()),
+        tiling_shape(&thread_recorder.spans()),
+        "per-request tiling span shapes diverged"
+    );
+}
