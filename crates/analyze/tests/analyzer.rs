@@ -159,6 +159,18 @@ fn unwrap_budget_counts_library_sites_only() {
 }
 
 #[test]
+fn rans_module_faces_the_full_determinism_gate() {
+    // The wire-v3 rANS hot path (`crates/codec/src/rans.rs`) is ordinary
+    // budget scope — no executor or wall-clock exemption applies, and its
+    // library unwraps draw from the same codec budget as every other
+    // codec module.
+    let src = fixture("bad_rans_decode.rs");
+    let report = analyze_source("crates/codec/src/rans.rs", &src);
+    assert_eq!(lines_of(&report, "no-wall-clock"), vec![5]);
+    assert_eq!(report.unwrap_lines, vec![10]);
+}
+
+#[test]
 fn allow_attributes_need_a_written_reason() {
     let src = fixture("bad_allow_attr.rs");
     let report = analyze_source("crates/core/src/fx.rs", &src);

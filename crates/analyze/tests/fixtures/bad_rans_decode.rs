@@ -1,0 +1,12 @@
+//! Known-bad fixture shaped like the wire-v3 rANS hot path: a wall-clock
+//! read timing the decode loop and a library unwrap on the stream buffer.
+
+pub fn decode_timed(words: &[u32]) -> (u64, u32) {
+    let start = std::time::Instant::now(); // line 5: flagged
+    let mut x = 0u32;
+    for &w in words {
+        x ^= w;
+    }
+    let first = words.first().copied().unwrap(); // line 10: counted
+    (start.elapsed().as_nanos() as u64, x ^ first)
+}

@@ -1,11 +1,13 @@
 //! Criterion benches: codec encode/decode throughput and the entropy
 //! coders' raw symbol rates (the §7.5 decoding-overhead microbenchmarks).
 //!
-//! The `entropy_coding` group pits the byte-renormalizing range coder
-//! (`cachegen_codec::rc`, the hot path) against the legacy bit-at-a-time
-//! WNC coder (`cachegen_codec::ac`, compatibility shim) on identical
-//! symbol streams — the `wnc_*` rows are the pre-chunking baseline, so the
-//! range coder's ≥3× decode win is directly readable from the output. The
+//! The `entropy_coding` group pits the 4-lane interleaved rANS coder
+//! (`cachegen_codec::rans`, the wire-v3 hot path) against the serial
+//! byte-renormalizing range coder (`cachegen_codec::rc`, wire v2) and the
+//! legacy bit-at-a-time WNC coder (`cachegen_codec::ac`, compatibility
+//! shim) on identical symbol streams — the `wnc_*` rows are the
+//! pre-chunking baseline, the `range_*` rows the v2 baseline the rANS
+//! ≥2× decode win is measured against. The
 //! `kv_codec` group exercises the end-to-end path, where `decode_parallel`
 //! fans out per (layer, token-group) chunk: with 200 tokens at group size
 //! 10 there are 20 groups per layer, so the work-item count (2 × layers ×
@@ -16,6 +18,7 @@
 //! end-to-end codec times in ms, and the parallel decoder's pool shape
 //! from one traced run) so CI can archive the perf trajectory.
 
+use cachegen_codec::rans::{self, AliasTable};
 use cachegen_codec::symbol_model::FreqTable;
 use cachegen_codec::{ac, rc};
 use cachegen_codec::{CodecConfig, CodecProfile, KvCodec};
@@ -56,6 +59,34 @@ fn bench_entropy_coders(c: &mut Criterion) {
             acc
         })
     });
+    // Interleaved-rANS rows: the wire-v3 coder, measured on the same
+    // stream with the round-robin lane schedule the codec uses
+    // (lane = position % LANES).
+    let alias = AliasTable::from_freq(&table);
+    let mut rans_enc = rans::Encoder::new();
+    for (i, &s) in symbols.iter().enumerate() {
+        rans_enc.encode(i % rans::LANES, &alias, s);
+    }
+    let rans_bytes = rans_enc.finish();
+    g.bench_function("rans_encode_100k_symbols", |b| {
+        b.iter(|| {
+            let mut enc = rans::Encoder::new();
+            for (i, &s) in symbols.iter().enumerate() {
+                enc.encode(i % rans::LANES, &alias, s);
+            }
+            enc.finish()
+        })
+    });
+    g.bench_function("rans_decode_100k_symbols", |b| {
+        b.iter(|| {
+            let mut dec = rans::Decoder::new(&rans_bytes);
+            let mut acc = 0usize;
+            for i in 0..symbols.len() {
+                acc ^= dec.decode(i % rans::LANES, &alias);
+            }
+            acc
+        })
+    });
     // Legacy WNC rows: the pre-chunking baseline the ≥3× win is measured
     // against.
     g.bench_function("wnc_encode_100k_symbols", |b| {
@@ -88,11 +119,15 @@ fn bench_kv_codec(c: &mut Criterion) {
     let profile = CodecProfile::build(&cfg, &[&cache]);
     let codec = KvCodec::new(cfg, profile);
     let enc = codec.encode(&cache);
+    let enc_v2 = codec.encode_v2(&cache);
 
     let mut g = c.benchmark_group("kv_codec");
     g.throughput(Throughput::Elements(cache.num_elements() as u64));
     g.bench_function("encode", |b| b.iter(|| codec.encode(&cache)));
     g.bench_function("decode_serial", |b| b.iter(|| codec.decode(&enc)));
+    // Wire-v2 (serial range coder) baseline: the same cache through the
+    // compatibility encoder, so the v3 speedup is readable from one run.
+    g.bench_function("decode_serial_v2", |b| b.iter(|| codec.decode(&enc_v2)));
     g.bench_function("decode_parallel", |b| {
         b.iter(|| codec.decode_parallel(&enc))
     });
@@ -164,6 +199,18 @@ fn main() {
             melem("entropy_coding/range_encode_100k_symbols"),
         ),
         (
+            "rans_decode_melem_per_s".to_string(),
+            melem("entropy_coding/rans_decode_100k_symbols"),
+        ),
+        (
+            "rans_encode_melem_per_s".to_string(),
+            melem("entropy_coding/rans_encode_100k_symbols"),
+        ),
+        (
+            "rans_lanes".to_string(),
+            JsonValue::Number(rans::LANES as f64),
+        ),
+        (
             "wnc_decode_melem_per_s".to_string(),
             melem("entropy_coding/wnc_decode_100k_symbols"),
         ),
@@ -171,6 +218,10 @@ fn main() {
         (
             "kv_decode_serial_ms".to_string(),
             ms("kv_codec/decode_serial"),
+        ),
+        (
+            "kv_decode_serial_v2_ms".to_string(),
+            ms("kv_codec/decode_serial_v2"),
         ),
         (
             "kv_decode_parallel_ms".to_string(),

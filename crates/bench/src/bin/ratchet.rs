@@ -1,0 +1,80 @@
+//! Perf ratchet over `BENCH_codec.json`: fails CI when the interleaved
+//! rANS decoder stops clearing the required multiple of the serial range
+//! coder's raw symbol rate.
+//!
+//! ```text
+//! cargo run -p cachegen-bench --release --bin ratchet -- --min-rans-over-range 2.0
+//! ```
+//!
+//! The factor is pinned in the workflow (not here) so loosening the
+//! ratchet is a visible CI-config change, not a silent code edit.
+
+use cachegen_telemetry::{json, workspace_root, JsonValue};
+
+fn field(doc: &JsonValue, key: &str) -> f64 {
+    match doc.get(key).and_then(JsonValue::as_f64) {
+        Some(v) if v.is_finite() && v > 0.0 => v,
+        _ => {
+            eprintln!("ratchet: BENCH_codec.json is missing a positive numeric '{key}'");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_factor = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--min-rans-over-range" => {
+                min_factor = args.get(i + 1).and_then(|v| v.parse::<f64>().ok());
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: ratchet --min-rans-over-range <factor>");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("ratchet: unknown argument '{other}'");
+                std::process::exit(1);
+            }
+        }
+    }
+    let Some(min_factor) = min_factor else {
+        eprintln!("usage: ratchet --min-rans-over-range <factor>");
+        std::process::exit(1);
+    };
+
+    let path = workspace_root().join("BENCH_codec.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ratchet: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ratchet: {} is not valid JSON: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+
+    let rans = field(&doc, "rans_decode_melem_per_s");
+    let range = field(&doc, "range_decode_melem_per_s");
+    let factor = rans / range;
+    println!(
+        "ratchet: rans_decode {rans:.2} Melem/s / range_decode {range:.2} Melem/s \
+         = {factor:.2}x (required >= {min_factor:.2}x)"
+    );
+    if factor < min_factor {
+        eprintln!(
+            "ratchet: FAIL — rans decode is only {factor:.2}x the range coder, \
+             below the pinned {min_factor:.2}x floor"
+        );
+        std::process::exit(1);
+    }
+    println!("ratchet: OK");
+}

@@ -21,7 +21,8 @@
 
 use crate::delta::GroupLayout;
 use crate::profile::CodecProfile;
-use crate::rc::{Decoder, Encoder};
+use crate::rans::{self, AliasTable};
+use crate::rc;
 use crate::symbol_model::{FreqTable, ModelGranularity};
 use crate::{index_to_symbol, symbol_to_index};
 use cachegen_llm::KvCache;
@@ -115,6 +116,18 @@ pub enum CodecError {
         /// Bytes the chunk frame declared.
         framed: usize,
     },
+    /// A wire-v3 chunk decoded its full symbol count with a matching
+    /// length, but its interleaved coder lanes did not return to the
+    /// rANS normalization base — the payload bytes were corrupted in
+    /// place rather than truncated.
+    CorruptChunk {
+        /// K-side (true) or V-side chunk.
+        is_k: bool,
+        /// Transformer layer of the chunk.
+        layer: usize,
+        /// Token-group index of the chunk.
+        group: usize,
+    },
     /// The container's shape is inconsistent with its declared geometry
     /// (chunk table vs. layers/tokens/group size, or scale table vs.
     /// layers/channels).
@@ -146,6 +159,11 @@ impl fmt::Display for CodecError {
                 "{} chunk (layer {layer}, group {group}) length mismatch: consumed {consumed} of {framed} framed bytes",
                 side(is_k)
             ),
+            CodecError::CorruptChunk { is_k, layer, group } => write!(
+                f,
+                "{} chunk (layer {layer}, group {group}) corrupt: coder lanes did not return to the normalization base",
+                side(is_k)
+            ),
             CodecError::Geometry(msg) => write!(f, "inconsistent container geometry: {msg}"),
         }
     }
@@ -168,6 +186,11 @@ pub struct EncodedKv {
     pub group_size: usize,
     /// Whether delta encoding was applied.
     pub delta_encoding: bool,
+    /// Entropy-coder wire version of the chunk payloads: `2` = serial
+    /// range coder ([`crate::rc`]), `3` = four-lane interleaved rANS
+    /// ([`crate::rans`]). The container accepts both on decode for one
+    /// release; [`KvCodec::encode`] emits only 3.
+    pub entropy_version: u8,
     /// Per-(layer, group) K chunks: `k_chunks[layer][group]` is one
     /// independently decodable range-coded stream.
     pub k_chunks: Vec<Vec<Vec<u8>>>,
@@ -236,7 +259,10 @@ impl EncodedKv {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.total_bytes() as usize);
         out.extend_from_slice(b"CGKV");
-        out.push(2); // version 2: per-(layer, group) chunked streams
+        // Version byte doubles as the entropy-coder selector: 2 = serial
+        // range coder, 3 = four-lane interleaved rANS. Both are
+        // per-(layer, group) chunked containers with identical framing.
+        out.push(self.entropy_version);
         out.push(self.delta_encoding as u8);
         out.extend_from_slice(&(self.layers as u16).to_le_bytes());
         out.extend_from_slice(&(self.tokens as u32).to_le_bytes());
@@ -275,7 +301,9 @@ impl EncodedKv {
             return Err("bad magic".into());
         }
         let version = take(&mut pos, 1)?[0];
-        if version != 2 {
+        // v2 (range coder) stays decodable for one release alongside v3
+        // (rANS); v1's monolithic streams are long gone.
+        if version != 2 && version != 3 {
             return Err(format!("unsupported version {version}"));
         }
         // Fixed-width header fields, parsed without unwraps: `take_n`
@@ -332,6 +360,7 @@ impl EncodedKv {
             channels,
             group_size,
             delta_encoding,
+            entropy_version: version,
             k_chunks,
             v_chunks,
             scales,
@@ -431,27 +460,50 @@ pub(crate) fn walk_group_symbols<F>(
         }
         for t in start + 1..end {
             let row = &slab[t * channels..(t + 1) * channels];
-            for c in 0..channels {
-                let d = row[c] - recon_anchor[c];
-                emit(
-                    SymKind::Delta,
-                    c,
-                    clamp_symbol((d / delta_steps[c]).round() as i64),
-                );
-            }
+            quantize_delta_row(row, &recon_anchor, delta_steps, &mut emit);
         }
     } else {
         // Ablation arm: raw values, delta distribution/bins.
+        let zero = vec![0.0f32; channels];
         for t in start..end {
             let row = &slab[t * channels..(t + 1) * channels];
-            for c in 0..channels {
-                emit(
-                    SymKind::Delta,
-                    c,
-                    clamp_symbol((row[c] / delta_steps[c]).round() as i64),
-                );
-            }
+            quantize_delta_row(row, &zero, delta_steps, &mut emit);
         }
+    }
+}
+
+/// Quantizes one token row against a base row, emitting one delta symbol
+/// per channel in channel order. The inner loop is unrolled four-wide with
+/// independent accumulator chains (matching the decoder's lane width), so
+/// the divide/round chains of four channels overlap instead of
+/// serializing — the batched-quantize half of the interleaved-rANS work.
+#[inline]
+fn quantize_delta_row<F>(row: &[f32], base: &[f32], steps: &[f32], emit: &mut F)
+where
+    F: FnMut(SymKind, usize, i32),
+{
+    let channels = row.len();
+    let blocks = channels & !(rans::LANES - 1);
+    let mut c = 0;
+    while c < blocks {
+        let s0 = clamp_symbol(((row[c] - base[c]) / steps[c]).round() as i64);
+        let s1 = clamp_symbol(((row[c + 1] - base[c + 1]) / steps[c + 1]).round() as i64);
+        let s2 = clamp_symbol(((row[c + 2] - base[c + 2]) / steps[c + 2]).round() as i64);
+        let s3 = clamp_symbol(((row[c + 3] - base[c + 3]) / steps[c + 3]).round() as i64);
+        emit(SymKind::Delta, c, s0);
+        emit(SymKind::Delta, c + 1, s1);
+        emit(SymKind::Delta, c + 2, s2);
+        emit(SymKind::Delta, c + 3, s3);
+        c += rans::LANES;
+    }
+    while c < channels {
+        let d = row[c] - base[c];
+        emit(
+            SymKind::Delta,
+            c,
+            clamp_symbol((d / steps[c]).round() as i64),
+        );
+        c += 1;
     }
 }
 
@@ -486,6 +538,38 @@ pub(crate) fn walk_layer_symbols<F>(
             &delta_steps,
             &mut emit,
         );
+    }
+}
+
+/// Decodes one token row from a four-lane rANS stream, writing
+/// `reconstruct(channel, symbol)` per channel. Full channel blocks go
+/// through [`rans::Decoder::decode4`] — four independent state updates the
+/// CPU overlaps — and the tail decodes singly on lane `c % LANES`,
+/// mirroring the encoder's lane assignment exactly.
+#[inline]
+fn decode_row_rans<F>(
+    dec: &mut rans::Decoder<'_>,
+    tables: &[&AliasTable],
+    row: &mut [f32],
+    reconstruct: F,
+) where
+    F: Fn(usize, i32) -> f32,
+{
+    let channels = row.len();
+    let blocks = channels & !(rans::LANES - 1);
+    let mut c = 0;
+    while c < blocks {
+        let syms = dec.decode4([tables[c], tables[c + 1], tables[c + 2], tables[c + 3]]);
+        row[c] = reconstruct(c, index_to_symbol(syms[0]));
+        row[c + 1] = reconstruct(c + 1, index_to_symbol(syms[1]));
+        row[c + 2] = reconstruct(c + 2, index_to_symbol(syms[2]));
+        row[c + 3] = reconstruct(c + 3, index_to_symbol(syms[3]));
+        c += rans::LANES;
+    }
+    while c < channels {
+        let sym = index_to_symbol(dec.decode(c % rans::LANES, tables[c]));
+        row[c] = reconstruct(c, sym);
+        c += 1;
     }
 }
 
@@ -568,7 +652,11 @@ impl KvCodec {
 
     /// Encodes one layer into its per-group chunks. Frequency tables and
     /// quantization steps are resolved once per layer, outside the symbol
-    /// loop.
+    /// loop. `entropy_version` selects the chunk payload coder: 2 = serial
+    /// range coder, 3 = four-lane interleaved rANS (lane = channel mod
+    /// [`rans::LANES`], so each row's channel blocks align with the
+    /// decoder's batched four-wide loop).
+    #[allow(clippy::too_many_arguments)] // encode-side mirror of decode_chunk's stages
     fn encode_layer_chunks(
         &self,
         slab: &[f32],
@@ -577,6 +665,7 @@ impl KvCodec {
         is_k: bool,
         anchor_scales: &[f32],
         delta_scales: &[f32],
+        entropy_version: u8,
     ) -> Vec<Vec<u8>> {
         let channels = self.profile.channels();
         let tokens = slab.len() / channels;
@@ -584,12 +673,41 @@ impl KvCodec {
         let (anchor_q, delta_q) = self.quantizers(layer, n_layers);
         let anchor_steps: Vec<f32> = anchor_scales.iter().map(|&s| anchor_q.step(s)).collect();
         let delta_steps: Vec<f32> = delta_scales.iter().map(|&s| delta_q.step(s)).collect();
-        let anchor_tables = self.profile.layer_tables(SymKind::Anchor, is_k, layer);
-        let delta_tables = self.profile.layer_tables(SymKind::Delta, is_k, layer);
+        if entropy_version == 2 {
+            let anchor_tables = self.profile.layer_tables(SymKind::Anchor, is_k, layer);
+            let delta_tables = self.profile.layer_tables(SymKind::Delta, is_k, layer);
+            return (0..layout.num_groups())
+                .map(|g| {
+                    let (start, end) = layout.group_range(g);
+                    let mut enc = rc::Encoder::new();
+                    walk_group_symbols(
+                        slab,
+                        channels,
+                        start,
+                        end,
+                        self.config.delta_encoding,
+                        &anchor_steps,
+                        &delta_steps,
+                        |kind, c, sym| {
+                            let table: &FreqTable = match kind {
+                                SymKind::Anchor => anchor_tables[c],
+                                SymKind::Delta => delta_tables[c],
+                            };
+                            enc.encode(table, symbol_to_index(sym));
+                        },
+                    );
+                    enc.finish()
+                })
+                .collect();
+        }
+        let anchor_tables = self
+            .profile
+            .layer_alias_tables(SymKind::Anchor, is_k, layer);
+        let delta_tables = self.profile.layer_alias_tables(SymKind::Delta, is_k, layer);
         (0..layout.num_groups())
             .map(|g| {
                 let (start, end) = layout.group_range(g);
-                let mut enc = Encoder::new();
+                let mut enc = rans::Encoder::new();
                 walk_group_symbols(
                     slab,
                     channels,
@@ -599,11 +717,11 @@ impl KvCodec {
                     &anchor_steps,
                     &delta_steps,
                     |kind, c, sym| {
-                        let table: &FreqTable = match kind {
+                        let table: &AliasTable = match kind {
                             SymKind::Anchor => anchor_tables[c],
                             SymKind::Delta => delta_tables[c],
                         };
-                        enc.encode(table, symbol_to_index(sym));
+                        enc.encode(c % rans::LANES, table, symbol_to_index(sym));
                     },
                 );
                 enc.finish()
@@ -612,9 +730,57 @@ impl KvCodec {
     }
 
     /// Decodes one (layer, group) chunk into its output slice, verifying
-    /// exact byte consumption against the chunk frame.
+    /// exact byte consumption against the chunk frame. Dispatches on the
+    /// container's entropy version: 2 = serial range coder, 3 = four-lane
+    /// interleaved rANS.
     #[allow(clippy::too_many_arguments)] // decode-side mirror of the encode stages
     pub(crate) fn decode_chunk(
+        &self,
+        stream: &[u8],
+        layer: usize,
+        n_layers: usize,
+        group: usize,
+        group_tokens: usize,
+        is_k: bool,
+        delta_encoding: bool,
+        entropy_version: u8,
+        anchor_scales: &[f32],
+        delta_scales: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CodecError> {
+        if entropy_version == 2 {
+            self.decode_chunk_rc(
+                stream,
+                layer,
+                n_layers,
+                group,
+                group_tokens,
+                is_k,
+                delta_encoding,
+                anchor_scales,
+                delta_scales,
+                out,
+            )
+        } else {
+            self.decode_chunk_rans(
+                stream,
+                layer,
+                n_layers,
+                group,
+                group_tokens,
+                is_k,
+                delta_encoding,
+                anchor_scales,
+                delta_scales,
+                out,
+            )
+        }
+    }
+
+    /// Wire-v2 chunk decode: the serial range coder, kept for the one-release
+    /// compatibility window.
+    #[allow(clippy::too_many_arguments)] // decode-side mirror of the encode stages
+    fn decode_chunk_rc(
         &self,
         stream: &[u8],
         layer: usize,
@@ -632,7 +798,7 @@ impl KvCodec {
         let (anchor_q, delta_q) = self.quantizers(layer, n_layers);
         let delta_steps: Vec<f32> = delta_scales.iter().map(|&s| delta_q.step(s)).collect();
         let delta_tables = self.profile.layer_tables(SymKind::Delta, is_k, layer);
-        let mut dec = Decoder::new(stream);
+        let mut dec = rc::Decoder::new(stream);
         if delta_encoding {
             let anchor_steps: Vec<f32> = anchor_scales.iter().map(|&s| anchor_q.step(s)).collect();
             let anchor_tables = self.profile.layer_tables(SymKind::Anchor, is_k, layer);
@@ -675,6 +841,75 @@ impl KvCodec {
         Ok(())
     }
 
+    /// Wire-v3 chunk decode: four-lane interleaved rANS with the batched
+    /// four-wide row loop ([`decode_row_rans`]). Truncation surfaces as
+    /// synthetic input, in-place corruption as lanes that fail to return
+    /// to the normalization base, trailing slack as a length mismatch —
+    /// a damaged chunk is always reported, never decoded as noise.
+    #[allow(clippy::too_many_arguments)] // decode-side mirror of the encode stages
+    fn decode_chunk_rans(
+        &self,
+        stream: &[u8],
+        layer: usize,
+        n_layers: usize,
+        group: usize,
+        group_tokens: usize,
+        is_k: bool,
+        delta_encoding: bool,
+        anchor_scales: &[f32],
+        delta_scales: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CodecError> {
+        let channels = self.profile.channels();
+        debug_assert_eq!(out.len(), group_tokens * channels);
+        let (anchor_q, delta_q) = self.quantizers(layer, n_layers);
+        let delta_steps: Vec<f32> = delta_scales.iter().map(|&s| delta_q.step(s)).collect();
+        let delta_tables = self.profile.layer_alias_tables(SymKind::Delta, is_k, layer);
+        let mut dec = rans::Decoder::new(stream);
+        if delta_encoding {
+            let anchor_steps: Vec<f32> = anchor_scales.iter().map(|&s| anchor_q.step(s)).collect();
+            let anchor_tables = self
+                .profile
+                .layer_alias_tables(SymKind::Anchor, is_k, layer);
+            let (anchor_row, rest) = out.split_at_mut(channels);
+            decode_row_rans(&mut dec, &anchor_tables, anchor_row, |c, sym| {
+                sym as f32 * anchor_steps[c]
+            });
+            for row in rest.chunks_mut(channels) {
+                decode_row_rans(&mut dec, &delta_tables, row, |c, sym| {
+                    anchor_row[c] + sym as f32 * delta_steps[c]
+                });
+            }
+        } else {
+            for row in out.chunks_mut(channels) {
+                decode_row_rans(&mut dec, &delta_tables, row, |c, sym| {
+                    sym as f32 * delta_steps[c]
+                });
+            }
+        }
+        if dec.overrun_bytes() > 0 {
+            return Err(CodecError::TruncatedChunk {
+                is_k,
+                layer,
+                group,
+                missing_bytes: dec.overrun_bytes(),
+            });
+        }
+        if !dec.finished() {
+            return Err(CodecError::CorruptChunk { is_k, layer, group });
+        }
+        if dec.bytes_consumed() != stream.len() {
+            return Err(CodecError::ChunkLengthMismatch {
+                is_k,
+                layer,
+                group,
+                consumed: dec.bytes_consumed(),
+                framed: stream.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Encodes a KV cache (one context chunk) into a KV bitstream.
     ///
     /// Vectorwise scales are computed from the cache itself (LLM.int8
@@ -682,6 +917,19 @@ impl KvCodec {
     /// the stream header; only the symbol distributions come from the
     /// offline profile.
     pub fn encode(&self, cache: &KvCache) -> EncodedKv {
+        self.encode_with_version(cache, 3)
+    }
+
+    /// Encodes with wire-v2 (serial range coder) chunk payloads. Kept for
+    /// the one-release compatibility window — peers that cannot decode v3
+    /// yet — and as the reference arm for v3 bit-exactness tests: both
+    /// versions quantize identically, so their decodes must agree
+    /// bit-for-bit.
+    pub fn encode_v2(&self, cache: &KvCache) -> EncodedKv {
+        self.encode_with_version(cache, 2)
+    }
+
+    fn encode_with_version(&self, cache: &KvCache, entropy_version: u8) -> EncodedKv {
         assert_eq!(
             cache.channels(),
             self.profile.channels(),
@@ -716,6 +964,7 @@ impl KvCodec {
                     true,
                     &scales[0][l],
                     &scales[1][l],
+                    entropy_version,
                 )
             })
             .collect();
@@ -728,6 +977,7 @@ impl KvCodec {
                     false,
                     &scales[2][l],
                     &scales[3][l],
+                    entropy_version,
                 )
             })
             .collect();
@@ -737,6 +987,7 @@ impl KvCodec {
             channels: cache.channels(),
             group_size: self.config.group_size,
             delta_encoding: self.config.delta_encoding,
+            entropy_version,
             k_chunks,
             v_chunks,
             scales,
@@ -870,6 +1121,7 @@ impl KvCodec {
                 job.group_tokens,
                 job.is_k,
                 enc.delta_encoding,
+                enc.entropy_version,
                 anchor_scales,
                 delta_scales,
                 job.out,
@@ -1033,6 +1285,7 @@ mod tests {
                 true,
                 &enc.scales[0][0],
                 &enc.scales[1][0],
+                enc.entropy_version,
             )
             .remove(1);
         damaged.k_chunks[0][1] = replacement;
@@ -1200,6 +1453,98 @@ mod tests {
             take_varint(&overlong, &mut 0).is_err(),
             "wrapping varint must be rejected"
         );
+    }
+
+    #[test]
+    fn v3_decode_is_bit_identical_to_v2() {
+        // Both versions quantize through the same walk; only the entropy
+        // stage differs, and entropy coding is lossless — so the decoded
+        // caches must match bit-for-bit, serial and parallel, both
+        // ablation arms.
+        let (_, cache, codec) = setup();
+        let v3 = codec.encode(&cache);
+        let v2 = codec.encode_v2(&cache);
+        assert_eq!(v3.entropy_version, 3);
+        assert_eq!(v2.entropy_version, 2);
+        let d3 = codec.decode(&v3);
+        let d2 = codec.decode(&v2);
+        assert_eq!(d3, d2, "v3 and v2 must decode identically");
+        assert_eq!(codec.decode_parallel(&v3), d3);
+        let m = SimTransformer::new(SimModelConfig::tiny(33));
+        let cache = m.prefill(&(0..25).collect::<Vec<_>>());
+        let cfg = CodecConfig {
+            delta_encoding: false,
+            ..CodecConfig::default()
+        };
+        let profile = CodecProfile::build(&cfg, &[&cache]);
+        let codec = KvCodec::new(cfg, profile);
+        assert_eq!(
+            codec.decode(&codec.encode(&cache)),
+            codec.decode(&codec.encode_v2(&cache))
+        );
+    }
+
+    #[test]
+    fn container_round_trips_v2_payloads() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode_v2(&cache);
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes[4], 2, "v2 container must carry version byte 2");
+        let back = EncodedKv::from_bytes(&bytes).expect("v2 stays decodable");
+        assert_eq!(back, enc);
+        assert_eq!(codec.decode(&back), codec.decode(&enc));
+    }
+
+    #[test]
+    fn v3_chunk_carries_lane_state_header() {
+        let (_, cache, codec) = setup();
+        let v3 = codec.encode(&cache);
+        for side in [&v3.k_chunks, &v3.v_chunks] {
+            for chunk in side.iter().flatten() {
+                assert!(
+                    chunk.len() >= crate::rans::STATE_BYTES,
+                    "every v3 chunk starts with the 32-byte lane-state flush"
+                );
+                assert_eq!((chunk.len() - crate::rans::STATE_BYTES) % 4, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_v3_chunk_is_reported_not_decoded_as_noise() {
+        let (_, cache, codec) = setup();
+        let enc = codec.encode(&cache);
+        // Flip a renorm-word bit (past the state header) in one chunk: the
+        // length still matches, so only the lane-state check can catch it.
+        let mut damaged = enc.clone();
+        let chunk = &mut damaged.k_chunks[1][2];
+        let at = crate::rans::STATE_BYTES + (chunk.len() - crate::rans::STATE_BYTES) / 2;
+        chunk[at] ^= 0x10;
+        let err = codec
+            .try_decode(&damaged)
+            .expect_err("must detect corruption");
+        assert!(
+            matches!(
+                err,
+                CodecError::CorruptChunk {
+                    is_k: true,
+                    layer: 1,
+                    group: 2,
+                } | CodecError::TruncatedChunk {
+                    is_k: true,
+                    layer: 1,
+                    group: 2,
+                    ..
+                } | CodecError::ChunkLengthMismatch {
+                    is_k: true,
+                    layer: 1,
+                    group: 2,
+                    ..
+                }
+            ),
+            "unexpected error: {err}"
+        );
+        assert!(codec.try_decode_parallel(&damaged).is_err());
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //!                chunked KV bitstream
 //! ```
 //!
-//! * [`rc`] — a byte-renormalizing range coder (64-bit state, u8 output,
-//!   no per-bit loop), the entropy-coding hot path. Lossless by
-//!   construction, with exact consumed-byte accounting.
+//! * [`rans`] — a four-lane interleaved rANS coder (independent u64
+//!   states round-robin over symbols, alias-table symbol resolution), the
+//!   entropy-coding hot path since wire version 3. Lossless by
+//!   construction, with exact consumed-byte accounting and a per-lane
+//!   final-state check.
+//! * [`rc`] — a byte-renormalizing serial range coder (64-bit state, u8
+//!   output, no per-bit loop), the wire-v2 coder; still fully decodable
+//!   for the compatibility window.
 //! * [`ac`] — the legacy 32-bit Witten–Neal–Cleary arithmetic coder, kept
 //!   as a compatibility shim (bit-at-a-time; ~an order of magnitude slower
 //!   to decode). New code should use [`rc`].
@@ -34,14 +39,14 @@
 //!
 //! [`KvCache`]: cachegen_llm::KvCache
 //!
-//! # Wire format (version 2)
+//! # Wire format (version 3)
 //!
 //! [`EncodedKv::to_bytes`] lays one encoded cache chunk out as:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CGKV"
-//! 4       1     version (2)
+//! 4       1     entropy version (3 = interleaved rANS; 2 = range coder)
 //! 5       1     delta_encoding flag (0 or 1)
 //! 6       2     layers            (u16 LE)
 //! 8       4     tokens            (u32 LE)
@@ -52,12 +57,12 @@
 //! …       …     entropy chunks, K side then V side; within a side,
 //!               layer-major then group-major:
 //!                   varint  chunk byte length (LEB128, 1–2 bytes typical)
-//!                   []u8    range-coded chunk payload
+//!                   []u8    entropy-coded chunk payload
 //! ```
 //!
 //! The number of chunks per layer is derived from `tokens` and
 //! `group_size` (`ceil(tokens / group_size)` anchor groups, §5.2), so no
-//! chunk count is stored. Every chunk is an independent [`rc`] stream
+//! chunk count is stored. Every chunk is an independent entropy stream
 //! covering exactly one (layer, token-group) of K or V — its anchor row is
 //! in-stream, so a chunk decodes with no state from any other chunk. That
 //! is what lets [`KvCodec::decode_parallel`] schedule `2 × layers ×
@@ -65,6 +70,31 @@
 //! transport relies on (damaged chunks degrade only their own token
 //! range; see [`encoder::CodecError`] for how length defects are
 //! reported).
+//!
+//! ## Version-3 chunk payloads (interleaved rANS)
+//!
+//! A v3 chunk payload is one [`rans`] stream:
+//!
+//! ```text
+//! offset  size  field
+//! 0       32    state flush: rans::LANES (= 4) final encoder states,
+//!               u64 LE each — the decoder's initial states
+//! 32      4·w   renormalization words, u32 LE, in decode order
+//! ```
+//!
+//! Symbols round-robin over the four lanes by channel (`lane = channel
+//! mod `[`rans::LANES`]) and every row restarts at channel 0, so the
+//! decoder's batched four-wide inner loop stays aligned. Each lane's
+//! state must land exactly back on the normalization base after the last
+//! symbol; that per-lane final-state check — plus exact consumed-byte
+//! accounting against the chunk frame — is what turns any truncation or
+//! corruption into a reported [`encoder::CodecError`] instead of noise.
+//!
+//! **Compatibility window**: [`KvCodec::encode`] emits version 3 only;
+//! [`EncodedKv::from_bytes`] and every decode path accept versions 2 and
+//! 3 for one release ([`KvCodec::encode_v2`] covers tests and tooling
+//! that still need to produce v2 streams). The v2 payload is a single
+//! serial [`rc`] stream per chunk with no state header.
 //!
 //! ## Chunk arrival map and repair provenance
 //!
@@ -124,7 +154,8 @@
 //! **Compatibility**: version 1 (monolithic per-layer WNC streams) is no
 //! longer written or read; [`EncodedKv::from_bytes`] rejects it
 //! explicitly. Stored contexts must be re-encoded — profiles are built
-//! offline per model and unaffected.
+//! offline per model and unaffected. Version 2 remains decodable for one
+//! release (see the compatibility window above).
 
 pub mod ac;
 pub mod bitio;
@@ -133,6 +164,7 @@ pub mod encoder;
 pub mod layered;
 pub mod pool;
 pub mod profile;
+pub mod rans;
 pub mod rc;
 pub mod repair;
 pub mod symbol_model;

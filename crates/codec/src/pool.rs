@@ -150,17 +150,45 @@ where
     E: Send,
     F: Fn(usize, T) -> Result<(), E> + Sync,
 {
-    if jobs.len() <= 1 {
+    let workers = bounded_workers(jobs.len());
+    run_pooled_shaped(jobs, workers, run, observe)
+}
+
+/// [`run_pooled_observed`] with the worker count chosen by the caller —
+/// the testable core. A pool of one worker (or zero/one jobs) runs the
+/// whole queue inline on the caller's thread: spawning a scope plus a
+/// mutex-guarded queue just to replay the serial loop on another thread
+/// made `decode_parallel` *slower* than `decode` on single-core runners
+/// (4.40 ms vs 4.36 ms in the PR-8 `BENCH_codec.json`).
+fn run_pooled_shaped<T, E, F>(
+    jobs: Vec<T>,
+    workers: usize,
+    run: F,
+    observe: impl FnOnce(PoolShape),
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<(), E> + Sync,
+{
+    if jobs.len() <= 1 || workers <= 1 {
         observe(PoolShape {
             jobs: jobs.len(),
             workers: 1,
         });
         for (idx, job) in jobs.into_iter().enumerate() {
-            run(idx, job)?;
+            // Same failure surface as the pooled path: errors in index
+            // order (trivially — the loop stops at the first), panics
+            // re-raised with the job's index, machine-independent.
+            match catch_unwind(AssertUnwindSafe(|| run(idx, job))) {
+                Ok(result) => result?,
+                Err(payload) => {
+                    panic!("pooled job {idx} panicked: {}", panic_message(payload))
+                }
+            }
         }
         return Ok(());
     }
-    let workers = bounded_workers(jobs.len());
     observe(PoolShape {
         jobs: jobs.len(),
         workers,
@@ -600,6 +628,52 @@ mod tests {
         }
         .report(&quiet);
         assert_eq!(quiet.registry_snapshot().gauges().count(), 0);
+    }
+
+    #[test]
+    fn one_worker_pool_runs_inline() {
+        // Regression (PR-8 bench): with `pool_workers == 1`,
+        // `decode_parallel` paid for a thread scope plus a mutex queue
+        // only to replay the serial loop, landing slower than `decode`.
+        // A one-worker shape must short-circuit: every job runs on the
+        // caller's thread, and the observed shape says one worker.
+        let caller = std::thread::current().id();
+        let on_caller = AtomicUsize::new(0);
+        let mut shape = None;
+        let result = run_pooled_shaped(
+            (0..8usize).collect(),
+            1,
+            |idx, job| {
+                assert_eq!(idx, job);
+                if std::thread::current().id() == caller {
+                    on_caller.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok::<(), usize>(())
+            },
+            |s| shape = Some(s),
+        );
+        assert_eq!(result, Ok(()));
+        assert_eq!(
+            on_caller.load(Ordering::Relaxed),
+            8,
+            "a one-worker pool must not move jobs off the caller's thread"
+        );
+        assert_eq!(
+            shape,
+            Some(PoolShape {
+                jobs: 8,
+                workers: 1
+            })
+        );
+        // The serial merge rule is preserved: lowest-indexed error wins
+        // (trivially, since the inline loop stops at the first failure).
+        let result = run_pooled_shaped(
+            (0..8usize).collect(),
+            1,
+            |_, job| if job >= 3 { Err(job) } else { Ok(()) },
+            |_| {},
+        );
+        assert_eq!(result, Err(3));
     }
 
     #[test]

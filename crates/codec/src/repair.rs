@@ -318,6 +318,7 @@ impl KvCodec {
                         end - start,
                         is_k,
                         enc.delta_encoding,
+                        enc.entropy_version,
                         anchor_scales,
                         delta_scales,
                         slice,

@@ -8,6 +8,7 @@
 //! [`ModelGranularity`] enum exposes the intermediate strategies so the
 //! Figure 15 ablation can be regenerated.
 
+use crate::rans::AliasTable;
 use crate::{symbol_to_index, ALPHABET};
 
 /// Every table's total frequency mass, exactly: `2^TOTAL_BITS`. A fixed
@@ -191,6 +192,9 @@ pub struct SymbolModelSet {
     layers: usize,
     channels: usize,
     tables: Vec<FreqTable>,
+    /// rANS alias view of `tables`, same indexing — built eagerly at
+    /// profile time so no decode ever pays the construction.
+    alias: Vec<AliasTable>,
 }
 
 impl SymbolModelSet {
@@ -220,12 +224,14 @@ impl SymbolModelSet {
             };
             observe(&mut record);
         }
-        let tables = counts.iter().map(|c| FreqTable::from_counts(c)).collect();
+        let tables: Vec<FreqTable> = counts.iter().map(|c| FreqTable::from_counts(c)).collect();
+        let alias = tables.iter().map(AliasTable::from_freq).collect();
         SymbolModelSet {
             granularity,
             layers,
             channels,
             tables,
+            alias,
         }
     }
 
@@ -239,6 +245,21 @@ impl SymbolModelSet {
     /// routing per symbol.
     pub fn layer_tables(&self, layer: usize) -> Vec<&FreqTable> {
         (0..self.channels).map(|c| self.table(layer, c)).collect()
+    }
+
+    /// The rANS alias table for a given (layer, channel) — the same
+    /// distribution as [`SymbolModelSet::table`], repacked for branch-light
+    /// symbol resolution (wire v3).
+    pub fn alias_table(&self, layer: usize, channel: usize) -> &AliasTable {
+        &self.alias[table_index(self.granularity, self.layers, self.channels, layer, channel)]
+    }
+
+    /// All per-channel alias tables of one layer, resolved once (the rANS
+    /// analogue of [`SymbolModelSet::layer_tables`]).
+    pub fn layer_alias_tables(&self, layer: usize) -> Vec<&AliasTable> {
+        (0..self.channels)
+            .map(|c| self.alias_table(layer, c))
+            .collect()
     }
 
     /// The profiling granularity.

@@ -388,11 +388,12 @@ mod tests {
         // level whose expected finish equals the SLO exactly may land a
         // few percent past it once decode tails are added). At this tiny
         // model scale the per-(layer, group) chunk framing is a fixed cost
-        // that coarser levels cannot compress away, so the best feasible
-        // plan sits slightly further past the boundary than the payload
+        // that coarser levels cannot compress away — since wire v3 it
+        // includes the 32-byte rANS state flush per chunk — so the best
+        // feasible plan sits further past the boundary than the payload
         // sizes alone would suggest.
         assert!(
-            out.stream.finish <= 1.1,
+            out.stream.finish <= 1.2,
             "finish {} should be at or near the 1 s SLO",
             out.stream.finish
         );

@@ -103,13 +103,18 @@ fn traced_virtual_run(
     (report, trace, metrics)
 }
 
-/// (label, seed, trace digest, metrics digest), captured from the
-/// pre-`ExecutionBackend` tree (commit b287965's behavior).
+/// (label, seed, trace digest, metrics digest). Originally captured from
+/// the pre-`ExecutionBackend` tree (commit b287965's behavior);
+/// re-baselined when wire v3 (interleaved rANS) replaced the serial range
+/// coder — chunk payloads carry a 32-byte state flush, so every encoded
+/// size and therefore every virtual transfer timing legitimately moved.
+/// The backend-equivalence property itself (virtual vs thread backend)
+/// is unchanged and still asserted by the other tests in this file.
 const GOLDEN: &[(&str, u64, u64, u64)] = &[
-    ("clean", 1, 0xa0fe49b6cc2399bf, 0x085e8d4ccc5f7c80),
-    ("clean", 7, 0xa42c6f3e4e3b70db, 0x0915c67d87c07215),
-    ("clean", 11, 0x84ac42c48eaf8670, 0x3e6ce2ab00778176),
-    ("lossy", 11, 0xd6c8ec2ef36a9487, 0xd94b348fbc1054a8),
+    ("clean", 1, 0x865a9fd00f2854b6, 0xa6cd4200a8320858),
+    ("clean", 7, 0x8df24fb482b779f6, 0x4850e6b58cf47cab),
+    ("clean", 11, 0x34f48f67a36cbb5c, 0x5f8c577426515503),
+    ("lossy", 11, 0x66f747a9d044c614, 0xd8bf4ae8ed78a53f),
 ];
 
 fn scenario(label: &str, seed: u64) -> (ServingReport, String, String) {

@@ -145,6 +145,9 @@ proptest! {
             channels,
             group_size: group,
             delta_encoding: seed % 2 == 0,
+            // Exercise both live wire versions; chunk payloads here are
+            // random bytes (the container layer never inspects them).
+            entropy_version: if seed % 3 == 0 { 2 } else { 3 },
             k_chunks,
             v_chunks,
             scales,
