@@ -171,6 +171,24 @@ fn rans_module_faces_the_full_determinism_gate() {
 }
 
 #[test]
+fn erasure_coding_modules_face_the_full_determinism_gate() {
+    // The GF(256) field and Reed–Solomon modules sit on the decode hot
+    // path (`crates/net`), a determinism-critical crate: hash-ordered
+    // iteration and unseeded entropy are banned there like everywhere
+    // else — no arithmetic-kernel exemption applies.
+    for module in ["crates/net/src/gf256.rs", "crates/net/src/rs.rs"] {
+        let hashy = analyze_source(module, &fixture("bad_hash_iter.rs"));
+        assert_eq!(lines_of(&hashy, "no-hash-iter"), vec![4, 7], "{module}");
+        let rngy = analyze_source(module, &fixture("bad_rng.rs"));
+        assert_eq!(lines_of(&rngy, "seeded-rng-only"), vec![4], "{module}");
+        // Library unwraps in these modules draw from the net crate's
+        // budget — recovery paths must return typed errors instead.
+        let unwrappy = analyze_source(module, &fixture("unwrap_budget.rs"));
+        assert_eq!(unwrappy.unwrap_lines, vec![5, 9], "{module}");
+    }
+}
+
+#[test]
 fn allow_attributes_need_a_written_reason() {
     let src = fixture("bad_allow_attr.rs");
     let report = analyze_source("crates/core/src/fx.rs", &src);

@@ -12,12 +12,16 @@
 //!
 //! On a per-packet-fault link every stream chunk travels as its packet
 //! schedule (one packet per (side, layer, group) entropy chunk), and the
-//! receive path runs the FEC→repair→refetch recovery ladder: XOR parity
-//! ([`FecOverhead`]) first reconstructs every parity group that lost
-//! exactly one packet — byte-identical, no NACK, no budget — then packets
-//! still missing after the retransmit budget are *repaired* by the
-//! configured [`RepairPolicy`] instead of stalling the stream (only
-//! groups with ≥ 2 losses ever reach this rung), and
+//! receive path runs the FEC→repair→refetch recovery ladder: erasure
+//! parity ([`FecOverhead`]) first reconstructs every parity group whose
+//! losses fit its repair budget — byte-identical, no NACK, no budget.
+//! XOR groups (`Uniform`/`PerLevel`, `r = 1`) absorb one loss per group;
+//! GF(256) Reed–Solomon groups (`Rs { k, r }`) absorb any `r` losses,
+//! and `Adaptive` picks `(k, r)` per chunk from the measured loss rate.
+//! Packets still missing after the retransmit budget are *repaired* by
+//! the configured [`RepairPolicy`] instead of stalling the stream (only
+//! groups whose losses exceeded their parity depth ever reach this
+//! rung), and
 //! [`RepairPolicy::Refetch`] runs a second pass that re-requests the holes
 //! after the first decode (TTFT keeps the first-pass finish; the re-fetch
 //! restores fidelity afterwards).
@@ -53,9 +57,12 @@ pub struct LoadParams {
     /// Packet retransmissions allowed per chunk before the repair policy
     /// takes over. `usize::MAX` = stall-and-retry (never repair).
     pub retransmit_budget: usize,
-    /// Forward-error-correction parity density per encoding level: the
-    /// first rung of the recovery ladder. [`FecOverhead::Off`] (the
-    /// default) reproduces the pre-FEC transport bit for bit.
+    /// Forward-error-correction parity policy: the first rung of the
+    /// recovery ladder. [`FecOverhead::Off`] (the default) reproduces the
+    /// pre-FEC transport bit for bit; `Uniform`/`PerLevel` add one XOR
+    /// repair per group; `Rs { k, r }` adds `r` GF(256) Reed–Solomon
+    /// repairs per group; `Adaptive` selects `(k, r)` per chunk from the
+    /// measured channel loss rate.
     pub fec_overhead: FecOverhead,
 }
 
@@ -90,9 +97,10 @@ pub struct LoadOutcome {
     /// links.
     pub repairs: Vec<(usize, ChunkRepair)>,
     /// FEC provenance: `(stream chunk index, record)` for every entropy
-    /// chunk whose packet was dropped but XOR parity reconstructed
-    /// byte-identically ([`cachegen_codec::RepairCause::RecoveredByFec`]).
-    /// These decode intact and carry no quality penalty.
+    /// chunk whose packet was dropped but erasure parity (XOR or GF(256)
+    /// Reed–Solomon) reconstructed byte-identically
+    /// ([`cachegen_codec::RepairCause::RecoveredByFec`]). These decode
+    /// intact and carry no quality penalty.
     pub fec_recovered: Vec<(usize, ChunkRepair)>,
     /// Fraction of the stream's KV payload bytes whose content in the
     /// *returned cache* is policy-reconstructed rather than decoded from
@@ -170,11 +178,11 @@ pub fn load_context_traced(
     }
 
     // Reassemble the cache chunk by chunk at the configurations chosen.
-    // Recovery ladder, in order: packets XOR parity already reconstructed
-    // decode intact (FEC provenance only); what is still missing after
-    // the retransmit budget — only parity groups that took ≥ 2 losses —
-    // is repaired per policy; Refetch holes are restored in a second pass
-    // below.
+    // Recovery ladder, in order: packets erasure parity (XOR or RS)
+    // already reconstructed decode intact (FEC provenance only); what is
+    // still missing after the retransmit budget — only parity groups
+    // whose losses exceeded their repair depth `r` — is repaired per
+    // policy; Refetch holes are restored in a second pass below.
     let mut chunks = Vec::with_capacity(stream.chunks.len());
     let mut repairs: Vec<(usize, ChunkRepair)> = Vec::new();
     let mut fec_recovered: Vec<(usize, ChunkRepair)> = Vec::new();

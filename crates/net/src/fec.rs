@@ -1,41 +1,54 @@
-//! Systematic XOR-parity forward error correction over packet batches.
+//! Systematic forward error correction over packet batches: striped
+//! parity groups, XOR fast path, and multi-erasure Reed–Solomon parity.
 //!
 //! The loss-resilient transport ships every entropy chunk as its own
 //! packet; PR 4 recovered holes *reactively* (repair policies, refetch).
-//! This module adds the proactive half: the sender groups the data
-//! packets of one schedule into **parity groups** of at most `k` members
-//! and emits one XOR parity packet per group. Any *single* loss inside a
-//! group is then recovered at the receiver by XOR-ing the parity with the
-//! surviving members — no NACK round trip, no retransmission (the
+//! This module is the proactive half: the sender stripes the data packets
+//! of one schedule into **parity groups** of at most `k` members and
+//! emits `r ≥ 1` parity packets per group. With `r = 1` the parity is the
+//! byte-wise XOR of the members (the PR 5 wire format, bit-identical);
+//! with `r ≥ 2` the parity rows are the column-normalized Cauchy
+//! Reed–Solomon code of [`crate::rs`], whose row 0 *is* the XOR row — so
+//! any `r` losses per group (data or parity) are recovered byte-
+//! identically and order-free, no NACK round trip, no retransmission (the
 //! redundancy-at-the-sender argument of MDC fronthaul coding, PAPERS.md).
 //!
-//! Three properties make the scheme useful on real loss patterns:
+//! Properties that make the scheme useful on real loss patterns:
 //!
-//! * **Striped interleaving** — group membership is assigned round-robin
-//!   with stride `g = ceil(n / k)` (member `i` joins group `i mod g`), so
-//!   *consecutive* packets always land in *different* groups: a burst of
-//!   up to `g` drops degrades into `≤ 1` loss per group, each of which is
-//!   single-loss recoverable. An i.i.d. interleaver permutation would do
-//!   no better against bursts and would cost a permutation table on the
-//!   wire.
-//! * **Size-outlier exclusion** — XOR parity must be as long as its
-//!   group's *longest* member, so one oversized packet (the
-//!   container-bearing head packet is ~10× the median at small scale)
-//!   would blow the parity budget of its whole group. Packets larger
-//!   than [`OUTLIER_FACTOR`]× the schedule median are therefore left
-//!   unprotected ([`FecGroups::group_of`] returns `None`) and rely on
-//!   the retransmit/repair/refetch rungs instead; everyone else gets
-//!   parity at ≈ `1/k` overhead.
+//! * **Collision-minimal striped interleaving** — group membership is
+//!   assigned round-robin with stride `g = ceil(n / k)` (member `i` joins
+//!   group `i mod g`). Among any `g + 1` consecutive protected packets
+//!   two must share a group (pigeonhole), so *no* deterministic
+//!   feedback-free interleaver can space same-group members further than
+//!   `g` apart — mod-`g` striping achieves exactly that spacing
+//!   uniformly, which is the "minimal collision" property of CRT protocol
+//!   sequences (PAPERS.md) specialized to one schedule. The provable
+//!   burst-coverage bound follows: a burst of `w` consecutive protected
+//!   packets puts at most `ceil(w / g)` losses in any one group, so any
+//!   **burst ≤ stride·r degrades into ≤ r losses per group** — exactly
+//!   what `r` parity packets recover. Property-tested in
+//!   `tests/fec_properties.rs`.
+//! * **Size-outlier exclusion** — parity must be as long as its group's
+//!   *longest* member, so one oversized packet (the container-bearing
+//!   head packet is ~10× the median at small scale) would blow the parity
+//!   budget of its whole group. Packets larger than [`OUTLIER_FACTOR`]×
+//!   the schedule's (lower) median are therefore left unprotected
+//!   ([`FecGroups::group_of`] returns `None`) and rely on the
+//!   retransmit/repair/refetch rungs instead; everyone else gets parity
+//!   at ≈ `r/k` overhead.
 //! * **Systematic coding** — data packets travel unmodified; parity is
-//!   additional. FEC off (`k = ∞`) is therefore bit-identical to the
-//!   plain transport.
+//!   additional. FEC off is therefore bit-identical to the plain
+//!   transport, and `r = 1` is bit-identical to the PR 5 XOR transport.
 //!
-//! Recovery is pure XOR and thus order-independent: the receiver dedups
-//! packets by index (the transport already does — duplicates are
-//! delivered once) and XORs the parity with every surviving member, in
-//! any order, truncating to the lost packet's known length. Groups with
-//! two or more losses are *not* recoverable here (one equation per
-//! group); those fall back to the repair/refetch ladder.
+//! Recovery is order-independent: the receiver dedups packets by index
+//! (the transport already does — duplicates are delivered once) and
+//! solves per byte position. Groups losing more data packets than they
+//! have surviving parity packets are *not* recoverable here; those fall
+//! back to the repair/refetch ladder. Edge cases (survivor longer than
+//! parity, claimed length exceeding parity) are typed [`FecError`]s, not
+//! silent zero-padding.
+
+use crate::rs::FecError;
 
 /// Packets larger than this multiple of the schedule's median size are
 /// excluded from parity protection (see the module docs). At real scale
@@ -43,7 +56,8 @@
 /// at toy scale the container amortizes enough to stay protected.
 pub const OUTLIER_FACTOR: u64 = 4;
 
-/// Assignment of `n` data packets to striped XOR parity groups.
+/// Assignment of `n` data packets to striped parity groups, each carrying
+/// `r ≥ 1` repair (parity) packets.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FecGroups {
     /// `assignment[i]` = parity group of data packet `i` (`None` =
@@ -51,16 +65,26 @@ pub struct FecGroups {
     assignment: Vec<Option<usize>>,
     /// `groups[j]` = member data-packet indices of group `j`, ascending.
     groups: Vec<Vec<usize>>,
+    /// `repairs[j]` = number of parity packets emitted for group `j`.
+    repairs: Vec<usize>,
 }
 
 impl FecGroups {
     /// Stripes `n` equally-trusted data packets into groups of at most
     /// `k` members each: `g = ceil(n / k)` groups, packet `i` → group
-    /// `i % g`, so any burst of up to `g` consecutive packets loses at
-    /// most one member per group.
+    /// `i % g`, one XOR parity per group (`r = 1`), so any burst of up to
+    /// `g` consecutive packets loses at most one member per group.
     pub fn striped(n: usize, k: usize) -> Self {
+        Self::striped_rs(n, k, 1)
+    }
+
+    /// Multi-erasure striping: like [`FecGroups::striped`] but each group
+    /// carries `r` Reed–Solomon parity packets, so any burst of up to
+    /// `g·r` consecutive packets degrades into ≤ `r` losses per group —
+    /// all recoverable.
+    pub fn striped_rs(n: usize, k: usize, r: usize) -> Self {
         assert!(n >= 1, "need at least one data packet");
-        Self::build(&(0..n).collect::<Vec<_>>(), n, k, false)
+        Self::build(&(0..n).collect::<Vec<_>>(), n, k, r, false)
     }
 
     /// Two-tier striping: the *head* half of the sequence (the schedule's
@@ -68,30 +92,42 @@ impl FecGroups {
     /// protected at the denser `ceil(k / 2)`, the tail at `k`.
     pub fn striped_tiered(n: usize, k: usize) -> Self {
         assert!(n >= 1, "need at least one data packet");
-        Self::build(&(0..n).collect::<Vec<_>>(), n, k, true)
+        Self::build(&(0..n).collect::<Vec<_>>(), n, k, 1, true)
     }
 
     /// Striping over a sized schedule with outlier exclusion: packets
     /// larger than [`OUTLIER_FACTOR`]× the median size stay unprotected
     /// (their parity would cost as much as resending them); the rest are
-    /// striped — tiered (head half denser) when `tiered` is set.
+    /// striped — tiered (head half denser) when `tiered` is set — with
+    /// one XOR parity per group.
     pub fn striped_sized(sizes: &[u64], k: usize, tiered: bool) -> Self {
+        Self::striped_sized_rs(sizes, k, 1, tiered)
+    }
+
+    /// Multi-erasure sized striping: [`FecGroups::striped_sized`] with
+    /// `r` Reed–Solomon parity packets per group.
+    pub fn striped_sized_rs(sizes: &[u64], k: usize, r: usize, tiered: bool) -> Self {
         assert!(!sizes.is_empty(), "need at least one data packet");
+        // Lower median: on even-length schedules `s[len / 2]` is the
+        // *upper* median, which inflated the outlier threshold and
+        // silently protected packets the docs promise are excluded.
         let median = {
             let mut s = sizes.to_vec();
             s.sort_unstable();
-            s[s.len() / 2]
+            s[(s.len() - 1) / 2]
         };
         let protected: Vec<usize> = (0..sizes.len())
             .filter(|&i| sizes[i] <= median.saturating_mul(OUTLIER_FACTOR))
             .collect();
-        Self::build(&protected, sizes.len(), k, tiered)
+        Self::build(&protected, sizes.len(), k, r, tiered)
     }
 
     /// Builds the grouping over the `protected` member indices (ascending
     /// positions within the original `n`-packet sequence).
-    fn build(protected: &[usize], n: usize, k: usize, tiered: bool) -> Self {
+    fn build(protected: &[usize], n: usize, k: usize, r: usize, tiered: bool) -> Self {
         assert!(k >= 1, "parity group size must be >= 1");
+        assert!(r >= 1, "repair count must be >= 1");
+        assert!(k + r <= 256, "group + parity exceeds the GF(256) field");
         let mut assignment: Vec<Option<usize>> = vec![None; n];
         let mut groups: Vec<Vec<usize>> = Vec::new();
         let mut stripe = |members: &[usize], k: usize| {
@@ -113,7 +149,15 @@ impl FecGroups {
         } else {
             stripe(protected, k);
         }
-        FecGroups { assignment, groups }
+        // Every group gets the same repair depth, capped so tiny groups
+        // never carry more parity than members (r extra equations beyond
+        // the member count recover nothing additional).
+        let repairs = groups.iter().map(|m| r.min(m.len())).collect();
+        FecGroups {
+            assignment,
+            groups,
+            repairs,
+        }
     }
 
     /// Number of data packets covered (protected or not).
@@ -121,9 +165,14 @@ impl FecGroups {
         self.assignment.len()
     }
 
-    /// Number of parity groups (= parity packets emitted).
+    /// Number of parity groups.
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Total parity packets emitted across all groups (`Σ repairs`).
+    pub fn num_parity_packets(&self) -> usize {
+        self.repairs.iter().sum()
     }
 
     /// The parity group of data packet `i` (`None` = unprotected).
@@ -136,25 +185,45 @@ impl FecGroups {
         &self.groups[j]
     }
 
-    /// Wire size of each group's parity packet given the data packet
-    /// sizes: XOR parity must cover the longest member, so the parity
-    /// payload is the group's max member size.
+    /// Number of repair (parity) packets group `j` carries. Any `≤
+    /// repairs_of(j)` losses among the group's members and parity packets
+    /// are recoverable.
+    pub fn repairs_of(&self, j: usize) -> usize {
+        self.repairs[j]
+    }
+
+    /// Wire size of *each* parity packet of each group given the data
+    /// packet sizes: parity must cover the longest member, so every one
+    /// of group `j`'s `repairs_of(j)` parity packets is the group's max
+    /// member size.
     pub fn parity_sizes(&self, data_sizes: &[u64]) -> Vec<u64> {
         assert_eq!(data_sizes.len(), self.num_packets(), "size/packet mismatch");
         self.groups
             .iter()
-            .map(|m| m.iter().map(|&i| data_sizes[i]).max().unwrap_or(0))
+            .map(|m| {
+                // Invariant of `build`: striping assigns every residue
+                // class at least one member, so groups are never empty.
+                debug_assert!(!m.is_empty(), "empty parity group");
+                m.iter().map(|&i| data_sizes[i]).max().unwrap_or(0)
+            })
             .collect()
     }
 
-    /// Total parity bytes for the given data packet sizes.
+    /// Total parity bytes for the given data packet sizes, across all
+    /// `repairs_of(j)` parity packets of every group.
     pub fn parity_bytes(&self, data_sizes: &[u64]) -> u64 {
-        self.parity_sizes(data_sizes).iter().sum()
+        self.parity_sizes(data_sizes)
+            .iter()
+            .zip(self.repairs.iter())
+            .map(|(&size, &r)| size * r as u64)
+            .sum()
     }
 }
 
 /// XOR parity payload of one group: byte-wise XOR of all member payloads,
-/// each zero-padded to the longest member.
+/// each zero-padded to the longest member. This is parity row 0 of the
+/// Reed–Solomon code ([`crate::rs::RsCode::parity`]) — the `r = 1` wire
+/// format is the same code, not merely an equivalent one.
 pub fn xor_parity(payloads: &[&[u8]]) -> Vec<u8> {
     let len = payloads.iter().map(|p| p.len()).max().unwrap_or(0);
     let mut parity = vec![0u8; len];
@@ -171,21 +240,35 @@ pub fn xor_parity(payloads: &[&[u8]]) -> Vec<u8> {
 /// XOR commutes, which is what makes recovery deterministic under
 /// reordered delivery) and truncates to the lost packet's known length.
 /// The caller must have deduplicated packets by index first.
-pub fn xor_recover(survivors: &[&[u8]], parity: &[u8], lost_len: usize) -> Vec<u8> {
-    assert!(
-        lost_len <= parity.len(),
-        "lost packet ({lost_len} B) cannot exceed the parity payload ({} B)",
-        parity.len()
-    );
+///
+/// Shape violations are typed errors rather than panics: a survivor or
+/// claimed lost length exceeding the parity payload means the caller's
+/// accounting is corrupt, and the group must fall to repair/refetch.
+pub fn xor_recover(
+    survivors: &[&[u8]],
+    parity: &[u8],
+    lost_len: usize,
+) -> Result<Vec<u8>, FecError> {
+    if lost_len > parity.len() {
+        return Err(FecError::LostLenExceedsParity {
+            lost_len,
+            parity_len: parity.len(),
+        });
+    }
     let mut out = parity.to_vec();
     for p in survivors {
-        assert!(p.len() <= out.len(), "survivor longer than parity");
+        if p.len() > out.len() {
+            return Err(FecError::SurvivorExceedsParity {
+                len: p.len(),
+                parity_len: out.len(),
+            });
+        }
         for (slot, &b) in out.iter_mut().zip(p.iter()) {
             *slot ^= b;
         }
     }
     out.truncate(lost_len);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -198,6 +281,7 @@ mod tests {
         assert_eq!(fec.num_groups(), 3); // ceil(10/4)
         for j in 0..fec.num_groups() {
             assert!(fec.members(j).len() <= 4);
+            assert_eq!(fec.repairs_of(j), 1);
         }
         // Any 3 consecutive packets land in 3 distinct groups.
         for start in 0..8 {
@@ -206,6 +290,20 @@ mod tests {
                 .collect();
             assert!(gs[0] != gs[1] && gs[1] != gs[2] && gs[0] != gs[2]);
         }
+    }
+
+    #[test]
+    fn multi_parity_striping_counts_repairs() {
+        let fec = FecGroups::striped_rs(10, 4, 2);
+        assert_eq!(fec.num_groups(), 3);
+        assert!((0..3).all(|j| fec.repairs_of(j) == 2));
+        assert_eq!(fec.num_parity_packets(), 6);
+        // Parity bytes pay r × the per-group max size.
+        let sizes = [10u64; 10];
+        assert_eq!(fec.parity_bytes(&sizes), 60);
+        // Tiny groups never carry more parity than members.
+        let tiny = FecGroups::striped_rs(2, 1, 3);
+        assert!((0..tiny.num_groups()).all(|j| tiny.repairs_of(j) == 1));
     }
 
     #[test]
@@ -237,6 +335,25 @@ mod tests {
     }
 
     #[test]
+    fn outlier_threshold_uses_the_lower_median() {
+        // Even length: sizes sorted = [100, 100, 500, 500]. The lower
+        // median is 100, so the 500 B packets (5× median) are outliers.
+        // The old upper-median code took 500 and protected everything.
+        let even = [500u64, 100, 500, 100];
+        let fec = FecGroups::striped_sized(&even, 2, false);
+        assert_eq!(fec.group_of(0), None);
+        assert_eq!(fec.group_of(2), None);
+        assert!(fec.group_of(1).is_some() && fec.group_of(3).is_some());
+        // Odd length: the true median (middle element) is unambiguous
+        // and unchanged by the fix.
+        let odd = [100u64, 100, 100, 500, 500];
+        let fec = FecGroups::striped_sized(&odd, 2, false);
+        assert!((0..3).all(|i| fec.group_of(i).is_some()));
+        assert_eq!(fec.group_of(3), None);
+        assert_eq!(fec.group_of(4), None);
+    }
+
+    #[test]
     fn every_protected_packet_is_in_exactly_one_group() {
         for (n, k, tiered) in [(1, 1, false), (7, 3, false), (23, 5, true), (2, 9, true)] {
             let fec = if tiered {
@@ -246,6 +363,7 @@ mod tests {
             };
             let mut seen = vec![false; n];
             for j in 0..fec.num_groups() {
+                assert!(!fec.members(j).is_empty(), "group {j} empty");
                 for &i in fec.members(j) {
                     assert!(!seen[i], "packet {i} in two groups");
                     seen[i] = true;
@@ -271,14 +389,44 @@ mod tests {
         let c: Vec<u8> = (0..35).map(|x| 255 - x).collect();
         let parity = xor_parity(&[&a, &b, &c]);
         assert_eq!(parity.len(), 50);
-        assert_eq!(xor_recover(&[&b, &c], &parity, a.len()), a);
-        assert_eq!(xor_recover(&[&a, &c], &parity, b.len()), b);
-        assert_eq!(xor_recover(&[&c, &a], &parity, b.len()), b, "order-free");
+        assert_eq!(xor_recover(&[&b, &c], &parity, a.len()).unwrap(), a);
+        assert_eq!(xor_recover(&[&a, &c], &parity, b.len()).unwrap(), b);
+        assert_eq!(
+            xor_recover(&[&c, &a], &parity, b.len()).unwrap(),
+            b,
+            "order-free"
+        );
+    }
+
+    #[test]
+    fn xor_recover_shape_violations_are_typed_errors() {
+        let parity = xor_parity(&[&[1u8, 2][..], &[3u8, 4][..]]);
+        let long = [9u8; 5];
+        assert_eq!(
+            xor_recover(&[&long], &parity, 2),
+            Err(crate::rs::FecError::SurvivorExceedsParity {
+                len: 5,
+                parity_len: 2
+            })
+        );
+        assert_eq!(
+            xor_recover(&[], &parity, 9),
+            Err(crate::rs::FecError::LostLenExceedsParity {
+                lost_len: 9,
+                parity_len: 2
+            })
+        );
     }
 
     #[test]
     #[should_panic(expected = "group size must be >= 1")]
     fn zero_k_rejected() {
         let _ = FecGroups::striped(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repair count must be >= 1")]
+    fn zero_r_rejected() {
+        let _ = FecGroups::striped_rs(4, 2, 0);
     }
 }

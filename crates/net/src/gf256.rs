@@ -1,0 +1,157 @@
+//! GF(2⁸) arithmetic for the Reed–Solomon erasure layer.
+//!
+//! The field is GF(2)[x] / (x⁸ + x⁴ + x³ + x² + 1) — reduction polynomial
+//! `0x11D`, the conventional Reed–Solomon choice — with generator α = 2
+//! (`0x02` is primitive modulo `0x11D`, so its powers enumerate all 255
+//! non-zero elements). Addition is XOR; multiplication goes through
+//! compile-time exp/log tables, so every operation is a table lookup or
+//! two — branch-free, data-independent, and trivially deterministic.
+//!
+//! Only the handful of operations the erasure coder needs are exposed:
+//! [`mul`], [`div`], [`inv`] and the additive identity facts the caller
+//! already gets from XOR. The field axioms (associativity, commutativity,
+//! distributivity, inverse round trips) are pinned exhaustively where
+//! cheap and by proptest where not (`tests/fec_properties.rs`).
+
+/// Reduction polynomial x⁸ + x⁴ + x³ + x² + 1 (with the implicit x⁸ bit).
+const POLY: u16 = 0x11D;
+
+/// `EXP[i] = α^i` for `i ∈ 0..510` — doubled so `mul` can index
+/// `EXP[log a + log b]` (max 508) without a `% 255` reduction.
+const EXP: [u8; 512] = exp_table();
+
+/// `LOG[a] = log_α a` for `a ∈ 1..=255` (`LOG[0]` is unused filler: zero
+/// has no logarithm; [`mul`]/[`inv`] branch on zero before indexing).
+const LOG: [u8; 256] = log_table();
+
+const fn exp_table() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Indices 510/511 are unreachable (log a + log b <= 508); leave 0.
+    exp
+}
+
+const fn log_table() -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    log
+}
+
+/// Field multiplication: `a · b` in GF(2⁸).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse: `a⁻¹` such that `mul(a, inv(a)) == 1`.
+///
+/// # Panics
+/// Zero has no inverse; callers must guard (the erasure coder only ever
+/// inverts Cauchy denominators `x ⊕ y` with `x ≠ y`, which are non-zero
+/// by construction).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no multiplicative inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Field division: `a / b`.
+///
+/// # Panics
+/// On division by zero (see [`inv`]).
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook carry-less multiply-and-reduce, as the oracle.
+    fn slow_mul(a: u8, b: u8) -> u8 {
+        let mut acc: u16 = 0;
+        let mut a16 = a as u16;
+        let mut b16 = b as u16;
+        while b16 != 0 {
+            if b16 & 1 != 0 {
+                acc ^= a16;
+            }
+            b16 >>= 1;
+            a16 <<= 1;
+            if a16 & 0x100 != 0 {
+                a16 ^= POLY;
+            }
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn table_mul_matches_schoolbook_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_inverts_exhaustively() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn identities_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn generator_is_primitive() {
+        // α = 2 must enumerate all 255 non-zero elements before cycling.
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize], "period of alpha divides < 255");
+            seen[x as usize] = true;
+            x = mul(x, 2);
+        }
+        assert_eq!(x, 1, "alpha^255 = 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_inverse_rejected() {
+        let _ = inv(0);
+    }
+}

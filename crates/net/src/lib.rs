@@ -19,21 +19,28 @@
 //!   [`Link::send_packets`]) consumed by the streamer's chunk schedule and
 //!   the codec's repair policies, including burst drops (consecutive
 //!   packets lost together).
-//! * [`fec`] — systematic XOR-parity forward error correction: striped
-//!   parity groups ([`FecGroups`]) whose single losses are recovered at
-//!   the receiver without a retransmission, and the byte-level
-//!   [`fec::xor_parity`]/[`fec::xor_recover`] primitives.
+//! * [`fec`] — systematic forward error correction: striped parity
+//!   groups ([`FecGroups`]) carrying `r ≥ 1` repair packets each, the
+//!   byte-level [`fec::xor_parity`]/[`fec::xor_recover`] fast path
+//!   (`r = 1`), and the multi-erasure GF(256) Reed–Solomon layer
+//!   ([`gf256`], [`rs`]) that recovers any `r` losses per group.
 //! * [`ThroughputEstimator`] — the streamer's bandwidth estimate: the
 //!   measured throughput of the previous chunk (§5.3), optionally smoothed.
+//! * [`LossEstimator`] — the matching packet-loss estimate (EWMA over
+//!   per-chunk delivery outcomes) that drives loss-rate-adaptive (k, r)
+//!   parity selection in the streamer.
 
 pub mod fec;
+pub mod gf256;
 pub mod link;
 pub mod packet;
+pub mod rs;
 pub mod trace;
 
 pub use fec::FecGroups;
 pub use link::{Link, LinkStats, TransferResult};
 pub use packet::{PacketBatchResult, PacketDelivery, PacketFaults, PacketStatus};
+pub use rs::{FecError, RsCode};
 pub use trace::BandwidthTrace;
 
 /// The streamer's bandwidth estimator (§5.3): "CacheGen estimates the
@@ -95,6 +102,73 @@ impl Default for ThroughputEstimator {
     }
 }
 
+/// Packet-loss estimator mirroring [`ThroughputEstimator`]: an EWMA over
+/// per-chunk delivery outcomes (`lost / total` data packets on the
+/// channel, *before* FEC recovery — recovery hides losses from the
+/// application, not from the estimator). The streamer feeds each chunk's
+/// outcome in and asks for the current estimate before scheduling the
+/// next chunk, so parity depth adapts one chunk behind the channel —
+/// the same one-chunk feedback lag the paper's bandwidth estimator
+/// accepts (§5.3).
+///
+/// The estimate is exposed in integer **per-mille** (`0..=1000`) so the
+/// adaptive FEC policy thresholds stay exactly comparable (`Eq`-derivable
+/// configs, no float compares in the decision path).
+#[derive(Clone, Debug)]
+pub struct LossEstimator {
+    /// Exponential smoothing factor: 1.0 = use only the last chunk.
+    alpha: f64,
+    estimate: Option<f64>,
+}
+
+impl LossEstimator {
+    /// Default estimator: `alpha = 0.5` — bursty channels move the
+    /// estimate fast, one clean chunk doesn't erase the history.
+    pub fn new() -> Self {
+        Self::with_alpha(0.5)
+    }
+
+    /// EWMA estimator with smoothing factor `alpha ∈ (0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        LossEstimator {
+            alpha,
+            estimate: None,
+        }
+    }
+
+    /// Records one chunk's channel outcome: `lost` of `total` data
+    /// packets failed to arrive on the first round (pre-FEC-recovery).
+    pub fn observe(&mut self, lost: usize, total: usize) {
+        if total == 0 {
+            return;
+        }
+        let sample = lost as f64 / total as f64;
+        self.estimate = Some(match self.estimate {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// Current loss estimate in per-mille (`0..=1000`), if any chunk has
+    /// been observed. Rounds half-up so a 2% channel reads as `20`.
+    pub fn loss_permille(&self) -> Option<u32> {
+        self.estimate
+            .map(|e| (e.clamp(0.0, 1.0) * 1000.0).round() as u32)
+    }
+
+    /// Seeds the estimator with prior channel knowledge.
+    pub fn seed(&mut self, loss_fraction: f64) {
+        self.estimate = Some(loss_fraction.clamp(0.0, 1.0));
+    }
+}
+
+impl Default for LossEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +207,24 @@ mod tests {
         let mut e = ThroughputEstimator::new();
         e.seed(2e9);
         assert_eq!(e.bits_per_sec(), Some(2e9));
+    }
+
+    #[test]
+    fn loss_estimator_starts_empty_and_tracks_permille() {
+        let mut e = LossEstimator::new();
+        assert_eq!(e.loss_permille(), None);
+        e.observe(2, 10); // 20%
+        assert_eq!(e.loss_permille(), Some(200));
+        e.observe(0, 10); // EWMA 0.5: 10%
+        assert_eq!(e.loss_permille(), Some(100));
+    }
+
+    #[test]
+    fn loss_estimator_ignores_empty_chunks_and_clamps_seed() {
+        let mut e = LossEstimator::new();
+        e.observe(0, 0);
+        assert_eq!(e.loss_permille(), None);
+        e.seed(2.0);
+        assert_eq!(e.loss_permille(), Some(1000));
     }
 }

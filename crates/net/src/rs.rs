@@ -1,0 +1,443 @@
+//! Systematic Cauchy Reed–Solomon erasure coding over GF(2⁸).
+//!
+//! One [`RsCode`] instance describes the parity equations of a single FEC
+//! group: `m` data packets protected by `r` parity packets, `m + r ≤ 256`.
+//! Parity symbol `j` is the GF(256) linear combination
+//! `p_j[b] = Σ_i c[j][i] · d_i[b]` applied independently to every byte
+//! position `b` (shorter members are implicitly zero-padded to the
+//! longest, exactly like the XOR path). Because the code is *systematic*,
+//! data packets travel unmodified and `r = 0..` parity is pure overhead —
+//! losing no packet costs zero decode work.
+//!
+//! # Why Cauchy, and why the normalization
+//!
+//! The coefficient matrix is a **column-normalized Cauchy matrix**:
+//! evaluation points `y_i = i` for data and `x_j = m + j` for parity (all
+//! distinct in GF(256)), raw entry `1 / (x_j ⊕ y_i)`, and every column
+//! scaled so that row 0 becomes all-ones:
+//!
+//! ```text
+//! c[j][i] = (x_0 ⊕ y_i) / (x_j ⊕ y_i)
+//! ```
+//!
+//! Two properties follow:
+//!
+//! * **MDS** — every square submatrix of a Cauchy matrix is invertible,
+//!   and mixing in identity rows (surviving data) reduces any `m × m`
+//!   minor of the systematic generator `[I; C]` to a smaller Cauchy
+//!   minor. Column scaling by non-zero constants multiplies determinants
+//!   by non-zero constants, so normalization preserves this. Hence *any*
+//!   `m` surviving symbols out of `m + r` reconstruct the group: `r`
+//!   parity packets tolerate any `r` losses, data or parity alike.
+//! * **`r = 1` ≡ XOR** — row 0 being all-ones makes the first parity
+//!   packet the byte-wise XOR of the members, bit-identical to the PR 5
+//!   [`crate::fec::xor_parity`] wire format. The single-parity
+//!   configuration is therefore not merely equivalent but *the same
+//!   code*, and the proptests pin it byte-for-byte.
+//!
+//! Recovery solves the `s × s` system (`s` = lost data packets) given by
+//! any `s` surviving parity rows via Gauss–Jordan elimination — order-free
+//! and byte-identical. All arithmetic is table-driven [`crate::gf256`];
+//! there is no floating point, no randomness, and no iteration-order
+//! dependence anywhere in the path.
+
+use crate::gf256;
+
+/// Typed failure modes of the erasure layer. These replace the silent
+/// zero-padding / `assert!` edge cases the XOR path shipped with: shape
+/// violations a caller can hit at runtime (loss patterns, truncated
+/// payloads) are reported, not panicked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FecError {
+    /// Group shape outside GF(256) limits: `m = 0`, `r = 0`, or
+    /// `m + r > 256` (the field has only 256 evaluation points).
+    InvalidShape {
+        /// Requested data symbol count `m`.
+        data: usize,
+        /// Requested parity symbol count `r`.
+        parity: usize,
+    },
+    /// More data packets lost than surviving parity packets — the group
+    /// is not recoverable here and must fall to repair/refetch.
+    NotEnoughParity {
+        /// Lost data packets in the group.
+        lost: usize,
+        /// Surviving parity packets available to solve with.
+        parity: usize,
+    },
+    /// A surviving payload is longer than the parity payload, which is
+    /// impossible for payloads that actually went through [`RsCode::parity`]
+    /// (parity covers the longest member) — indicates corrupt accounting.
+    SurvivorExceedsParity {
+        /// Length of the offending survivor payload.
+        len: usize,
+        /// Parity payload width it exceeds.
+        parity_len: usize,
+    },
+    /// The claimed lost-packet length exceeds the parity payload.
+    LostLenExceedsParity {
+        /// Claimed length of the lost packet.
+        lost_len: usize,
+        /// Parity payload width it exceeds.
+        parity_len: usize,
+    },
+    /// Surviving parity payloads disagree on width (all parity packets of
+    /// one group are emitted at the same width).
+    ParityWidthMismatch {
+        /// Width of the first surviving parity payload.
+        expected: usize,
+        /// Conflicting width encountered.
+        got: usize,
+    },
+    /// The recovery system was singular. Unreachable for a Cauchy code
+    /// (MDS); kept as a typed error so the solver carries no `unwrap`.
+    SingularMatrix,
+}
+
+impl std::fmt::Display for FecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FecError::InvalidShape { data, parity } => write!(
+                f,
+                "invalid RS group shape: {data} data + {parity} parity \
+                 (need >= 1 each, sum <= 256)"
+            ),
+            FecError::NotEnoughParity { lost, parity } => write!(
+                f,
+                "{lost} data packets lost but only {parity} parity packets \
+                 survive"
+            ),
+            FecError::SurvivorExceedsParity { len, parity_len } => write!(
+                f,
+                "survivor payload ({len} B) exceeds parity payload \
+                 ({parity_len} B)"
+            ),
+            FecError::LostLenExceedsParity {
+                lost_len,
+                parity_len,
+            } => write!(
+                f,
+                "lost packet ({lost_len} B) cannot exceed the parity \
+                 payload ({parity_len} B)"
+            ),
+            FecError::ParityWidthMismatch { expected, got } => write!(
+                f,
+                "parity payloads disagree on width: expected {expected} B, \
+                 got {got} B"
+            ),
+            FecError::SingularMatrix => {
+                write!(f, "singular recovery matrix (MDS violation)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FecError {}
+
+/// The parity equations of one FEC group: `m` data symbols, `r` parity
+/// symbols, column-normalized Cauchy coefficients (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsCode {
+    m: usize,
+    r: usize,
+    /// `rows[j][i]` = coefficient of data symbol `i` in parity symbol `j`.
+    /// Row 0 is all-ones (the XOR row).
+    rows: Vec<Vec<u8>>,
+}
+
+impl RsCode {
+    /// Builds the code for `m` data packets and `r` parity packets.
+    pub fn new(m: usize, r: usize) -> Result<Self, FecError> {
+        if m == 0 || r == 0 || m + r > 256 {
+            return Err(FecError::InvalidShape { data: m, parity: r });
+        }
+        let x0 = m as u8;
+        let rows = (0..r)
+            .map(|j| {
+                let xj = (m + j) as u8;
+                (0..m)
+                    .map(|i| {
+                        let yi = i as u8;
+                        gf256::div(x0 ^ yi, xj ^ yi)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(RsCode { m, r, rows })
+    }
+
+    /// Number of data symbols `m`.
+    pub fn data_symbols(&self) -> usize {
+        self.m
+    }
+
+    /// Number of parity symbols `r`.
+    pub fn parity_symbols(&self) -> usize {
+        self.r
+    }
+
+    /// Encodes the `r` parity payloads for one group. Each parity payload
+    /// is as long as the *longest* member (shorter members count as
+    /// zero-padded). Parity row 0 is exactly [`crate::fec::xor_parity`].
+    ///
+    /// # Panics
+    /// If `payloads.len() != m` — group membership is sender-side static,
+    /// so a mismatch is a programming error, not a runtime condition.
+    pub fn parity(&self, payloads: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(payloads.len(), self.m, "payload count != group size");
+        let width = payloads.iter().map(|p| p.len()).max().unwrap_or(0);
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut out = vec![0u8; width];
+                for (i, p) in payloads.iter().enumerate() {
+                    let c = row[i];
+                    if c == 1 {
+                        for (slot, &b) in out.iter_mut().zip(p.iter()) {
+                            *slot ^= b;
+                        }
+                    } else {
+                        for (slot, &b) in out.iter_mut().zip(p.iter()) {
+                            *slot ^= gf256::mul(c, b);
+                        }
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Recovers every lost data payload of the group, byte-identically
+    /// and order-free.
+    ///
+    /// `data[i]` is `Some(payload)` for surviving members and `None` for
+    /// lost ones; `parity[j]` likewise for the `r` parity payloads. Any
+    /// `s ≤ |surviving parity|` data losses are solvable (MDS). Returns
+    /// `(data_index, payload)` pairs with payloads at full parity width —
+    /// the caller truncates to each packet's known length, exactly as
+    /// with [`crate::fec::xor_recover`].
+    ///
+    /// # Panics
+    /// If `data.len() != m` or `parity.len() != r` (static shape).
+    pub fn recover(
+        &self,
+        data: &[Option<&[u8]>],
+        parity: &[Option<&[u8]>],
+    ) -> Result<Vec<(usize, Vec<u8>)>, FecError> {
+        assert_eq!(data.len(), self.m, "data shard count != group size");
+        assert_eq!(parity.len(), self.r, "parity shard count != r");
+        let lost: Vec<usize> = (0..self.m).filter(|&i| data[i].is_none()).collect();
+        if lost.is_empty() {
+            return Ok(Vec::new());
+        }
+        let alive: Vec<usize> = (0..self.r).filter(|&j| parity[j].is_some()).collect();
+        if alive.len() < lost.len() {
+            return Err(FecError::NotEnoughParity {
+                lost: lost.len(),
+                parity: alive.len(),
+            });
+        }
+        let s = lost.len();
+        // All parity payloads of a group share one width; survivors fit it.
+        let width = parity[alive[0]].map(|p| p.len()).unwrap_or(0);
+        for &j in &alive {
+            if let Some(p) = parity[j] {
+                if p.len() != width {
+                    return Err(FecError::ParityWidthMismatch {
+                        expected: width,
+                        got: p.len(),
+                    });
+                }
+            }
+        }
+        for shard in data.iter().flatten() {
+            if shard.len() > width {
+                return Err(FecError::SurvivorExceedsParity {
+                    len: shard.len(),
+                    parity_len: width,
+                });
+            }
+        }
+        // Syndromes: what each chosen parity row says the lost symbols
+        // must sum to, after subtracting (= XOR-ing) the known members.
+        let mut synd: Vec<Vec<u8>> = Vec::with_capacity(s);
+        for &j in alive.iter().take(s) {
+            let mut acc = match parity[j] {
+                Some(p) => p.to_vec(),
+                None => return Err(FecError::SingularMatrix),
+            };
+            for (i, shard) in data.iter().enumerate() {
+                if let Some(p) = shard {
+                    let c = self.rows[j][i];
+                    for (slot, &b) in acc.iter_mut().zip(p.iter()) {
+                        *slot ^= gf256::mul(c, b);
+                    }
+                }
+            }
+            synd.push(acc);
+        }
+        // Solve A · x = synd where A[t][u] = c[row_t][lost_u]; A is a
+        // (scaled) Cauchy submatrix, hence invertible.
+        let a: Vec<Vec<u8>> = alive
+            .iter()
+            .take(s)
+            .map(|&j| lost.iter().map(|&i| self.rows[j][i]).collect())
+            .collect();
+        let ainv = invert(a)?;
+        let mut out = Vec::with_capacity(s);
+        for (u, &i) in lost.iter().enumerate() {
+            let mut payload = vec![0u8; width];
+            for (t, syn) in synd.iter().enumerate() {
+                let c = ainv[u][t];
+                for (slot, &b) in payload.iter_mut().zip(syn.iter()) {
+                    *slot ^= gf256::mul(c, b);
+                }
+            }
+            out.push((i, payload));
+        }
+        Ok(out)
+    }
+}
+
+/// Gauss–Jordan inversion over GF(256). Returns [`FecError::SingularMatrix`]
+/// instead of panicking so the recovery path carries no `unwrap`.
+fn invert(mut a: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, FecError> {
+    let n = a.len();
+    let mut inv: Vec<Vec<u8>> = (0..n)
+        .map(|i| (0..n).map(|j| u8::from(i == j)).collect())
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .find(|&row| a[row][col] != 0)
+            .ok_or(FecError::SingularMatrix)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = gf256::inv(a[col][col]);
+        for x in a[col].iter_mut() {
+            *x = gf256::mul(*x, p);
+        }
+        for x in inv[col].iter_mut() {
+            *x = gf256::mul(*x, p);
+        }
+        for row in 0..n {
+            if row == col || a[row][col] == 0 {
+                continue;
+            }
+            let f = a[row][col];
+            for j in 0..n {
+                let av = a[col][j];
+                let iv = inv[col][j];
+                a[row][j] ^= gf256::mul(f, av);
+                inv[row][j] ^= gf256::mul(f, iv);
+            }
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fec::xor_parity;
+
+    fn payloads() -> Vec<Vec<u8>> {
+        vec![
+            (0..50u8).collect(),
+            (0..20u8).map(|x| x.wrapping_mul(3)).collect(),
+            (0..35u8).map(|x| 255 - x).collect(),
+            (0..50u8).map(|x| x ^ 0xA5).collect(),
+        ]
+    }
+
+    #[test]
+    fn first_parity_row_is_exactly_xor() {
+        let data = payloads();
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        for r in 1..=4 {
+            let code = RsCode::new(refs.len(), r).unwrap();
+            assert_eq!(code.parity(&refs)[0], xor_parity(&refs), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn any_r_losses_recover_byte_identically() {
+        let data = payloads();
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let m = refs.len();
+        let r = 3;
+        let code = RsCode::new(m, r).unwrap();
+        let parity = code.parity(&refs);
+        // Every way of losing up to r symbols out of m + r, as a bitmask.
+        for mask in 0u32..(1 << (m + r)) {
+            let lost_total = mask.count_ones() as usize;
+            if lost_total == 0 || lost_total > r {
+                continue;
+            }
+            let shards: Vec<Option<&[u8]>> = (0..m)
+                .map(|i| (mask & (1 << i) == 0).then_some(refs[i]))
+                .collect();
+            let pshards: Vec<Option<&[u8]>> = (0..r)
+                .map(|j| (mask & (1 << (m + j)) == 0).then_some(parity[j].as_slice()))
+                .collect();
+            let recovered = code.recover(&shards, &pshards).unwrap();
+            for (i, payload) in recovered {
+                assert_eq!(
+                    &payload[..refs[i].len()],
+                    refs[i],
+                    "mask {mask:#b}, symbol {i}"
+                );
+                assert!(payload[refs[i].len()..].iter().all(|&b| b == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn losses_beyond_surviving_parity_are_a_typed_error() {
+        let data = payloads();
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let code = RsCode::new(refs.len(), 2).unwrap();
+        let parity = code.parity(&refs);
+        // Two data losses but only one surviving parity packet.
+        let shards = vec![None, None, Some(refs[2]), Some(refs[3])];
+        let pshards = vec![Some(parity[0].as_slice()), None];
+        assert_eq!(
+            code.recover(&shards, &pshards),
+            Err(FecError::NotEnoughParity { lost: 2, parity: 1 })
+        );
+    }
+
+    #[test]
+    fn survivor_longer_than_parity_is_a_typed_error() {
+        let code = RsCode::new(2, 1).unwrap();
+        let parity = code.parity(&[&[1u8, 2], &[3u8]]);
+        let long = [9u8; 10];
+        let shards: Vec<Option<&[u8]>> = vec![None, Some(&long)];
+        let pshards = vec![Some(parity[0].as_slice())];
+        assert_eq!(
+            code.recover(&shards, &pshards),
+            Err(FecError::SurvivorExceedsParity {
+                len: 10,
+                parity_len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        assert!(RsCode::new(0, 1).is_err());
+        assert!(RsCode::new(1, 0).is_err());
+        assert!(RsCode::new(200, 57).is_err());
+        assert!(RsCode::new(200, 56).is_ok());
+    }
+
+    #[test]
+    fn nothing_lost_recovers_nothing() {
+        let data = payloads();
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let code = RsCode::new(refs.len(), 2).unwrap();
+        let parity = code.parity(&refs);
+        let shards: Vec<Option<&[u8]>> = refs.iter().map(|&p| Some(p)).collect();
+        let pshards: Vec<Option<&[u8]>> = parity.iter().map(|p| Some(p.as_slice())).collect();
+        assert_eq!(code.recover(&shards, &pshards), Ok(Vec::new()));
+    }
+}

@@ -958,6 +958,38 @@ mod tests {
     }
 
     #[test]
+    fn fec_for_carries_rs_and_adaptive_knobs() {
+        // Multi-erasure knobs flow through the same resolution chain as the
+        // XOR ones: a tenant can pin RS(k, r) parity while the cluster
+        // default adapts to the measured loss rate, and degraded admission
+        // shrinks parity depth (r = 2 → 1) instead of dropping FEC outright.
+        let cfg = ServingConfig {
+            fec_overhead: FecOverhead::adaptive_default(),
+            tenant_fec: vec![Some(FecOverhead::Rs { k: 10, r: 2 })],
+            degraded_fec: Some(FecOverhead::Rs { k: 10, r: 1 }),
+            ..ServingConfig::default()
+        };
+        assert_eq!(
+            cfg.fec_for(0, false),
+            &FecOverhead::Rs { k: 10, r: 2 },
+            "tenant pins full double-parity RS"
+        );
+        assert_eq!(
+            cfg.fec_for(1, false),
+            &FecOverhead::adaptive_default(),
+            "cluster default adapts (k, r) to the loss estimate"
+        );
+        // Degraded admission keeps the erasure code but sheds one repair
+        // symbol per group — cheaper than r = 2, stronger than Off.
+        assert_eq!(cfg.fec_for(0, true), &FecOverhead::Rs { k: 10, r: 1 });
+        let (k, r) = cfg
+            .fec_for(0, true)
+            .params_for(0, None)
+            .expect("degraded RS knob still groups");
+        assert_eq!((k, r), (10, 1));
+    }
+
+    #[test]
     fn overload_coalesces_batches() {
         // Fire fast on a slow link: queues build while a batch is in
         // flight, and same-context arrivals ride together.

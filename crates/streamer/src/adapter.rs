@@ -17,7 +17,7 @@
 use crate::levels::{LevelLadder, StreamConfig};
 use crate::plan::ChunkPlan;
 use crate::schedule::{ChunkSchedule, FecOverhead, PacketId, WirePacket};
-use cachegen_net::{FecGroups, Link, ThroughputEstimator};
+use cachegen_net::{FecGroups, Link, LossEstimator, ThroughputEstimator};
 use cachegen_telemetry::{Recorder, Stage};
 
 /// How the streamer picks per-chunk configurations.
@@ -52,10 +52,14 @@ pub struct StreamParams<'a> {
     pub retransmit_budget: usize,
     /// Forward-error-correction parity density per encoding level
     /// (per-packet-fault links only). Parity packets ride the schedule's
-    /// wire order; any parity group that loses exactly one data packet is
-    /// recovered at the receiver *before* the retransmit budget or the
-    /// repair policies are consulted. [`FecOverhead::Off`] reproduces the
-    /// pre-FEC transport bit for bit.
+    /// wire order; any parity group that loses no more data packets than
+    /// it has surviving parity packets is recovered at the receiver
+    /// *before* the retransmit budget or the repair policies are
+    /// consulted (`r = 1` XOR for the fixed policies, Reed–Solomon
+    /// `r ≥ 2` for [`FecOverhead::Rs`]/[`FecOverhead::Adaptive`]).
+    /// [`FecOverhead::Adaptive`] re-picks `(k, r)` before every chunk
+    /// from an EWMA of the previous chunks' observed channel loss.
+    /// [`FecOverhead::Off`] reproduces the pre-FEC transport bit for bit.
     pub fec_overhead: FecOverhead,
     /// Level ladder (for quality ordering / default medium level).
     pub ladder: &'a LevelLadder,
@@ -91,9 +95,9 @@ pub struct ChunkOutcome {
     /// [`cachegen-codec`] repair policy fills. Empty on clean links and
     /// for text chunks.
     pub lost: Vec<(PacketId, u64)>,
-    /// Packets the transport dropped but XOR parity recovered
-    /// byte-identically at the receiver — they consumed neither the
-    /// retransmit budget nor a repair. Empty with [`FecOverhead::Off`].
+    /// Packets the transport dropped but parity (XOR or Reed–Solomon)
+    /// recovered byte-identically at the receiver — they consumed neither
+    /// the retransmit budget nor a repair. Empty with [`FecOverhead::Off`].
     pub fec_recovered: Vec<(PacketId, u64)>,
     /// Per-request parity payload bytes this chunk put on the wire (the
     /// FEC bandwidth overhead; zero with [`FecOverhead::Off`]).
@@ -269,13 +273,20 @@ pub struct ScheduleDelivery {
     /// Packets (and their per-request bytes) still missing after FEC
     /// recovery and the retransmit budget.
     pub lost: Vec<(PacketId, u64)>,
-    /// Packets XOR parity recovered byte-identically (no retransmission,
+    /// Packets parity recovered byte-identically (no retransmission,
     /// no repair).
     pub fec_recovered: Vec<(PacketId, u64)>,
     /// Per-request parity payload bytes put on the wire.
     pub parity_bytes: u64,
     /// Retransmissions spent.
     pub retransmits: u32,
+    /// Data packets sent on the first round — the denominator of the
+    /// channel-loss observation the adaptive FEC policy consumes.
+    pub channel_data_packets: usize,
+    /// Data packets the channel dropped on the first round, *before* FEC
+    /// recovery (recovery hides losses from the application, not from
+    /// the loss estimator).
+    pub channel_data_losses: usize,
     /// Data payload bytes that arrived complete (batch-scaled, parity
     /// excluded — the elapsed time still covers the parity
     /// transmissions, so the throughput estimator measures effective
@@ -284,15 +295,18 @@ pub struct ScheduleDelivery {
 }
 
 /// Delivers one chunk schedule packet by packet: send the whole wire
-/// order (data in priority order, each FEC group's parity right after its
-/// last member), recover every single-loss parity group by XOR at the
-/// receiver, then — only for what FEC could not reconstruct — learn the
-/// failures one NACK round trip after the batch lands and resend the
-/// highest-priority ones while the budget lasts. Whatever remains is
-/// reported as lost for the codec's repair policies. The priority order
-/// means the context's early token groups are both sent and repaired
-/// first; with `fec = None` the delivery is bit-identical to the pre-FEC
-/// transport (same packets, same fault draws, same timeline).
+/// order (data in priority order, each FEC group's parity staggered
+/// after its last member), recover at the receiver every parity group
+/// that lost no more data packets than it kept parity packets (XOR at
+/// `r = 1`, Reed–Solomon beyond — [`cachegen_net::rs`] proves the
+/// recovery byte-identical and order-free), then — only for what FEC
+/// could not reconstruct — learn the failures one NACK round trip after
+/// the batch lands and resend the highest-priority ones while the budget
+/// lasts. Whatever remains is reported as lost for the codec's repair
+/// policies. The priority order means the context's early token groups
+/// are both sent and repaired first; with `fec = None` the delivery is
+/// bit-identical to the pre-FEC transport (same packets, same fault
+/// draws, same timeline).
 pub fn deliver_schedule(
     sched: &ChunkSchedule,
     link: &mut Link,
@@ -323,11 +337,13 @@ pub fn deliver_schedule(
     // automatically price the parity overhead in.
     let mut delivered_bytes = 0u64;
 
-    let mut parity_ok = fec.map(|f| vec![false; f.num_groups()]);
+    let mut parity_surviving = fec.map(|f| vec![0usize; f.num_groups()]);
     let mut failed_data: Vec<usize> = Vec::new();
+    let mut channel_data_packets = 0usize;
     for (slot, d) in wire.iter().zip(&res.deliveries) {
         match *slot {
             WirePacket::Data { index, bytes, .. } => {
+                channel_data_packets += 1;
                 if d.status.is_delivered() {
                     delivered_bytes += bytes * batch;
                 } else {
@@ -335,19 +351,23 @@ pub fn deliver_schedule(
                 }
             }
             WirePacket::Parity { group, .. } => {
-                if let (true, Some(ok)) = (d.status.is_delivered(), parity_ok.as_mut()) {
-                    ok[group] = true;
+                if let (true, Some(surv)) = (d.status.is_delivered(), parity_surviving.as_mut()) {
+                    surv[group] += 1;
                 }
             }
         }
     }
+    let channel_data_losses = failed_data.len();
 
     // FEC recovery pass, *before* any retransmission: a group that lost
-    // exactly one data member and kept its parity is XOR-reconstructed at
-    // the receiver — no NACK, no budget. Groups with ≥ 2 losses (or a
-    // lost parity) fall through to retransmit/repair.
-    let mut pending: Vec<(PacketId, u64)> = match (fec, parity_ok.as_ref()) {
-        (Some(f), Some(ok)) => {
+    // no more data members than it kept parity packets is reconstructed
+    // at the receiver — no NACK, no budget (XOR at one loss + one
+    // parity, Reed–Solomon for multi-loss groups; `cachegen_net::rs`
+    // proves recovery byte-identical for any such pattern). Groups
+    // beyond their surviving parity budget fall through to
+    // retransmit/repair.
+    let mut pending: Vec<(PacketId, u64)> = match (fec, parity_surviving.as_ref()) {
+        (Some(f), Some(surv)) => {
             let mut lost_in_group: Vec<Vec<usize>> = vec![Vec::new(); f.num_groups()];
             let mut still = Vec::new();
             for &i in &failed_data {
@@ -359,8 +379,8 @@ pub fn deliver_schedule(
                 }
             }
             for (g, members) in lost_in_group.into_iter().enumerate() {
-                if members.len() == 1 && ok[g] {
-                    fec_recovered.push(sched.entry(members[0]));
+                if !members.is_empty() && members.len() <= surv[g] {
+                    fec_recovered.extend(members.into_iter().map(|i| sched.entry(i)));
                 } else {
                     still.extend(members);
                 }
@@ -403,6 +423,8 @@ pub fn deliver_schedule(
         parity_bytes,
         retransmits,
         delivered_bytes,
+        channel_data_packets,
+        channel_data_losses,
     }
 }
 
@@ -434,6 +456,11 @@ pub fn simulate_stream_from(
     assert!(start >= 0.0, "start time must be non-negative");
     let batch = params.concurrent_requests as u64;
     let mut estimator = ThroughputEstimator::new();
+    // Channel-loss EWMA feeding the adaptive FEC policy: each chunk's
+    // pre-recovery delivery outcome updates it, so (k, r) follows the
+    // channel one chunk behind — the same feedback lag the paper's
+    // bandwidth estimator accepts (§5.3).
+    let mut loss_estimator = LossEstimator::new();
     let mut t = start;
     let mut decoder_free = start; // GPU decode kernel availability
     let mut gpu_free = start; // GPU prefill availability (text chunks)
@@ -451,7 +478,11 @@ pub fn simulate_stream_from(
             StreamConfig::Level(l) if link.is_packet_mode() => {
                 let fallback = ChunkSchedule::single(bytes);
                 let sched = chunk.schedule_for(l).unwrap_or(&fallback);
-                let fec = params.fec_overhead.groups_for(l, &sched.packet_sizes());
+                let fec = params.fec_overhead.groups_for_with_loss(
+                    l,
+                    &sched.packet_sizes(),
+                    loss_estimator.loss_permille(),
+                );
                 let d = deliver_schedule(
                     sched,
                     link,
@@ -461,6 +492,7 @@ pub fn simulate_stream_from(
                     fec.as_ref(),
                 );
                 estimator.observe(d.delivered_bytes, (d.wire_free - t).max(1e-12));
+                loss_estimator.observe(d.channel_data_losses, d.channel_data_packets);
                 (
                     d.finish,
                     d.wire_free,
@@ -1021,6 +1053,79 @@ mod tests {
             on.retransmits(),
             off.retransmits()
         );
+    }
+
+    #[test]
+    fn rs_parity_recovers_double_loss_groups_where_xor_cannot() {
+        use cachegen_net::PacketFaults;
+        let plan = packet_plan();
+        let ladder = LevelLadder::new(vec![1.0]);
+        let run = |fec: FecOverhead, seed: u64| {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.01)
+                .with_packet_faults(PacketFaults::loss(0.25), seed);
+            let mut p = params(
+                None,
+                AdaptPolicy::FixedLevel(0),
+                &ladder,
+                &fast_decode,
+                &slow_recompute,
+            );
+            p.fec_overhead = fec;
+            simulate_stream(&plan, &mut link, &p)
+        };
+        // The extra parity packets shift the seeded fault draws, so
+        // individual seeds aren't comparable packet-for-packet; across a
+        // seed population RS r=2 must leave strictly fewer residual
+        // holes than XOR at the same k (it additionally recovers the
+        // double-loss groups XOR hands to the repair ladder).
+        let mut xor_lost = 0usize;
+        let mut rs_lost = 0usize;
+        for seed in 0..64 {
+            let xor = run(FecOverhead::Uniform(4), seed);
+            let rs = run(FecOverhead::Rs { k: 4, r: 2 }, seed);
+            assert_eq!(rs.retransmits(), 0);
+            xor_lost += xor.lost_packets();
+            rs_lost += rs.lost_packets();
+        }
+        assert!(xor_lost > 0, "25% loss must defeat single parity somewhere");
+        assert!(
+            rs_lost * 4 <= xor_lost * 3,
+            "RS r=2 should cut residual holes by ≥25%: {rs_lost} vs {xor_lost}"
+        );
+    }
+
+    #[test]
+    fn adaptive_fec_relaxes_parity_on_clean_channels() {
+        use cachegen_net::PacketFaults;
+        let plan = packet_plan();
+        let ladder = LevelLadder::new(vec![1.0]);
+        let run = |loss: f64| {
+            let mut link = Link::new(BandwidthTrace::constant(GBPS), 0.01)
+                .with_packet_faults(PacketFaults::loss(loss), 5);
+            let mut p = params(
+                None,
+                AdaptPolicy::FixedLevel(0),
+                &ladder,
+                &fast_decode,
+                &slow_recompute,
+            );
+            p.fec_overhead = FecOverhead::adaptive_default();
+            simulate_stream(&plan, &mut link, &p)
+        };
+        let clean = run(0.0);
+        let lossy = run(0.25);
+        // First chunk always pays the protective rung; on a clean channel
+        // the second chunk drops to the light rung, so total parity bytes
+        // are strictly lower than under sustained loss.
+        assert!(clean.parity_bytes() > 0);
+        assert!(
+            clean.parity_bytes() < lossy.parity_bytes(),
+            "clean {} vs lossy {}",
+            clean.parity_bytes(),
+            lossy.parity_bytes()
+        );
+        // Determinism: same seed, same ladder → identical outcome.
+        assert_eq!(run(0.25).chunks, lossy.chunks);
     }
 
     #[test]

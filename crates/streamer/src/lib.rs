@@ -14,13 +14,14 @@
 //! * [`schedule`] — the anchor-group-aligned, priority-ordered packet
 //!   schedule a lossy link delivers chunk by chunk (early token groups
 //!   and shallow layers first), including the per-level FEC parity
-//!   density ([`FecOverhead`]) and the parity-interleaved wire order.
+//!   density ([`FecOverhead`]: XOR, fixed Reed–Solomon `(k, r)`, or
+//!   loss-adaptive) and the parity-interleaved wire order.
 //! * [`adapter`] — Algorithm 1 plus the virtual-time streaming simulation
 //!   (transfer pipelined with decode, §6), concurrent-request batching
-//!   (Figure 12), and packetized delivery with XOR-parity FEC recovery
-//!   and a retransmit budget on per-packet-fault links (whatever is still
-//!   missing after both is reported per chunk for the codec's repair
-//!   policies).
+//!   (Figure 12), and packetized delivery with parity FEC recovery (any
+//!   `r` losses per group) and a retransmit budget on per-packet-fault
+//!   links (whatever is still missing after both is reported per chunk
+//!   for the codec's repair policies).
 
 pub mod adapter;
 pub mod levels;
@@ -33,4 +34,4 @@ pub use adapter::{
 };
 pub use levels::{LevelLadder, StreamConfig};
 pub use plan::{ChunkPlan, ChunkSizes};
-pub use schedule::{ChunkSchedule, FecOverhead, PacketId, WirePacket};
+pub use schedule::{AdaptiveFec, ChunkSchedule, FecOverhead, FecRung, PacketId, WirePacket};

@@ -15,24 +15,120 @@
 //!   first.
 //!
 //! With forward error correction enabled ([`FecOverhead`]), the schedule
-//! additionally emits one XOR **parity packet** per striped parity group
-//! ([`cachegen_net::FecGroups`]): parity rides in its own priority class,
-//! right after its group's last data packet and before the next group's
-//! tail, so a group becomes recoverable the moment its members (or all
-//! but one of them, plus the parity) have landed.
+//! additionally emits `r ≥ 1` **parity packets** per striped parity group
+//! ([`cachegen_net::FecGroups`]): parity rides right after its group's
+//! last data packet and before the next group's tail, so a group becomes
+//! recoverable the moment enough of its members plus parity have landed.
+//! Repair packet 0 is the XOR row (bit-identical to the PR 5 wire);
+//! repair packets `1..r` are Reed–Solomon rows, staggered across wire
+//! slots so a burst cannot claim one group's whole parity budget in
+//! adjacent packets. [`FecOverhead::Adaptive`] re-picks `(k, r)` before
+//! every chunk from the streamer's loss estimate.
 
 use cachegen_net::FecGroups;
 
+/// One rung of the loss-adaptive FEC policy: the `(k, r)` parity shape
+/// used while the estimated channel loss stays at or below
+/// `max_loss_permille`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FecRung {
+    /// Upper loss bound (inclusive) this rung covers, in per-mille —
+    /// integer so the policy stays `Eq`-comparable with no float compares.
+    pub max_loss_permille: u32,
+    /// Parity group size: each group covers at most `k` data packets.
+    pub k: usize,
+    /// Repair packets per group: any `r` losses per group are recoverable.
+    pub r: usize,
+}
+
+/// Loss-rate-adaptive parity ladder: rungs sorted by ascending
+/// `max_loss_permille`, the first rung whose bound covers the current
+/// loss estimate wins. With no estimate yet (first chunk of a stream)
+/// the *last* (most protective) rung is used — mis-guessing low on a
+/// lossy channel costs a retransmit round trip on the head chunk, which
+/// is exactly the TTFT the ladder exists to protect; mis-guessing high
+/// on a clean channel costs one chunk of extra parity bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdaptiveFec {
+    rungs: Vec<FecRung>,
+}
+
+impl AdaptiveFec {
+    /// Builds a ladder from rungs sorted ascending by
+    /// `max_loss_permille`; the last rung must cover `1000` (total loss)
+    /// so every estimate maps to a shape.
+    pub fn new(rungs: Vec<FecRung>) -> Self {
+        assert!(!rungs.is_empty(), "adaptive FEC needs at least one rung");
+        assert!(
+            rungs
+                .windows(2)
+                .all(|w| w[0].max_loss_permille < w[1].max_loss_permille),
+            "rungs must be sorted ascending by max_loss_permille"
+        );
+        let last = rungs[rungs.len() - 1];
+        assert!(
+            last.max_loss_permille >= 1000,
+            "last rung must cover 1000 per-mille"
+        );
+        assert!(rungs.iter().all(|r| r.k >= 1 && r.r >= 1));
+        AdaptiveFec { rungs }
+    }
+
+    /// The workspace default ladder: near-lossless channels pay ~7%
+    /// single-XOR parity, mild loss densifies the stripe, and past ~8%
+    /// estimated loss the ladder switches to RS `r = 2` so double hits
+    /// per group stay recoverable without a retransmit round trip.
+    pub fn paper_default() -> Self {
+        AdaptiveFec::new(vec![
+            FecRung {
+                max_loss_permille: 20,
+                k: 14,
+                r: 1,
+            },
+            FecRung {
+                max_loss_permille: 80,
+                k: 10,
+                r: 1,
+            },
+            FecRung {
+                max_loss_permille: 1000,
+                k: 12,
+                r: 2,
+            },
+        ])
+    }
+
+    /// The `(k, r)` for a loss estimate (`None` = no estimate yet →
+    /// most protective rung).
+    pub fn params(&self, loss_permille: Option<u32>) -> (usize, usize) {
+        let rung = match loss_permille {
+            None => self.rungs[self.rungs.len() - 1],
+            Some(loss) => *self
+                .rungs
+                .iter()
+                .find(|r| loss <= r.max_loss_permille)
+                .unwrap_or(&self.rungs[self.rungs.len() - 1]),
+        };
+        (rung.k, rung.r)
+    }
+
+    /// The ladder's rungs, ascending by loss bound.
+    pub fn rungs(&self) -> &[FecRung] {
+        &self.rungs
+    }
+}
+
 /// Per-level forward-error-correction overhead: how many data packets
-/// each XOR parity packet covers (`k`). Smaller `k` = denser parity =
-/// more recoverable losses = more bandwidth overhead (≈ `1/k`).
+/// each parity packet covers (`k`), and how many repair packets each
+/// group carries (`r`). Smaller `k` = denser parity = more recoverable
+/// losses = more bandwidth overhead (≈ `r/k`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FecOverhead {
     /// No parity packets (`k = ∞`): the wire output is bit-identical to
     /// the plain packetized transport.
     Off,
-    /// One parity per `k` data packets at every encoding level, striped
-    /// uniformly across the schedule.
+    /// One XOR parity per `k` data packets at every encoding level,
+    /// striped uniformly across the schedule.
     Uniform(usize),
     /// `k` per encoding level, finest first (the last entry is reused for
     /// deeper levels). Within each schedule the head half of the priority
@@ -41,6 +137,22 @@ pub enum FecOverhead {
     /// ([`FecGroups::striped_tiered`]): the packets the first generated
     /// tokens attend to hardest carry the most redundancy.
     PerLevel(Vec<usize>),
+    /// Fixed multi-erasure Reed–Solomon parity: `r` repair packets per
+    /// group of at most `k` data packets, striped uniformly. Any `r`
+    /// losses per group (data or parity) are recoverable; `r = 1` is
+    /// bit-identical to [`FecOverhead::Uniform`] (the RS code's first
+    /// parity row *is* the XOR row).
+    Rs {
+        /// Parity group size.
+        k: usize,
+        /// Repair packets per group.
+        r: usize,
+    },
+    /// Loss-rate-adaptive `(k, r)`: the streamer's [`cachegen_net::
+    /// LossEstimator`] picks the rung before each chunk's schedule is
+    /// built, so parity density follows the channel one chunk behind —
+    /// the same feedback lag the paper's bandwidth estimator accepts.
+    Adaptive(AdaptiveFec),
 }
 
 impl FecOverhead {
@@ -53,35 +165,68 @@ impl FecOverhead {
         FecOverhead::PerLevel(vec![8, 10, 12, 12, 14])
     }
 
+    /// The loss-adaptive default ([`AdaptiveFec::paper_default`]): the
+    /// frontier configuration for channels past ~10% loss, holding the
+    /// 20%-loss TTFT within the repair ladder at ≤ 20% parity overhead.
+    pub fn adaptive_default() -> Self {
+        FecOverhead::Adaptive(AdaptiveFec::paper_default())
+    }
+
     /// The parity group size at one encoding level (`None` = FEC off).
+    /// For [`FecOverhead::Adaptive`] this is the no-estimate (most
+    /// protective) rung; use [`FecOverhead::params_for`] with a live
+    /// loss estimate.
     pub fn k_for_level(&self, level: usize) -> Option<usize> {
+        self.params_for(level, None).map(|(k, _)| k)
+    }
+
+    /// The `(k, r)` parity shape at one encoding level under the given
+    /// loss estimate (`None` estimate = first chunk / no data yet).
+    /// Returns `None` when FEC is off. Only [`FecOverhead::Adaptive`]
+    /// consults the estimate; fixed policies ignore it.
+    pub fn params_for(&self, level: usize, loss_permille: Option<u32>) -> Option<(usize, usize)> {
         match self {
             FecOverhead::Off => None,
-            FecOverhead::Uniform(k) => Some(*k),
+            FecOverhead::Uniform(k) => Some((*k, 1)),
             FecOverhead::PerLevel(ks) => {
                 assert!(!ks.is_empty(), "PerLevel needs at least one k");
-                Some(ks[level.min(ks.len() - 1)])
+                Some((ks[level.min(ks.len() - 1)], 1))
             }
+            FecOverhead::Rs { k, r } => Some((*k, *r)),
+            FecOverhead::Adaptive(ladder) => Some(ladder.params(loss_permille)),
         }
     }
 
     /// The parity grouping for a schedule with the given data packet
-    /// sizes at one level (`None` = FEC off). Size outliers — e.g. the
-    /// container-bearing head packet, whose parity would cost as much as
-    /// resending it — are left unprotected and rely on the
-    /// retransmit/repair/refetch rungs ([`FecGroups::striped_sized`]).
-    /// [`FecOverhead::Uniform`] stripes flat; [`FecOverhead::PerLevel`]
+    /// sizes at one level (`None` = FEC off), with no loss estimate —
+    /// see [`FecOverhead::groups_for_with_loss`].
+    pub fn groups_for(&self, level: usize, sizes: &[u64]) -> Option<FecGroups> {
+        self.groups_for_with_loss(level, sizes, None)
+    }
+
+    /// The parity grouping for a schedule with the given data packet
+    /// sizes at one level under the given loss estimate (`None` = FEC
+    /// off). Size outliers — e.g. the container-bearing head packet,
+    /// whose parity would cost as much as resending it — are left
+    /// unprotected and rely on the retransmit/repair/refetch rungs
+    /// ([`FecGroups::striped_sized`]). [`FecOverhead::Uniform`] and the
+    /// RS/adaptive policies stripe flat; [`FecOverhead::PerLevel`]
     /// protects the head half denser. Single-packet schedules (the
     /// whole-chunk fallback for analytic plans) get no parity for the
     /// same reason outliers don't: their parity would be a full copy,
     /// blowing the overhead envelope.
-    pub fn groups_for(&self, level: usize, sizes: &[u64]) -> Option<FecGroups> {
-        let k = self.k_for_level(level)?;
+    pub fn groups_for_with_loss(
+        &self,
+        level: usize,
+        sizes: &[u64],
+        loss_permille: Option<u32>,
+    ) -> Option<FecGroups> {
+        let (k, r) = self.params_for(level, loss_permille)?;
         if sizes.len() < 2 {
             return None;
         }
         let tiered = matches!(self, FecOverhead::PerLevel(_));
-        Some(FecGroups::striped_sized(sizes, k, tiered))
+        Some(FecGroups::striped_sized_rs(sizes, k, r, tiered))
     }
 }
 
@@ -97,10 +242,14 @@ pub enum WirePacket {
         /// Payload bytes.
         bytes: u64,
     },
-    /// The XOR parity of FEC group `group` (sized to its longest member).
+    /// Parity packet `index` of FEC group `group` (sized to the group's
+    /// longest member). Index 0 is the XOR row; indices `1..r` are the
+    /// additional Reed–Solomon repair rows.
     Parity {
         /// The parity group this packet protects.
         group: usize,
+        /// Which of the group's `r` repair packets this is.
+        index: usize,
         /// Payload bytes.
         bytes: u64,
     },
@@ -204,12 +353,18 @@ impl ChunkSchedule {
     }
 
     /// The schedule's wire (send) order with FEC parity interleaved: data
-    /// packets stay in priority order, and each parity group's packet is
-    /// inserted immediately after the group's *last* data member — after
-    /// the data of its group, before the next group's tail — so a group
-    /// is recoverable as soon as its stripe has passed. With `fec =
-    /// None` this is exactly the data entries (bit-identical to the
-    /// pre-FEC transport).
+    /// packets stay in priority order, and each group's parity packet 0
+    /// is inserted immediately after the group's *last* data member —
+    /// after the data of its group, before the next group's tail — so a
+    /// group is recoverable as soon as its stripe has passed. Additional
+    /// repair packets (`r > 1`) are staggered: parity `t` of a group
+    /// rides `t` data slots after parity 0's anchor (clamped to the
+    /// schedule tail), and co-located parities are ordered
+    /// lowest-repair-index first across groups, so one group's `r`
+    /// copies never travel back-to-back — a wire burst has to span
+    /// multiple slots to claim a group's whole parity budget. With
+    /// `fec = None` this is exactly the data entries (bit-identical to
+    /// the pre-FEC transport).
     pub fn wire_packets(&self, fec: Option<&FecGroups>) -> Vec<WirePacket> {
         let data = |i: usize| {
             let (id, bytes) = self.entries[i];
@@ -229,20 +384,26 @@ impl ChunkSchedule {
         );
         let sizes = self.packet_sizes();
         let parity_sizes = fec.parity_sizes(&sizes);
-        // Emit each parity right after its group's last member: one pass
-        // to map last-member index → group, one pass to interleave.
-        let mut parity_after: Vec<Option<usize>> = vec![None; self.entries.len()];
+        // Anchor parity t of group g after data slot last_member(g) + t;
+        // at a shared slot, emit all index-0 parities before index-1 etc.
+        // so same-group repair copies are maximally spread.
+        let n = self.entries.len();
+        let mut parity_after: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
         for g in 0..fec.num_groups() {
             if let Some(&last) = fec.members(g).last() {
-                parity_after[last] = Some(g);
+                for t in 0..fec.repairs_of(g) {
+                    parity_after[(last + t).min(n - 1)].push((t, g));
+                }
             }
         }
-        let mut out = Vec::with_capacity(self.entries.len() + fec.num_groups());
-        for (i, parity) in parity_after.iter().enumerate() {
+        let mut out = Vec::with_capacity(n + fec.num_parity_packets());
+        for (i, slot) in parity_after.iter_mut().enumerate() {
             out.push(data(i));
-            if let Some(g) = *parity {
+            slot.sort_unstable();
+            for &(t, g) in slot.iter() {
                 out.push(WirePacket::Parity {
                     group: g,
+                    index: t,
                     bytes: parity_sizes[g],
                 });
             }
@@ -339,6 +500,7 @@ mod tests {
             wire[5],
             WirePacket::Parity {
                 group: 0,
+                index: 0,
                 bytes: 104
             },
             "parity 0 directly after its last member"
@@ -347,11 +509,86 @@ mod tests {
             wire[7],
             WirePacket::Parity {
                 group: 1,
+                index: 0,
                 bytes: 105
             }
         );
         // Parity is sized to the longest member of its group.
         assert_eq!(fec.parity_sizes(&s.packet_sizes()), vec![104, 105]);
+    }
+
+    #[test]
+    fn multi_parity_wire_staggers_same_group_repairs() {
+        let entries: Vec<(PacketId, u64)> = (0..6).map(|g| (id(g, 0, true), 100)).collect();
+        let s = ChunkSchedule::priority_ordered(entries);
+        // k=3, r=2 over 6 packets → stride 2: groups {0,2,4}, {1,3,5},
+        // two repair packets each.
+        let fec = cachegen_net::FecGroups::striped_rs(6, 3, 2);
+        let wire = s.wire_packets(Some(&fec));
+        assert_eq!(wire.len(), 10);
+        // No group's two repair packets travel back-to-back.
+        for w in wire.windows(2) {
+            if let (WirePacket::Parity { group: a, .. }, WirePacket::Parity { group: b, .. }) =
+                (w[0], w[1])
+            {
+                assert_ne!(a, b, "same-group parities adjacent on the wire");
+            }
+        }
+        // All parity emitted, each group exactly r times, index 0 first.
+        for g in 0..2 {
+            let idxs: Vec<usize> = wire
+                .iter()
+                .filter_map(|w| match *w {
+                    WirePacket::Parity { group, index, .. } if group == g => Some(index),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(idxs, vec![0, 1], "group {g}");
+        }
+    }
+
+    #[test]
+    fn adaptive_fec_picks_rungs_by_loss_estimate() {
+        let ladder = AdaptiveFec::paper_default();
+        let fec = FecOverhead::Adaptive(ladder.clone());
+        // No estimate yet → most protective rung.
+        assert_eq!(fec.params_for(0, None), Some((12, 2)));
+        // Clean channel → lightest rung; mild loss → denser XOR stripe;
+        // heavy loss → RS r = 2.
+        assert_eq!(fec.params_for(0, Some(0)), Some((14, 1)));
+        assert_eq!(fec.params_for(0, Some(50)), Some((10, 1)));
+        assert_eq!(fec.params_for(0, Some(200)), Some((12, 2)));
+        assert_eq!(fec.params_for(0, Some(1000)), Some((12, 2)));
+        // Fixed policies ignore the estimate.
+        assert_eq!(
+            FecOverhead::Rs { k: 9, r: 3 }.params_for(0, Some(0)),
+            Some((9, 3))
+        );
+        assert_eq!(
+            FecOverhead::Uniform(5).params_for(2, Some(900)),
+            Some((5, 1))
+        );
+        // Grouping honours (k, r).
+        let g = fec.groups_for_with_loss(0, &[100; 24], Some(500)).unwrap();
+        assert_eq!(g.num_groups(), 2);
+        assert!((0..2).all(|j| g.repairs_of(j) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn adaptive_rungs_must_be_sorted() {
+        let _ = AdaptiveFec::new(vec![
+            FecRung {
+                max_loss_permille: 100,
+                k: 10,
+                r: 1,
+            },
+            FecRung {
+                max_loss_permille: 50,
+                k: 8,
+                r: 2,
+            },
+        ]);
     }
 
     #[test]

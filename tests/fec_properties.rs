@@ -1,7 +1,17 @@
-//! Property and acceptance tests for the XOR-parity FEC subsystem:
+//! Property and acceptance tests for the FEC subsystem (XOR fast path
+//! and the GF(256) Reed–Solomon multi-erasure layer):
 //!
 //! (a) any *single* loss per parity group is recovered byte-identically
-//!     (pure XOR over the survivors, truncated to the lost length);
+//!     (pure XOR over the survivors, truncated to the lost length), and
+//!     any ≤ r losses per group under RS parity;
+//! (a') GF(256) field axioms (associativity, commutativity,
+//!     distributivity, mul/inv round trip) and the r = 1 ≡ XOR pinning:
+//!     single-parity RS is the PR 5 XOR wire format, bit for bit, at the
+//!     byte level *and* at the delivery level;
+//! (a'') the interleaver burst-coverage bound: a burst of ≤ stride·r
+//!     consecutive protected packets never exceeds r losses in any
+//!     group — every burst that short is FEC-recoverable by
+//!     construction;
 //! (b) recovery is order-free: permuted/deduplicated survivor sets
 //!     reconstruct the same bytes, and reorder/duplicate link faults
 //!     leave the end-to-end result deterministic;
@@ -17,7 +27,7 @@
 use cachegen::{load_context, CacheGenEngine, EngineConfig, FecOverhead, LoadParams, RepairPolicy};
 use cachegen_llm::SimModelConfig;
 use cachegen_net::fec::{xor_parity, xor_recover};
-use cachegen_net::{BandwidthTrace, FecGroups, Link, PacketFaults};
+use cachegen_net::{gf256, BandwidthTrace, FecGroups, Link, PacketFaults, RsCode};
 use cachegen_streamer::{deliver_schedule, AdaptPolicy, ChunkSchedule, PacketId};
 use cachegen_workloads::{workload_rng, Dataset};
 use proptest::prelude::*;
@@ -51,7 +61,7 @@ proptest! {
                 .filter(|&(i, _)| i != lost)
                 .map(|(_, p)| *p)
                 .collect();
-            let got = xor_recover(&survivors, &parity, want.len());
+            let got = xor_recover(&survivors, &parity, want.len()).unwrap();
             prop_assert_eq!(&got, want, "lost member {}", lost);
         }
     }
@@ -78,11 +88,11 @@ proptest! {
             .filter(|&(i, _)| i != lost)
             .map(|(_, p)| *p)
             .collect();
-        let in_order = xor_recover(&survivors, &parity, payloads[lost].len());
+        let in_order = xor_recover(&survivors, &parity, payloads[lost].len()).unwrap();
         let shift = rot % survivors.len().max(1);
         survivors.rotate_left(shift);
         survivors.reverse();
-        let shuffled = xor_recover(&survivors, &parity, payloads[lost].len());
+        let shuffled = xor_recover(&survivors, &parity, payloads[lost].len()).unwrap();
         prop_assert_eq!(&in_order, &shuffled);
         prop_assert_eq!(&in_order, &payloads[lost]);
     }
@@ -113,9 +123,193 @@ proptest! {
                 .map(|(_, x)| *x)
                 .collect();
             let lost_idx = members[lost_pos];
-            let got = xor_recover(&survivors, &parity, payloads[lost_idx].len());
+            let got = xor_recover(&survivors, &parity, payloads[lost_idx].len()).unwrap();
             prop_assert_eq!(&got, &payloads[lost_idx]);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// (a'): GF(256) field axioms, RS multi-erasure recovery, r = 1 ≡ XOR.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// GF(256) field axioms on arbitrary triples: commutativity,
+    /// associativity, distributivity over XOR-addition, and the
+    /// mul/inv/div round trips the Cauchy construction relies on.
+    #[test]
+    fn gf256_field_axioms(a in 0u16..256, b in 0u16..256, c in 0u16..256) {
+        let (a, b, c) = (a as u8, b as u8, c as u8);
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+        // Distributivity: a·(b ⊕ c) = a·b ⊕ a·c (addition is XOR).
+        prop_assert_eq!(
+            gf256::mul(a, b ^ c),
+            gf256::mul(a, b) ^ gf256::mul(a, c)
+        );
+        if a != 0 {
+            prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+            if b != 0 {
+                // div round trip: (a / b) · b = a.
+                prop_assert_eq!(gf256::mul(gf256::div(a, b), b), a);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any ≤ r losses per group — data and parity packets alike, chosen
+    /// adversarially by the loss mask — recover byte-identically under
+    /// RS parity, whatever the member sizes.
+    #[test]
+    fn rs_recovers_any_r_losses_byte_identically(
+        seed in 0u64..10_000,
+        sizes in proptest::collection::vec(0usize..60, 2..10),
+        r in 1usize..4,
+        mask in 0u32..u32::MAX,
+    ) {
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        let payloads: Vec<Vec<u8>> = sizes
+            .iter()
+            .map(|&n| (0..n).map(|_| rng.gen::<u8>()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let m = refs.len();
+        let code = RsCode::new(m, r).unwrap();
+        let parity = code.parity(&refs);
+        // Keep only the first r set bits of the mask: ≤ r total losses.
+        let mut budget = r;
+        let lost: Vec<bool> = (0..m + r)
+            .map(|i| {
+                let hit = mask & (1 << (i % 32)) != 0 && budget > 0;
+                if hit { budget -= 1; }
+                hit
+            })
+            .collect();
+        let shards: Vec<Option<&[u8]>> =
+            (0..m).map(|i| (!lost[i]).then_some(refs[i])).collect();
+        let pshards: Vec<Option<&[u8]>> = (0..r)
+            .map(|j| (!lost[m + j]).then_some(parity[j].as_slice()))
+            .collect();
+        let recovered = code.recover(&shards, &pshards).unwrap();
+        let lost_data: Vec<usize> = (0..m).filter(|&i| lost[i]).collect();
+        prop_assert_eq!(recovered.len(), lost_data.len());
+        for (i, payload) in recovered {
+            prop_assert!(lost[i]);
+            prop_assert_eq!(&payload[..refs[i].len()], refs[i], "symbol {}", i);
+            prop_assert!(payload[refs[i].len()..].iter().all(|&b| b == 0));
+        }
+    }
+
+    /// r = 1 ≡ XOR at the byte level: the single-parity RS payload is
+    /// bit-identical to `xor_parity`, and its single-loss recovery is
+    /// bit-identical to `xor_recover` — the PR 5 wire format is a
+    /// special case of the RS code, not a parallel implementation.
+    #[test]
+    fn rs_r1_is_bit_identical_to_xor(
+        seed in 0u64..10_000,
+        sizes in proptest::collection::vec(0usize..60, 2..10),
+        lost in 0usize..10,
+    ) {
+        let mut rng = cachegen_tensor::rng::seeded(seed);
+        let payloads: Vec<Vec<u8>> = sizes
+            .iter()
+            .map(|&n| (0..n).map(|_| rng.gen::<u8>()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let code = RsCode::new(refs.len(), 1).unwrap();
+        let parity = code.parity(&refs);
+        prop_assert_eq!(&parity[0], &xor_parity(&refs));
+        let lost = lost % refs.len();
+        let shards: Vec<Option<&[u8]>> =
+            (0..refs.len()).map(|i| (i != lost).then_some(refs[i])).collect();
+        let rs_got = code.recover(&shards, &[Some(&parity[0])]).unwrap();
+        let survivors: Vec<&[u8]> = (0..refs.len())
+            .filter(|&i| i != lost)
+            .map(|i| refs[i])
+            .collect();
+        let xor_got =
+            xor_recover(&survivors, &parity[0], parity[0].len()).unwrap();
+        prop_assert_eq!(rs_got.len(), 1);
+        prop_assert_eq!(rs_got[0].0, lost);
+        prop_assert_eq!(&rs_got[0].1, &xor_got);
+    }
+
+    /// The interleaver burst-coverage bound: striping with stride
+    /// `g = ceil(n / k)` puts at most `ceil(w / g)` of any `w`
+    /// consecutive protected packets in one group, so a burst of up to
+    /// `stride·r` packets never exceeds `r` losses per group — every
+    /// such burst is FEC-recoverable by construction.
+    #[test]
+    fn striped_burst_coverage_bound(
+        n in 2usize..80,
+        k in 1usize..12,
+        r in 1usize..4,
+        burst_start in 0usize..80,
+    ) {
+        let fec = FecGroups::striped_rs(n, k, r);
+        let g = fec.num_groups();
+        let burst_len = (g * r).min(n);
+        let start = burst_start % n;
+        let mut lost_per_group = vec![0usize; g];
+        for i in start..(start + burst_len).min(n) {
+            if let Some(grp) = fec.group_of(i) {
+                lost_per_group[grp] += 1;
+            }
+        }
+        for (grp, &lost) in lost_per_group.iter().enumerate() {
+            prop_assert!(
+                lost <= fec.repairs_of(grp),
+                "burst [{}, {}) puts {} losses in group {} (r = {})",
+                start, start + burst_len, lost, grp, fec.repairs_of(grp)
+            );
+        }
+    }
+}
+
+/// r = 1 ≡ XOR at the *delivery* level: `FecOverhead::Rs {{ k, r: 1 }}`
+/// produces the identical wire order, fault draws, recovery set, and
+/// timeline as the PR 5 `FecOverhead::Uniform(k)` path on arbitrary
+/// schedules and faults.
+#[test]
+fn rs_r1_delivery_is_bit_identical_to_uniform_xor() {
+    use cachegen_streamer::FecOverhead;
+    for (seed, n, k, loss_pct) in [
+        (1u64, 12usize, 4usize, 10usize),
+        (2, 24, 6, 25),
+        (3, 7, 3, 40),
+        (4, 30, 5, 15),
+    ] {
+        let entries: Vec<(PacketId, u64)> = (0..n)
+            .map(|i| {
+                (
+                    PacketId {
+                        group: i / 4,
+                        layer: i % 4,
+                        is_k: i % 2 == 0,
+                    },
+                    400 + 31 * i as u64,
+                )
+            })
+            .collect();
+        let sched = ChunkSchedule::priority_ordered(entries);
+        let sizes = sched.packet_sizes();
+        let xor_groups = FecOverhead::Uniform(k).groups_for(0, &sizes);
+        let rs_groups = FecOverhead::Rs { k, r: 1 }.groups_for(0, &sizes);
+        let mk_link = || {
+            Link::new(BandwidthTrace::constant(1e7), 0.01)
+                .with_packet_faults(PacketFaults::loss(loss_pct as f64 / 100.0), seed)
+        };
+        let xor = deliver_schedule(&sched, &mut mk_link(), 0.0, 1, 1, xor_groups.as_ref());
+        let rs = deliver_schedule(&sched, &mut mk_link(), 0.0, 1, 1, rs_groups.as_ref());
+        assert_eq!(xor, rs, "seed {seed}");
     }
 }
 

@@ -194,6 +194,73 @@ fn interleaver_converts_bursts_into_single_per_group_losses() {
     assert!(plain_lost > 0, "without FEC the same bursts lose packets");
 }
 
+/// Multi-parity burst coverage: with `Rs { k: 6, r: 2 }` over 24 packets
+/// the stride is 4 groups, so the interleaver bound says any burst of up
+/// to `stride · r = 8` consecutive data drops costs every group at most
+/// `r = 2` losses — still solvable. The XOR shape with the same stride
+/// (`Uniform(6)`, `r = 1`) only covers bursts up to the stride itself;
+/// a 5-packet burst already double-hits a group it cannot solve.
+#[test]
+fn multi_parity_interleaver_covers_bursts_up_to_stride_times_r() {
+    let rs_cfg = FecOverhead::Rs { k: 6, r: 2 };
+    let xor_cfg = FecOverhead::Uniform(6);
+    let sizes = uniform_schedule().packet_sizes();
+    let rs = rs_cfg.groups_for(0, &sizes).unwrap();
+    // Structural guarantee: every window of stride · r = 8 consecutive
+    // data packets loses at most r = 2 members of any parity group.
+    let window = 8;
+    for start in 0..=(24 - window) {
+        let mut per_group = std::collections::HashMap::new();
+        for i in start..start + window {
+            *per_group.entry(rs.group_of(i).unwrap()).or_insert(0usize) += 1;
+        }
+        for (g, hits) in per_group {
+            assert!(
+                hits <= rs.repairs_of(g),
+                "window at {start}: group {g} takes {hits} > r losses"
+            );
+        }
+    }
+    // End to end, over seeded 5-packet drop bursts — longer than the
+    // XOR coverage bound (stride = 4), within the RS one (8). Aggregate
+    // over seeds: the arms put different parity counts on the wire, so
+    // per-seed loss patterns are not comparable across arms.
+    let run = |seed: u64, cfg: &FecOverhead| {
+        let sched = uniform_schedule();
+        let groups = cfg.groups_for(0, &sched.packet_sizes()).unwrap();
+        let mut link = Link::new(BandwidthTrace::constant(1e7), 0.01)
+            .with_packet_faults(PacketFaults::burst(0.03, 5), seed);
+        deliver_schedule(&sched, &mut link, 0.0, 1, 0, Some(&groups))
+    };
+    let (mut rs_exercised, mut rs_fully_recovered) = (0, 0);
+    let (mut rs_lost, mut xor_lost) = (0usize, 0usize);
+    for seed in 0..60u64 {
+        let d = run(seed, &rs_cfg);
+        if !d.lost.is_empty() || !d.fec_recovered.is_empty() {
+            rs_exercised += 1;
+            if d.lost.is_empty() && d.fec_recovered.len() >= 2 {
+                rs_fully_recovered += 1;
+            }
+        }
+        rs_lost += d.lost.len();
+        xor_lost += run(seed, &xor_cfg).lost.len();
+    }
+    assert!(
+        rs_exercised >= 10,
+        "only {rs_exercised} seeds fired a burst"
+    );
+    assert!(
+        rs_fully_recovered * 10 >= rs_exercised * 6,
+        "bursts within stride · r must mostly recover in full \
+         ({rs_fully_recovered}/{rs_exercised})"
+    );
+    assert!(
+        rs_lost * 2 <= xor_lost,
+        "r = 2 must at least halve the residual burst losses of r = 1: \
+         {rs_lost} vs {xor_lost}"
+    );
+}
+
 /// When a parity group takes two losses, FEC cannot solve its single
 /// equation: the group's packets fall through to the repair chain, with
 /// full provenance — pinned end to end on a seeded burst longer than the
