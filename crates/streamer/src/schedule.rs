@@ -619,3 +619,23 @@ mod tests {
         assert_eq!(s.total_bytes(), 3);
     }
 }
+
+#[cfg(test)]
+mod scratch_verify {
+    use super::*;
+    fn id(group: usize, layer: usize, is_k: bool) -> PacketId {
+        PacketId { group, layer, is_k }
+    }
+    #[test]
+    fn stagger_n7_k3_r2_back_to_back_check() {
+        let entries: Vec<(PacketId, u64)> = (0..7).map(|g| (id(g, 0, true), 100)).collect();
+        let s = ChunkSchedule::priority_ordered(entries);
+        let fec = cachegen_net::FecGroups::striped_rs(7, 3, 2);
+        let wire = s.wire_packets(Some(&fec));
+        for w in wire.windows(2) {
+            if let (WirePacket::Parity { group: a, .. }, WirePacket::Parity { group: b, .. }) = (w[0], w[1]) {
+                assert_ne!(a, b, "same-group parities adjacent: wire = {wire:?}");
+            }
+        }
+    }
+}
